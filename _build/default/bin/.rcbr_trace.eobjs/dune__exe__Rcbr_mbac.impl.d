@@ -1,0 +1,1 @@
+bin/rcbr_mbac.ml: Arg Cmd Cmdliner Fmt Format Rcbr_admission Rcbr_core Rcbr_sim Rcbr_traffic Term

@@ -1,0 +1,1 @@
+bin/rcbr_sched.ml: Arg Array Cmd Cmdliner Format Rcbr_core Rcbr_queue Rcbr_traffic Term

@@ -1,0 +1,1 @@
+bin/rcbr_smg.ml: Arg Cmd Cmdliner Format List Rcbr_core Rcbr_sim Rcbr_traffic Term

@@ -1,0 +1,1 @@
+bin/rcbr_trace.ml: Arg Array Cmd Cmdliner Format List Rcbr_queue Rcbr_traffic Term

@@ -1,0 +1,1 @@
+bin/rcbr_trace.mli:

@@ -1,0 +1,86 @@
+(* CLI: measurement-based admission control simulation.
+
+   Example:
+     rcbr_mbac --capacity-mult 16 --load 1.0 --controller memoryless *)
+
+open Cmdliner
+module Trace = Rcbr_traffic.Trace
+module Optimal = Rcbr_core.Optimal
+module Schedule = Rcbr_core.Schedule
+module Mbac = Rcbr_sim.Mbac
+module Controller = Rcbr_admission.Controller
+module Descriptor = Rcbr_admission.Descriptor
+
+let run seed frames cost_ratio capacity_mult load target controller_name =
+  let trace = Rcbr_traffic.Synthetic.star_wars ~frames ~seed () in
+  let mean = Trace.mean_rate trace in
+  let schedule =
+    Optimal.solve (Optimal.default_params ~cost_ratio trace) trace
+  in
+  let capacity = capacity_mult *. mean in
+  let arrival_rate =
+    load *. capacity /. (Schedule.mean_rate schedule *. Schedule.duration schedule)
+  in
+  let cfg =
+    Mbac.default_config ~schedule ~capacity ~arrival_rate ~target ~seed:(seed + 1)
+  in
+  let controller =
+    match controller_name with
+    | "perfect" ->
+        Controller.perfect ~descriptor:(Descriptor.of_schedule schedule)
+          ~capacity ~target
+    | "memoryless" -> Controller.memoryless ~capacity ~target
+    | "memory" -> Controller.memory ~capacity ~target
+    | "always" -> Controller.always_admit ()
+    | other -> Fmt.failwith "unknown controller %S" other
+  in
+  Format.printf
+    "link %.0f kb/s (%.0fx mean), offered load %.2f, target %.1e, controller %s@."
+    (capacity /. 1e3) capacity_mult (Mbac.offered_load cfg) target
+    (Controller.name controller);
+  let m = Mbac.run cfg ~controller in
+  Format.printf
+    "@[<v>failure probability: %.3e (+/- %.1e)@,\
+     utilization:         %.4f (+/- %.1e)@,\
+     call blocking:       %.4f@,\
+     denied increases:    %.4f@,\
+     mean calls:          %.2f@,\
+     windows sampled:     %d@]@."
+    m.Mbac.failure_probability m.Mbac.failure_halfwidth m.Mbac.utilization
+    m.Mbac.utilization_halfwidth m.Mbac.call_blocking m.Mbac.denial_fraction
+    m.Mbac.mean_calls_in_system m.Mbac.windows
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED")
+let frames_arg = Arg.(value & opt int 20_000 & info [ "frames" ] ~docv:"N")
+
+let cost_ratio_arg =
+  Arg.(value & opt float 2e5 & info [ "cost-ratio" ] ~docv:"ALPHA")
+
+let capacity_arg =
+  Arg.(
+    value & opt float 16.
+    & info [ "capacity-mult" ] ~docv:"K"
+        ~doc:"Link capacity as a multiple of the call mean rate.")
+
+let load_arg =
+  Arg.(value & opt float 1.0 & info [ "load" ] ~docv:"RHO" ~doc:"Offered load.")
+
+let target_arg = Arg.(value & opt float 1e-3 & info [ "target" ] ~docv:"P")
+
+let controller_arg =
+  Arg.(
+    value & opt string "memoryless"
+    & info [ "controller" ] ~docv:"NAME"
+        ~doc:"One of: perfect, memoryless, memory, always.")
+
+let () =
+  let info =
+    Cmd.info "rcbr_mbac" ~version:"1.0"
+      ~doc:"Call-level simulation of measurement-based admission control."
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ frames_arg $ cost_ratio_arg $ capacity_arg
+      $ load_arg $ target_arg $ controller_arg)
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,67 @@
+(* CLI: statistical multiplexing gain comparison across the three Fig. 3
+   scenarios (static CBR, shared buffer, RCBR).
+
+   Example:
+     rcbr_smg --frames 20000 --streams 1,5,20,100 --target 1e-6 *)
+
+open Cmdliner
+module Trace = Rcbr_traffic.Trace
+module Optimal = Rcbr_core.Optimal
+module Schedule = Rcbr_core.Schedule
+module Smg = Rcbr_sim.Smg
+
+let run seed frames cost_ratio buffer target replications streams =
+  let trace = Rcbr_traffic.Synthetic.star_wars ~frames ~seed () in
+  let mean = Trace.mean_rate trace in
+  Format.printf "trace: %d frames, mean %.0f kb/s@." frames (mean /. 1e3);
+  let schedule = Optimal.solve (Optimal.default_params ~buffer ~cost_ratio trace) trace in
+  Format.printf "schedule: %d renegotiations, efficiency %.4f@."
+    (Schedule.n_renegotiations schedule)
+    (Schedule.bandwidth_efficiency schedule ~trace);
+  let cfg =
+    { Smg.trace; schedule; buffer; target_loss = target; replications; seed }
+  in
+  let cbr = Smg.min_capacity_cbr cfg in
+  Format.printf "@.%6s  %10s  %10s  %10s  (capacity per stream / mean)@." "n"
+    "CBR" "shared" "RCBR";
+  List.iter
+    (fun n ->
+      let shared = Smg.min_capacity_shared cfg ~n in
+      let rcbr = Smg.min_capacity_rcbr cfg ~n in
+      Format.printf "%6d  %10.3f  %10.3f  %10.3f@." n (cbr /. mean)
+        (shared /. mean) (rcbr /. mean))
+    streams;
+  Format.printf "@.RCBR asymptote (n -> inf): %.3f x mean@."
+    (Smg.asymptotic_rcbr_capacity cfg /. mean)
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED")
+
+let frames_arg =
+  Arg.(value & opt int 20_000 & info [ "frames" ] ~docv:"N" ~doc:"Trace length.")
+
+let cost_ratio_arg =
+  Arg.(value & opt float 2e5 & info [ "cost-ratio" ] ~docv:"ALPHA")
+
+let buffer_arg = Arg.(value & opt float 300_000. & info [ "buffer" ] ~docv:"BITS")
+let target_arg = Arg.(value & opt float 1e-6 & info [ "target" ] ~docv:"LOSS")
+
+let replications_arg =
+  Arg.(value & opt int 3 & info [ "replications" ] ~docv:"R")
+
+let streams_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 5; 10; 20; 50; 100 ]
+    & info [ "streams" ] ~docv:"N1,N2,..." ~doc:"Stream counts to evaluate.")
+
+let () =
+  let info =
+    Cmd.info "rcbr_smg" ~version:"1.0"
+      ~doc:"Statistical multiplexing gain of RCBR vs CBR vs shared buffering."
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ frames_arg $ cost_ratio_arg $ buffer_arg
+      $ target_arg $ replications_arg $ streams_arg)
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,84 @@
+(* CLI: generate and inspect synthetic multiple time-scale video traces.
+
+   Examples:
+     rcbr_trace generate --seed 42 --frames 171000 -o star_wars.trace
+     rcbr_trace stats star_wars.trace
+     rcbr_trace sigma-rho star_wars.trace --target 1e-6 *)
+
+open Cmdliner
+module Trace = Rcbr_traffic.Trace
+module Synthetic = Rcbr_traffic.Synthetic
+module Sigma_rho = Rcbr_queue.Sigma_rho
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let frames_arg =
+  Arg.(
+    value
+    & opt int Synthetic.default_frames
+    & info [ "frames" ] ~docv:"N" ~doc:"Number of frames to generate.")
+
+let output_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE")
+
+let generate seed frames output =
+  let t = Synthetic.star_wars ~frames ~seed () in
+  Trace.save t output;
+  Format.printf "wrote %s:@.%a@." output Trace.pp_summary t
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a Star Wars-like synthetic trace.")
+    Term.(const generate $ seed_arg $ frames_arg $ output_arg)
+
+let stats file =
+  let t = Trace.load file in
+  Format.printf "%a@." Trace.pp_summary t;
+  let mean = Trace.mean_rate t in
+  List.iter
+    (fun mult ->
+      let run = Trace.sustained_peak t ~threshold:(mult *. mean) in
+      Format.printf "longest run >= %.1fx mean: %.2f s@." mult
+        (float_of_int run /. Trace.fps t))
+    [ 2.; 3.; 4. ]
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print summary statistics of a trace file.")
+    Term.(const stats $ trace_file_arg)
+
+let target_arg =
+  Arg.(
+    value & opt float 1e-6
+    & info [ "target" ] ~docv:"LOSS" ~doc:"Bit-loss fraction target.")
+
+let sigma_rho file target =
+  let t = Trace.load file in
+  let mean = Trace.mean_rate t in
+  let buffers =
+    [| 1e4; 3e4; 1e5; 3e5; 1e6; 3e6; 1e7; 3e7; 1e8; 2e8 |]
+  in
+  Format.printf "buffer_bits  min_rate_bps  rate/mean@.";
+  Array.iter
+    (fun (b, r) -> Format.printf "%11.0f  %12.0f  %9.3f@." b r (r /. mean))
+    (Sigma_rho.curve ~trace:t ~buffers ~target_loss:target ())
+
+let sigma_rho_cmd =
+  Cmd.v
+    (Cmd.info "sigma-rho"
+       ~doc:"Minimum drain rate as a function of buffer size (Fig. 5).")
+    Term.(const sigma_rho $ trace_file_arg $ target_arg)
+
+let () =
+  let info =
+    Cmd.info "rcbr_trace" ~version:"1.0"
+      ~doc:"Synthetic multiple time-scale video traces."
+  in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; stats_cmd; sigma_rho_cmd ]))

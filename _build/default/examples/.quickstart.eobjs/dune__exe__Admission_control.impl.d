@@ -1,0 +1,1 @@
+examples/admission_control.ml: Format List Rcbr_admission Rcbr_core Rcbr_sim Rcbr_traffic

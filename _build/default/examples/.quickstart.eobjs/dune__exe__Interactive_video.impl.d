@@ -1,0 +1,1 @@
+examples/interactive_video.ml: Format List Rcbr_core Rcbr_traffic

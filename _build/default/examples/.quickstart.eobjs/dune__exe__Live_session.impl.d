@@ -1,0 +1,1 @@
+examples/live_session.ml: Format Rcbr_core Rcbr_queue Rcbr_signal Rcbr_traffic

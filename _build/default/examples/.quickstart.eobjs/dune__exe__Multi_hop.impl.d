@@ -1,0 +1,1 @@
+examples/multi_hop.ml: Float Format List Printf Rcbr_signal Rcbr_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Rcbr_core Rcbr_queue Rcbr_traffic

@@ -1,0 +1,1 @@
+examples/stored_video.ml: Format List Rcbr_core Rcbr_queue Rcbr_signal Rcbr_traffic

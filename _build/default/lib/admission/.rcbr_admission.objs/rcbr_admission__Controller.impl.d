@@ -1,0 +1,1 @@
+lib/admission/controller.ml: Array Descriptor Hashtbl List Rcbr_effbw

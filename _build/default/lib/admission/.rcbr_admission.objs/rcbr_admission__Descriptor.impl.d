@@ -1,0 +1,1 @@
+lib/admission/descriptor.ml: Array Float Rcbr_core Rcbr_effbw

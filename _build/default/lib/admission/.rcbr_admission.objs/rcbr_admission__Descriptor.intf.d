@@ -1,0 +1,1 @@
+lib/admission/descriptor.mli: Rcbr_core Rcbr_effbw

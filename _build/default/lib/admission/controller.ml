@@ -1,0 +1,111 @@
+module Chernoff = Rcbr_effbw.Chernoff
+
+type call_state = {
+  mutable rate : float;
+  mutable since : float;
+  history : (float, float) Hashtbl.t;  (* rate -> accumulated seconds *)
+}
+
+type kind =
+  | Perfect of { max_calls : int }
+  | Memoryless of { capacity : float; target : float }
+  | Memory of { capacity : float; target : float }
+  | Always
+
+type t = { name : string; kind : kind; calls : (int, call_state) Hashtbl.t }
+
+let name t = t.name
+let n_in_system t = Hashtbl.length t.calls
+
+let accumulate state ~now =
+  let elapsed = now -. state.since in
+  if elapsed > 0. then begin
+    let prev = try Hashtbl.find state.history state.rate with Not_found -> 0. in
+    Hashtbl.replace state.history state.rate (prev +. elapsed)
+  end;
+  state.since <- now
+
+let marginal_of_weights weights =
+  (* [(rate, weight)] list with positive total -> normalized marginal. *)
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weights in
+  assert (total > 0.);
+  let arr =
+    Array.of_list (List.map (fun (r, w) -> (w /. total, r)) weights)
+  in
+  Array.sort (fun (_, a) (_, b) -> compare a b) arr;
+  arr
+
+let instantaneous_weights t =
+  Hashtbl.fold (fun _ st acc -> (st.rate, 1.) :: acc) t.calls []
+
+let history_weights t ~now =
+  Hashtbl.fold
+    (fun _ st acc ->
+      let acc =
+        Hashtbl.fold (fun rate secs acc -> (rate, secs) :: acc) st.history acc
+      in
+      let ongoing = now -. st.since in
+      if ongoing > 0. then (st.rate, ongoing) :: acc else acc)
+    t.calls []
+
+let chernoff_admit ~capacity ~target ~n weights =
+  match weights with
+  | [] -> true (* no information: the certainty-equivalent scheme admits *)
+  | _ ->
+      let m = marginal_of_weights weights in
+      n + 1 <= Chernoff.max_calls m ~capacity ~target
+
+let admit t ~now =
+  let n = n_in_system t in
+  match t.kind with
+  | Always -> true
+  | Perfect { max_calls } -> n + 1 <= max_calls
+  | Memoryless { capacity; target } ->
+      chernoff_admit ~capacity ~target ~n (instantaneous_weights t)
+  | Memory { capacity; target } ->
+      let weights = history_weights t ~now in
+      let weights =
+        (* All-fresh calls have no elapsed time yet; fall back to their
+           instantaneous rates. *)
+        if List.for_all (fun (_, w) -> w <= 0.) weights then
+          instantaneous_weights t
+        else weights
+      in
+      chernoff_admit ~capacity ~target ~n weights
+
+let on_admit t ~now ~call ~rate =
+  assert (not (Hashtbl.mem t.calls call));
+  Hashtbl.replace t.calls call
+    { rate; since = now; history = Hashtbl.create 8 }
+
+let on_renegotiate t ~now ~call ~rate =
+  match Hashtbl.find_opt t.calls call with
+  | None -> ()
+  | Some st ->
+      accumulate st ~now;
+      st.rate <- rate
+
+let on_depart t ~now ~call =
+  ignore now;
+  Hashtbl.remove t.calls call
+
+let perfect ~descriptor ~capacity ~target =
+  let max_calls = Descriptor.max_admissible descriptor ~capacity ~target in
+  { name = "perfect"; kind = Perfect { max_calls }; calls = Hashtbl.create 64 }
+
+let memoryless ~capacity ~target =
+  {
+    name = "memoryless";
+    kind = Memoryless { capacity; target };
+    calls = Hashtbl.create 64;
+  }
+
+let memory ~capacity ~target =
+  {
+    name = "memory";
+    kind = Memory { capacity; target };
+    calls = Hashtbl.create 64;
+  }
+
+let always_admit () =
+  { name = "always-admit"; kind = Always; calls = Hashtbl.create 64 }

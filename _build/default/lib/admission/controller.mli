@@ -1,0 +1,40 @@
+(** Admission controllers (Section VI).
+
+    A controller is driven by the call-level simulator: it is asked for
+    an admit/reject decision on every arrival and informed of every
+    admitted call's renegotiations and departure, from which the
+    measurement-based schemes build their view of "a typical call".
+
+    All controllers share the same Chernoff admission rule — admit the
+    new call iff [n + 1 <= max_calls(estimate, capacity, target)] — and
+    differ only in where the bandwidth-level distribution estimate comes
+    from:
+
+    - {!perfect}: the true marginal, known a priori;
+    - {!memoryless}: the instantaneous rates of the calls currently in
+      the system (the certainty-equivalent scheme shown not robust);
+    - {!memory}: time-weighted histograms over the {e entire history} of
+      every call currently in the system;
+    - {!always_admit}: no control, for baselines. *)
+
+type t
+
+val name : t -> string
+
+val admit : t -> now:float -> bool
+(** Decision for a call arriving at [now], given the controller's
+    current knowledge.  Does not mutate state; the simulator follows up
+    with {!on_admit} only when the call is actually placed. *)
+
+val on_admit : t -> now:float -> call:int -> rate:float -> unit
+val on_renegotiate : t -> now:float -> call:int -> rate:float -> unit
+(** The call's reserved rate changed to [rate] at time [now]. *)
+
+val on_depart : t -> now:float -> call:int -> unit
+
+val n_in_system : t -> int
+
+val perfect : descriptor:Descriptor.t -> capacity:float -> target:float -> t
+val memoryless : capacity:float -> target:float -> t
+val memory : capacity:float -> target:float -> t
+val always_admit : unit -> t

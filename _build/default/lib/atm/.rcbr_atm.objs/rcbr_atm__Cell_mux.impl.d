@@ -1,0 +1,1 @@
+lib/atm/cell_mux.ml: Array Cell Float Hashtbl List Option Rcbr_core Rcbr_traffic Rcbr_util Seq

@@ -1,0 +1,1 @@
+lib/atm/cell_mux.mli: Rcbr_core Rcbr_traffic Seq

@@ -1,0 +1,1 @@
+lib/atm/gcra.ml: Cell Float

@@ -1,0 +1,1 @@
+lib/atm/scheduler.ml: Array Cell Cell_mux Float Gcra List Queue Seq

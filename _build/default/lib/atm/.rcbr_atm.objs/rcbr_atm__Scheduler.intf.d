@@ -1,0 +1,1 @@
+lib/atm/scheduler.mli: Cell_mux Gcra

@@ -1,0 +1,119 @@
+type discipline = Fifo | Scfq
+
+type per_vc = {
+  offered : int;
+  policed : int;
+  served : int;
+  mean_delay : float;
+  max_delay : float;
+}
+
+(* Queued cells carry (arrival time, SCFQ finish tag). *)
+type vc_state = {
+  queue : (float * float) Queue.t;
+  policer : Gcra.t option;
+  mutable last_tag : float;  (* finish tag of the VC's last queued cell *)
+  mutable offered : int;
+  mutable policed : int;
+  mutable served : int;
+  mutable delay_sum : float;
+  mutable delay_max : float;
+}
+
+let simulate ~discipline ~port_rate ?(policer = fun _ -> None) ~sources
+    ~duration () =
+  assert (port_rate > 0. && duration > 0.);
+  let service = Cell.service_time ~port_rate in
+  let n = List.length sources in
+  let vcs =
+    Array.init n (fun i ->
+        {
+          queue = Queue.create ();
+          policer = policer i;
+          last_tag = 0.;
+          offered = 0;
+          policed = 0;
+          served = 0;
+          delay_sum = 0.;
+          delay_max = 0.;
+        })
+  in
+  (* SCFQ (Golestani): an arriving cell of VC i is stamped
+     max(V, F_i) + 1 (equal weights, in cell units), where V is the tag
+     of the cell in service; the scheduler serves the smallest
+     head-of-line tag. *)
+  let virtual_time = ref 0. in
+  let backlogged = ref 0 in
+  let hol_key vc =
+    let arrival, tag = Queue.peek vc.queue in
+    match discipline with Fifo -> arrival | Scfq -> tag
+  in
+  let pick_next () =
+    let best = ref (-1) and best_key = ref infinity in
+    Array.iteri
+      (fun i vc ->
+        if not (Queue.is_empty vc.queue) then begin
+          let key = hol_key vc in
+          if key < !best_key then begin
+            best_key := key;
+            best := i
+          end
+        end)
+      vcs;
+    !best
+  in
+  let server_free = ref 0. in
+  let serve_until limit =
+    let continue_ = ref true in
+    while !continue_ do
+      if !backlogged = 0 || !server_free >= limit then continue_ := false
+      else begin
+        let vc = vcs.(pick_next ()) in
+        let arrival, tag = Queue.pop vc.queue in
+        decr backlogged;
+        virtual_time := tag;
+        let depart = !server_free +. service in
+        server_free := depart;
+        let delay = depart -. arrival in
+        vc.served <- vc.served + 1;
+        vc.delay_sum <- vc.delay_sum +. delay;
+        if delay > vc.delay_max then vc.delay_max <- delay
+      end
+    done;
+    if !backlogged = 0 then virtual_time := 0.
+  in
+  Seq.iter
+    (fun (t, i) ->
+      serve_until t;
+      if !backlogged = 0 && !server_free < t then server_free := t;
+      let vc = vcs.(i) in
+      vc.offered <- vc.offered + 1;
+      let pass =
+        match vc.policer with None -> true | Some g -> Gcra.conforming g t
+      in
+      if pass then begin
+        let tag =
+          let base =
+            if Queue.is_empty vc.queue then Float.max !virtual_time vc.last_tag
+            else vc.last_tag
+          in
+          base +. 1.
+        in
+        vc.last_tag <- tag;
+        Queue.push (t, tag) vc.queue;
+        incr backlogged
+      end
+      else vc.policed <- vc.policed + 1)
+    (Cell_mux.arrivals ~sources ~duration);
+  serve_until infinity;
+  Array.map
+    (fun vc ->
+      {
+        offered = vc.offered;
+        policed = vc.policed;
+        served = vc.served;
+        mean_delay =
+          (if vc.served = 0 then 0. else vc.delay_sum /. float_of_int vc.served);
+        max_delay = vc.delay_max;
+      })
+    vcs

@@ -1,0 +1,39 @@
+(** Output-port scheduling disciplines and traffic protection.
+
+    Section II's "loss of protection": with unrestricted sharing, a
+    misbehaving source inflates everybody's delay unless switches run
+    per-connection fair queueing.  RCBR's counter-argument (Section
+    III): once traffic is shaped to its reserved CBR rate — enforced by
+    a peak-rate policer — plain FIFO is enough.  This simulator runs
+    several per-VC cell streams through one port under FIFO or
+    self-clocked fair queueing (SCFQ), with an optional per-VC GCRA
+    policer, and reports per-VC delays, so all three regimes can be
+    compared:
+
+    - FIFO, no policing: the misbehaver hurts everyone;
+    - SCFQ: protection through scheduler complexity;
+    - FIFO + peak-rate policing (the RCBR way): protection through
+      shaping, with a trivial scheduler. *)
+
+type discipline = Fifo | Scfq
+
+type per_vc = {
+  offered : int;  (** cells that arrived (before policing) *)
+  policed : int;  (** cells dropped by the policer *)
+  served : int;
+  mean_delay : float;  (** seconds, arrival to departure *)
+  max_delay : float;
+}
+
+val simulate :
+  discipline:discipline ->
+  port_rate:float ->
+  ?policer:(int -> Gcra.t option) ->
+  sources:Cell_mux.source list ->
+  duration:float ->
+  unit ->
+  per_vc array
+(** One entry per source.  [policer vc] (called once per source at
+    setup) returns the UPC device for that VC, if any.  Queues are
+    unbounded — the experiment is about delay, not loss.  Requires a
+    positive [port_rate] and [duration]. *)

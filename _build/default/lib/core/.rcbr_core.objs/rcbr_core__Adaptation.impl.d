@@ -1,0 +1,1 @@
+lib/core/adaptation.ml: Array Float Rcbr_traffic Rcbr_util Schedule

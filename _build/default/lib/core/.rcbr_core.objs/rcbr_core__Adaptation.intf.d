@@ -1,0 +1,1 @@
+lib/core/adaptation.mli: Rcbr_traffic Rcbr_util Schedule

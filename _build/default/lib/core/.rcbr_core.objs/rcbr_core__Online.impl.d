@@ -1,0 +1,1 @@
+lib/core/online.ml: Array Float List Predictor Rcbr_traffic Schedule

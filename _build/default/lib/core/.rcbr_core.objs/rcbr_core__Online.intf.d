@@ -1,0 +1,1 @@
+lib/core/online.mli: Predictor Rcbr_traffic Schedule

@@ -1,0 +1,1 @@
+lib/core/optimal.ml: Array Float List Rate_grid Rcbr_queue Rcbr_traffic Schedule

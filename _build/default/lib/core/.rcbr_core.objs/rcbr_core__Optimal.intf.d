@@ -1,0 +1,1 @@
+lib/core/optimal.mli: Rate_grid Rcbr_traffic Schedule

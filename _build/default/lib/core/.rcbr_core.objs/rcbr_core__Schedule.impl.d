@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Format Hashtbl List Rcbr_queue Rcbr_traffic

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Format Rcbr_effbw Rcbr_queue Rcbr_traffic

@@ -1,0 +1,1 @@
+lib/core/smoothing.ml: Array Float List Rcbr_traffic Schedule

@@ -1,0 +1,1 @@
+lib/core/smoothing.mli: Rcbr_traffic Schedule

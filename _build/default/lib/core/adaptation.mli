@@ -1,0 +1,54 @@
+(** Renegotiation-failure handling policies (Section III-A-1).
+
+    "What happens if a renegotiation fails?"  The paper sketches a menu:
+    keep what you have and settle for the remaining bandwidth, retry,
+    reserve near the peak so failures become rare, or have the
+    application {e adapt} — adaptive codecs, and even stored video, can
+    be dynamically requantized to fit the granted rate.  This module
+    simulates a source playing a desired schedule against a network that
+    may deny increases, under each policy, and reports what the user
+    actually experienced.
+
+    The network is abstracted as a [grant] callback so the same driver
+    runs against a probability stub (tests), a {!Rcbr_signal.Port}, or a
+    whole multi-hop path. *)
+
+type policy =
+  | Settle  (** keep the old rate; excess arrivals overflow the buffer *)
+  | Retry of int
+      (** as [Settle], but re-issue the denied request every given
+          number of slots until granted or superseded *)
+  | Requantize of float
+      (** scale the incoming frames down to fit the granted rate, never
+          below the given quality floor (fraction of full quality);
+          residual excess still overflows *)
+  | Reserve_peak  (** one peak-rate reservation at setup, no renegotiation *)
+
+type result = {
+  bits_offered : float;  (** at full quality *)
+  bits_lost : float;  (** overflowed the end-system buffer *)
+  quality : float;
+      (** delivered bits (after any requantization) over offered bits;
+          1.0 when nothing was requantized or lost *)
+  attempts : int;  (** renegotiation requests issued (setup excluded) *)
+  failures : int;  (** requests denied *)
+  max_backlog : float;
+  mean_reserved : float;  (** time-average granted rate, b/s *)
+}
+
+val simulate :
+  policy:policy ->
+  grant:(slot:int -> old_rate:float -> new_rate:float -> bool) ->
+  buffer:float ->
+  trace:Rcbr_traffic.Trace.t ->
+  Schedule.t ->
+  result
+(** Play [trace] through a [buffer]-bit end-system buffer drained at the
+    granted rate, issuing the schedule's renegotiations through [grant].
+    Decreases always succeed (they only release bandwidth).  The trace
+    and schedule must agree on fps and length. *)
+
+val grant_with_probability : Rcbr_util.Rng.t -> float ->
+  slot:int -> old_rate:float -> new_rate:float -> bool
+(** Stub network: increases succeed independently with the given
+    probability; decreases always succeed. *)

@@ -1,0 +1,97 @@
+module Trace = Rcbr_traffic.Trace
+
+type params = {
+  b_low : float;
+  b_high : float;
+  flush_slots : int;
+  granularity : float;
+  ar_coefficient : float;
+  use_flush_term : bool;
+}
+
+let default_params =
+  {
+    b_low = 10_000.;
+    b_high = 150_000.;
+    flush_slots = 5;
+    granularity = 100_000.;
+    ar_coefficient = 0.9;
+    use_flush_term = true;
+  }
+
+type outcome = {
+  schedule : Schedule.t;
+  max_backlog : float;
+  predictions : float array;
+}
+
+let quantize_up delta x =
+  if x <= 0. then delta else delta *. Float.ceil (x /. delta)
+
+let run_custom ?(delay_slots = 0) p ~predictor trace =
+  assert (p.b_low >= 0. && p.b_high > p.b_low);
+  assert (p.flush_slots > 0 && p.granularity > 0.);
+  assert (delay_slots >= 0);
+  let n = Trace.length trace in
+  let tau = Trace.slot_duration trace in
+  let flush_seconds = float_of_int p.flush_slots *. tau in
+  let predictions = Array.make n 0. in
+  let backlog = ref 0. and max_backlog = ref 0. in
+  let pred = predictor ~initial:(Trace.frame trace 0 /. tau) in
+  let segments = ref [] in
+  (* [current] is the rate the network serves; [requested] the latest
+     rate asked of it; with a signaling delay they differ while a
+     request is in flight. *)
+  let current = ref (quantize_up p.granularity (pred.Predictor.forecast ())) in
+  let requested = ref !current in
+  let pending = ref [] (* (effective_slot, rate), at most one in flight *) in
+  segments := [ { Schedule.start_slot = 0; rate = !current } ];
+  for t = 0 to n - 1 do
+    (* A granted renegotiation comes into force. *)
+    (match !pending with
+    | (at, rate) :: rest when at <= t ->
+        current := rate;
+        pending := rest;
+        segments := { Schedule.start_slot = t; rate } :: !segments
+    | _ -> ());
+    (* Arrivals of slot t, then service at the current rate. *)
+    let x = Trace.frame trace t /. tau in
+    backlog := Float.max 0. (!backlog +. Trace.frame trace t -. (!current *. tau));
+    if !backlog > !max_backlog then max_backlog := !backlog;
+    pred.Predictor.observe x;
+    (* The flush term sits outside the filter so that draining the
+       backlog does not inflate future estimates. *)
+    let flush = if p.use_flush_term then !backlog /. flush_seconds else 0. in
+    let prediction = pred.Predictor.forecast () +. flush in
+    predictions.(t) <- prediction;
+    (* Formula (8): renegotiate only when the buffer urges the move. *)
+    if t + 1 < n then begin
+      let want = quantize_up p.granularity prediction in
+      let want_up = !backlog > p.b_high && want > !requested in
+      let want_down = !backlog < p.b_low && want < !requested in
+      if (want_up || want_down) && !pending = [] then begin
+        requested := want;
+        if delay_slots = 0 then begin
+          current := want;
+          segments := { Schedule.start_slot = t + 1; rate = want } :: !segments
+        end
+        else pending := [ (t + 1 + delay_slots, want) ]
+      end
+    end
+  done;
+  let schedule =
+    Schedule.create ~fps:(Trace.fps trace) ~n_slots:n (List.rev !segments)
+  in
+  { schedule; max_backlog = !max_backlog; predictions }
+
+let run p trace =
+  assert (p.ar_coefficient >= 0. && p.ar_coefficient < 1.);
+  let predictor ~initial = Predictor.ar1 ~eta:p.ar_coefficient ~initial in
+  run_custom p ~predictor trace
+
+let run_delayed p ~delay_slots trace =
+  assert (p.ar_coefficient >= 0. && p.ar_coefficient < 1.);
+  let predictor ~initial = Predictor.ar1 ~eta:p.ar_coefficient ~initial in
+  run_custom ~delay_slots p ~predictor trace
+
+let schedule p trace = (run p trace).schedule

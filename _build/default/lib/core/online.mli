@@ -1,0 +1,65 @@
+(** Causal renegotiation heuristic for interactive sources
+    (Section IV-B).
+
+    The rate predictor is an AR(1) filter on the observed arrival rate
+    plus a flush term that would empty the current backlog within the
+    time constant [T] (formula (6)):
+
+    {v chat(t) = eta * chat(t-1) + (1 - eta) * x(t)
+   rhat(t) = chat(t) + B(t)/T v}
+
+    The flush term sits outside the filter so that a draining backlog
+    does not inflate future estimates.  The prediction is rounded up to a multiple of the bandwidth
+    granularity Delta (formula (7)), and a renegotiation is issued only
+    when the buffer crosses a threshold in the direction of the change
+    (formula (8)): above [b_high] and the quantized prediction exceeds
+    the current rate, or below [b_low] and it is lower. *)
+
+type params = {
+  b_low : float;  (** lower buffer threshold, bits (paper: 10 kb) *)
+  b_high : float;  (** upper buffer threshold, bits (paper: 150 kb) *)
+  flush_slots : int;  (** T of formula (6), in slots (paper: 5 frames) *)
+  granularity : float;  (** Delta, b/s (paper sweeps 25..400 kb/s) *)
+  ar_coefficient : float;  (** eta of the AR(1) filter *)
+  use_flush_term : bool;  (** ablation switch for the B(t)/T term *)
+}
+
+val default_params : params
+(** Paper values: b_low 10 kb, b_high 150 kb, T = 5 frames,
+    Delta = 100 kb/s, eta = 0.9, flush term on. *)
+
+type outcome = {
+  schedule : Schedule.t;
+  max_backlog : float;  (** peak end-system buffer occupancy, bits *)
+  predictions : float array;  (** chat(t) per slot, for diagnostics *)
+}
+
+val run : params -> Rcbr_traffic.Trace.t -> outcome
+(** Simulate the heuristic over a trace.  The initial rate is the
+    quantized first prediction and does not count as a renegotiation. *)
+
+val schedule : params -> Rcbr_traffic.Trace.t -> Schedule.t
+(** [run] without the diagnostics. *)
+
+val run_custom :
+  ?delay_slots:int ->
+  params ->
+  predictor:(initial:float -> Predictor.t) ->
+  Rcbr_traffic.Trace.t ->
+  outcome
+(** Same machinery — flush term, quantization, buffer-threshold gating —
+    with a caller-supplied rate predictor (see {!Predictor}); [initial]
+    is the first slot's rate.  [run] is
+    [run_custom ~predictor:(Predictor.ar1 ~eta:ar_coefficient)].
+
+    [delay_slots] (default 0) models the signaling round-trip of
+    Section III-C: a granted renegotiation only takes effect that many
+    slots after it is issued, so the buffer keeps filling at the old
+    rate meanwhile — the unresolved question the paper flags ("we do
+    not yet have ... simulation results studying the effect of
+    renegotiation delay").  At most one request is outstanding at a
+    time; the threshold rule compares against the {e requested} rate so
+    the source does not flood the signaling channel. *)
+
+val run_delayed : params -> delay_slots:int -> Rcbr_traffic.Trace.t -> outcome
+(** [run] with a signaling delay. *)

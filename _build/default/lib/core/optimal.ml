@@ -1,0 +1,258 @@
+module Trace = Rcbr_traffic.Trace
+
+type constraint_ = Buffer_bound of float | Delay_bound of int
+
+type params = {
+  grid : Rate_grid.t;
+  reneg_cost : float;
+  bandwidth_cost : float;
+  constraint_ : constraint_;
+}
+
+type stats = { slots : int; expanded : int; max_frontier : int }
+
+exception Infeasible of int
+
+(* Backpointer chain recording only the renegotiation instants, so the
+   per-slot frontiers stay small and path reconstruction is O(#changes). *)
+type change = { at : int; level : int; prev : change option }
+
+type node = {
+  buffer : float;
+  weight : float;
+  level : int;
+  changes : change option;
+}
+
+(* Frontier: array of nodes with strictly increasing buffer and strictly
+   decreasing weight. *)
+
+let pareto_of_sorted candidates =
+  (* [candidates] sorted by buffer ascending; keep minima of weight. *)
+  let out = ref [] in
+  let min_w = ref infinity in
+  List.iter
+    (fun n ->
+      if n.weight < !min_w then begin
+        (match !out with
+        | top :: rest when top.buffer = n.buffer -> out := n :: rest
+        | _ -> out := n :: !out);
+        min_w := n.weight
+      end)
+    candidates;
+  Array.of_list (List.rev !out)
+
+let merge_sorted a b =
+  (* Merge two buffer-ascending node lists. *)
+  let rec go a b acc =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xs, y :: ys ->
+        if x.buffer <= y.buffer then go xs b (x :: acc) else go a ys (y :: acc)
+  in
+  go a b []
+
+let bound_function constraint_ trace =
+  match constraint_ with
+  | Buffer_bound b ->
+      assert (b >= 0.);
+      fun _ -> b
+  | Delay_bound d ->
+      assert (d >= 0);
+      (* Formula (5) as a time-varying backlog bound: data entering at
+         slot s leaves by the end of slot s+d iff
+         Q(t) <= A(t) - A(t-d), the arrivals of the last d slots. *)
+      let n = Trace.length trace in
+      let prefix = Array.make (n + 1) 0. in
+      for i = 0 to n - 1 do
+        prefix.(i + 1) <- prefix.(i) +. Trace.frame trace i
+      done;
+      fun t -> prefix.(t + 1) -. prefix.(max 0 (t - d + 1))
+
+let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
+    params trace =
+  (match buffer_quantum with Some q -> assert (q > 0.) | None -> ());
+  (match frontier_cap with Some c -> assert (c >= 2) | None -> ());
+  let grid = params.grid in
+  let m = Rate_grid.levels grid in
+  let tau = Trace.slot_duration trace in
+  let n = Trace.length trace in
+  let k_cost = params.reneg_cost in
+  assert (k_cost >= 0.);
+  assert (params.bandwidth_cost > 0.);
+  let drain = Array.init m (fun i -> Rate_grid.rate grid i *. tau) in
+  let slot_cost = Array.map (fun d -> params.bandwidth_cost *. d) drain in
+  let bound = bound_function params.constraint_ trace in
+  let expanded = ref 0 and max_frontier = ref 0 in
+  (* Initial frontiers at slot 0: the first allocation is part of call
+     setup and costs no renegotiation. *)
+  let init_frontier lvl =
+    let a0 = Trace.frame trace 0 in
+    let b = Float.max 0. (a0 -. drain.(lvl)) in
+    if b > bound 0 then [||]
+    else
+      [|
+        {
+          buffer = b;
+          weight = slot_cost.(lvl);
+          level = lvl;
+          changes = Some { at = 0; level = lvl; prev = None };
+        };
+      |]
+  in
+  let frontiers = ref (Array.init m init_frontier) in
+  let check_feasible t fs =
+    if Array.for_all (fun f -> Array.length f = 0) fs then raise (Infeasible t)
+  in
+  check_feasible 0 !frontiers;
+  let global_frontier fs =
+    (* Pareto over the union of all level frontiers (each sorted). *)
+    let merged =
+      Array.fold_left
+        (fun acc f -> merge_sorted acc (Array.to_list f))
+        [] fs
+    in
+    pareto_of_sorted merged
+  in
+  for t = 1 to n - 1 do
+    let a = Trace.frame trace t in
+    let b_max = bound t in
+    let g = global_frontier !frontiers in
+    let shift_map target_lvl extra source =
+      (* Map a frontier through slot t at the target level, clamping the
+         buffer at zero and discarding constraint violations.  The input
+         order (buffer ascending, weight descending) is preserved. *)
+      let d = drain.(target_lvl) in
+      let cost = slot_cost.(target_lvl) +. extra in
+      let out = ref [] in
+      Array.iter
+        (fun node ->
+          let b = Float.max 0. (node.buffer +. a -. d) in
+          if b <= b_max then begin
+            (* Optional approximation: snap the occupancy up to a grid
+               point.  Rounding up keeps every kept path feasible while
+               collapsing near-identical nodes, bounding the frontier. *)
+            let b =
+              match buffer_quantum with
+              | None -> b
+              | Some q -> Float.min b_max (q *. Float.ceil (b /. q))
+            in
+            incr expanded;
+            let changes =
+              if node.level = target_lvl && extra = 0. then node.changes
+              else Some { at = t; level = target_lvl; prev = node.changes }
+            in
+            let n' =
+              {
+                buffer = b;
+                weight = node.weight +. cost;
+                level = target_lvl;
+                changes;
+              }
+            in
+            (* Clamped entries share buffer 0; keep the cheapest, which
+               comes later in the scan (weight is descending). *)
+            match !out with
+            | top :: rest when top.buffer = b -> out := n' :: rest
+            | _ -> out := n' :: !out
+          end)
+        source;
+      List.rev !out
+    in
+    let next =
+      Array.init m (fun lvl ->
+          let same = shift_map lvl 0. !frontiers.(lvl) in
+          let via_change = shift_map lvl k_cost g in
+          pareto_of_sorted (merge_sorted same via_change))
+    in
+    (* Lemma 1 cross-level pruning: drop a node when some node (any
+       level) has no larger buffer and weight + K not larger.  Scanning
+       the global frontier gives, for each buffer, the best weight
+       available at or below it. *)
+    let g' = global_frontier next in
+    let prune_level _lvl f =
+      if (not lemma_pruning) || Array.length f = 0 || k_cost = 0. then f
+        (* With K = 0 the rule degenerates to plain Pareto dominance,
+           already enforced within [next]. *)
+      else begin
+        let keep = ref [] in
+        let gi = ref 0 in
+        let best = ref infinity in
+        Array.iter
+          (fun node ->
+            while
+              !gi < Array.length g' && g'.(!gi).buffer <= node.buffer
+            do
+              let cand = g'.(!gi) in
+              (* A node never beats itself: +K makes the comparison
+                 strict for same-level same-state entries. *)
+              if cand.weight < !best then best := cand.weight;
+              incr gi
+            done;
+            if not (!best +. k_cost <= node.weight) then
+              keep := node :: !keep)
+          f;
+        Array.of_list (List.rev !keep)
+      end
+    in
+    let next = Array.mapi prune_level next in
+    (* Optional approximation: subsample oversized frontiers.  Retained
+       nodes keep exact buffers and costs (feasibility is never
+       compromised); only alternative paths are dropped, so the error
+       does not compound across slots.  The lowest-buffer node (most
+       future headroom) and lowest-weight node (cheapest so far) always
+       survive. *)
+    let next =
+      match frontier_cap with
+      | None -> next
+      | Some cap ->
+          Array.map
+            (fun f ->
+              let len = Array.length f in
+              if len <= cap then f
+              else
+                Array.init cap (fun i ->
+                    f.(i * (len - 1) / (cap - 1))))
+            next
+    in
+    check_feasible t next;
+    let total = Array.fold_left (fun acc f -> acc + Array.length f) 0 next in
+    if total > !max_frontier then max_frontier := total;
+    frontiers := next
+  done;
+  (* Best full path: minimum weight over every surviving node. *)
+  let best = ref None in
+  Array.iter
+    (Array.iter (fun node ->
+         match !best with
+         | Some b when b.weight <= node.weight -> ()
+         | _ -> best := Some node))
+    !frontiers;
+  let final = match !best with Some b -> b | None -> raise (Infeasible n) in
+  let rec collect acc = function
+    | None -> acc
+    | Some { at; level; prev } ->
+        collect
+          ({ Schedule.start_slot = at; rate = Rate_grid.rate grid level } :: acc)
+          prev
+  in
+  let segments = collect [] final.changes in
+  let schedule = Schedule.create ~fps:(Trace.fps trace) ~n_slots:n segments in
+  (schedule, { slots = n; expanded = !expanded; max_frontier = !max_frontier })
+
+let solve params trace = fst (solve_with_stats params trace)
+
+let default_params ?(levels = 20) ?(buffer = 300_000.) ~cost_ratio trace =
+  (* The grid must be able to drain the worst burst within the buffer
+     bound; the zero-loss CBR rate for this buffer is exactly that. *)
+  let needed =
+    Rcbr_queue.Sigma_rho.min_rate ~trace ~buffer ~target_loss:0. ()
+  in
+  let base = Rate_grid.uniform ~lo:48_000. ~hi:2_400_000. ~levels in
+  let grid = Rate_grid.covering base ~peak:(needed *. 1.0001) in
+  {
+    grid;
+    reneg_cost = cost_ratio;
+    bandwidth_cost = 1.;
+    constraint_ = Buffer_bound buffer;
+  }

@@ -1,0 +1,73 @@
+(** Optimal offline renegotiation schedules (Section IV-A).
+
+    Given complete knowledge of the arrival process, find the
+    piecewise-CBR service-rate function minimizing
+
+    {v cost = reneg_cost * (#rate changes)
+         + bandwidth_cost * (total service bits) v}
+
+    subject to the end-system buffer never exceeding its bound (or, in
+    the delay variant, every bit leaving within a deadline — formula
+    (5)).  The solver is the paper's Viterbi-like shortest path on the
+    trellis of (time, rate level, buffer occupancy) nodes, with the
+    Lemma 1 dominance rule: a node is pruned when another node exists
+    with no larger buffer and weight smaller even after paying one extra
+    renegotiation — which prunes {e across} rate levels, not only within
+    them.
+
+    The implementation keeps, per rate level, the Pareto frontier of
+    (buffer, weight) pairs plus a global frontier for the cross-level
+    rule, so each slot costs O(levels x frontier size). *)
+
+type constraint_ =
+  | Buffer_bound of float  (** maximum backlog in bits, formula (2) *)
+  | Delay_bound of int  (** maximum queueing delay in slots, formula (5) *)
+
+type params = {
+  grid : Rate_grid.t;
+  reneg_cost : float;  (** K >= 0, cost per renegotiation *)
+  bandwidth_cost : float;  (** c > 0, cost per bit of allocated service *)
+  constraint_ : constraint_;
+}
+
+type stats = {
+  slots : int;
+  expanded : int;  (** candidate nodes generated over the whole run *)
+  max_frontier : int;  (** peak number of surviving nodes in any slot *)
+}
+
+exception Infeasible of int
+(** No rate level can respect the constraint at the given slot (the
+    grid's top rate is too small for the workload). *)
+
+val solve : params -> Rcbr_traffic.Trace.t -> Schedule.t
+(** May raise {!Infeasible}. *)
+
+val solve_with_stats :
+  ?lemma_pruning:bool ->
+  ?buffer_quantum:float ->
+  ?frontier_cap:int ->
+  params ->
+  Rcbr_traffic.Trace.t ->
+  Schedule.t * stats
+(** [lemma_pruning] (default true) toggles the cross-level Lemma 1 rule;
+    with it off only plain per-level Pareto pruning applies — same
+    optimum, larger frontiers.  [buffer_quantum] (default: exact) snaps
+    buffer occupancies {e up} to multiples of the given quantum, trading
+    a bounded amount of optimality (never feasibility) for a bounded
+    frontier — note the rounding error compounds across slots.
+    [frontier_cap] (default: unbounded) instead subsamples each level's
+    Pareto frontier down to the given size: retained paths keep exact
+    buffers and costs, so feasibility is never compromised and the error
+    does not compound; this is the recommended knob when small cost
+    ratios make the exact frontier explode (the paper reports the same
+    blowup).  All three knobs are exercised by the ablation
+    benchmarks. *)
+
+val default_params :
+  ?levels:int -> ?buffer:float -> cost_ratio:float -> Rcbr_traffic.Trace.t -> params
+(** Paper-flavoured defaults: a uniform grid of [levels] (default 20)
+    rates from 48 kb/s to max(2.4 Mb/s, a rate covering the trace for
+    the given buffer), buffer bound [buffer] (default 300 kb), unit
+    bandwidth cost and [reneg_cost = cost_ratio] (the paper's alpha
+    = K/c, in bits). *)

@@ -1,0 +1,57 @@
+type t = { observe : float -> unit; forecast : unit -> float }
+
+let ar1 ~eta ~initial =
+  assert (eta >= 0. && eta < 1.);
+  let est = ref initial in
+  {
+    observe = (fun x -> est := (eta *. !est) +. ((1. -. eta) *. x));
+    forecast = (fun () -> !est);
+  }
+
+let gop_aware ~gop_length ~eta ~initial =
+  assert (gop_length >= 1);
+  assert (eta >= 0. && eta < 1.);
+  let per_phase = Array.make gop_length initial in
+  let phase = ref 0 in
+  let observe x =
+    per_phase.(!phase) <- (eta *. per_phase.(!phase)) +. ((1. -. eta) *. x);
+    phase := (!phase + 1) mod gop_length
+  in
+  let forecast () =
+    Array.fold_left ( +. ) 0. per_phase /. float_of_int gop_length
+  in
+  { observe; forecast }
+
+let nlms ~taps ~mu ~initial =
+  assert (taps >= 1);
+  assert (mu > 0. && mu <= 1.);
+  (* History of the last [taps] observations (most recent first) and the
+     adaptive weights, initialized to a plain average. *)
+  let history = Array.make taps initial in
+  let weights = Array.make taps (1. /. float_of_int taps) in
+  let dot () =
+    let acc = ref 0. in
+    Array.iteri (fun i w -> acc := !acc +. (w *. history.(i))) weights;
+    !acc
+  in
+  let observe x =
+    (* Adapt against the prediction the current history produced. *)
+    let predicted = dot () in
+    let err = x -. predicted in
+    let norm =
+      Array.fold_left (fun a h -> a +. (h *. h)) 1e-9 history
+    in
+    Array.iteri
+      (fun i h -> weights.(i) <- weights.(i) +. (mu *. err *. h /. norm))
+      history;
+    (* Shift the history. *)
+    for i = taps - 1 downto 1 do
+      history.(i) <- history.(i - 1)
+    done;
+    history.(0) <- x
+  in
+  let forecast () = Float.max 0. (dot ()) in
+  { observe; forecast }
+
+let constant rate =
+  { observe = (fun _ -> ()); forecast = (fun () -> rate) }

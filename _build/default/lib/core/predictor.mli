@@ -1,0 +1,33 @@
+(** Causal rate predictors for the online renegotiation heuristic.
+
+    Section IV-B closes with "the prediction quality could be improved
+    by taking into account the inherent frame structure of MPEG encoded
+    video"; this module supplies the paper's AR(1) filter plus two such
+    improvements, behind one interface so {!Online.run_custom} can swap
+    them (bench experiment [predictors]).
+
+    A predictor observes the per-slot arrival rate after each slot and
+    forecasts the sustained rate to reserve next. *)
+
+type t = {
+  observe : float -> unit;  (** feed the rate (b/s) of the slot just ended *)
+  forecast : unit -> float;  (** sustained-rate estimate for upcoming slots *)
+}
+
+val ar1 : eta:float -> initial:float -> t
+(** The paper's filter: [e <- eta e + (1 - eta) x]; forecast [e].
+    Requires [0 <= eta < 1]. *)
+
+val gop_aware : gop_length:int -> eta:float -> initial:float -> t
+(** One AR(1) estimate per GOP phase (frame position modulo
+    [gop_length]); the forecast is the phase-average — the sustained
+    rate over the next GOP.  Separating phases stops the I-frame spikes
+    from whipsawing the estimate.  Requires [gop_length >= 1]. *)
+
+val nlms : taps:int -> mu:float -> initial:float -> t
+(** Normalized least-mean-squares linear predictor over the last [taps]
+    observations, adapted at rate [mu]; the forecast is the one-step
+    prediction.  Requires [taps >= 1] and [0 < mu <= 1]. *)
+
+val constant : float -> t
+(** Always forecasts the given rate (peak-rate reservation baseline). *)

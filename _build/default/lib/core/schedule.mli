@@ -1,0 +1,64 @@
+(** Renegotiation schedules: piecewise-constant service-rate functions.
+
+    An RCBR connection's life is a sequence of (renegotiation instant,
+    new drain rate) pairs; this module is the common currency between the
+    offline optimizer, the online heuristic, the admission controllers
+    and the call-level simulator. *)
+
+type segment = { start_slot : int; rate : float }
+(** Rate in b/s, in force from [start_slot] until the next segment. *)
+
+type t
+
+val create : fps:float -> n_slots:int -> segment list -> t
+(** Segments must start at slot 0, be strictly increasing in
+    [start_slot], lie inside [0, n_slots), and carry nonnegative rates.
+    Consecutive segments with equal rates are merged.  Raises
+    [Invalid_argument] otherwise. *)
+
+val constant : fps:float -> n_slots:int -> float -> t
+(** Single-segment (plain CBR) schedule. *)
+
+val fps : t -> float
+val n_slots : t -> int
+val segments : t -> segment array
+val duration : t -> float
+
+val rate_at : t -> int -> float
+(** Rate in force during the given slot (O(log segments)). *)
+
+val to_rates : t -> float array
+(** Per-slot rate array, length [n_slots]. *)
+
+val n_renegotiations : t -> int
+(** Number of rate {e changes} (the initial allocation is free). *)
+
+val mean_renegotiation_interval : t -> float
+(** Seconds between renegotiations: duration / (changes + 1). *)
+
+val mean_rate : t -> float
+(** Time-average service rate, b/s. *)
+
+val peak_rate : t -> float
+
+val cost : t -> reneg_cost:float -> bandwidth_cost:float -> float
+(** Formula (1): [reneg_cost * n_renegotiations
+    + bandwidth_cost * total_service_bits]. *)
+
+val bandwidth_efficiency : t -> trace:Rcbr_traffic.Trace.t -> float
+(** Paper's definition: trace mean rate / schedule mean rate.  In [0,1]
+    for any feasible (no-loss) schedule. *)
+
+val marginal : t -> Rcbr_effbw.Chernoff.marginal
+(** Time-fraction-weighted distribution of the rate levels — the
+    traffic descriptor used by admission control (Section VI). *)
+
+val shift : t -> slots:int -> t
+(** Circular shift of the rate function, for randomly phased calls. *)
+
+val simulate_buffer :
+  t -> trace:Rcbr_traffic.Trace.t -> capacity:float -> Rcbr_queue.Fluid.result
+(** Feed the trace through a buffer drained according to this schedule;
+    trace and schedule must agree on fps and length. *)
+
+val pp : Format.formatter -> t -> unit

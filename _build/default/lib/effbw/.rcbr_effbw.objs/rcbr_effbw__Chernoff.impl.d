@@ -1,0 +1,1 @@
+lib/effbw/chernoff.ml: Array Float Rcbr_util

@@ -1,0 +1,1 @@
+lib/effbw/chernoff.mli:

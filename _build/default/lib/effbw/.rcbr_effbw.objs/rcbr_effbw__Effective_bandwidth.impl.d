@@ -1,0 +1,1 @@
+lib/effbw/effective_bandwidth.ml: Array Float Rcbr_markov Rcbr_util

@@ -1,0 +1,1 @@
+lib/effbw/effective_bandwidth.mli: Rcbr_markov

@@ -1,0 +1,89 @@
+module Numeric = Rcbr_util.Numeric
+
+type marginal = (float * float) array
+
+let validate m =
+  if Array.length m = 0 then invalid_arg "Chernoff: empty marginal";
+  let total = ref 0. in
+  Array.iter
+    (fun (p, _) ->
+      if p < 0. then invalid_arg "Chernoff: negative probability";
+      total := !total +. p)
+    m;
+  if Float.abs (!total -. 1.) > 1e-6 then
+    invalid_arg "Chernoff: probabilities do not sum to 1"
+
+let mean m = Array.fold_left (fun acc (p, e) -> acc +. (p *. e)) 0. m
+
+let max_level m =
+  Array.fold_left
+    (fun acc (p, e) -> if p > 0. then max acc e else acc)
+    neg_infinity m
+
+let log_mgf m ~theta =
+  let terms =
+    Array.map
+      (fun (p, e) -> if p = 0. then neg_infinity else log p +. (theta *. e))
+      m
+  in
+  Rcbr_util.Numeric.log_sum_exp terms
+
+let rate_function m c =
+  let mu = mean m in
+  let top = max_level m in
+  if c <= mu then 0.
+  else if c > top then infinity
+  else begin
+    let objective theta = (theta *. c) -. log_mgf m ~theta in
+    (* The objective is concave; grow the bracket until it is decreasing
+       at the right end, then golden-section. *)
+    let hi = ref 1. in
+    let decreasing_at x = objective x < objective (0.99 *. x) in
+    while (not (decreasing_at !hi)) && !hi < 1e9 do
+      hi := !hi *. 2.
+    done;
+    let theta_star = Numeric.golden_max ~f:objective 0. !hi in
+    max 0. (objective theta_star)
+  end
+
+let overflow_estimate m ~n ~capacity_per_call =
+  assert (n > 0);
+  let i = rate_function m capacity_per_call in
+  if i = infinity then 0. else exp (-.float_of_int n *. i)
+
+let capacity_for_target ?(tol = 1e-6) m ~n ~target =
+  assert (target > 0. && target < 1.);
+  let lo = mean m and hi = max_level m in
+  if overflow_estimate m ~n ~capacity_per_call:lo <= target then lo
+  else
+    Numeric.find_min_such_that ~tol
+      ~pred:(fun c -> overflow_estimate m ~n ~capacity_per_call:c <= target)
+      lo hi
+
+let max_calls m ~capacity ~target =
+  assert (capacity >= 0.);
+  let mu = mean m in
+  if mu <= 0. then max_int
+  else begin
+    let fits n =
+      n > 0
+      && overflow_estimate m ~n ~capacity_per_call:(capacity /. float_of_int n)
+         <= target
+    in
+    (* Overflow probability is monotone in n (same capacity shared by
+       more calls), so binary search over integers. *)
+    let upper = int_of_float (capacity /. mu) + 1 in
+    if not (fits 1) then 0
+    else begin
+      let lo = ref 1 and hi = ref upper in
+      (* Invariant: fits !lo, not (fits (!hi)) or hi = upper boundary. *)
+      if fits upper then upper
+      else begin
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if fits mid then lo := mid else hi := mid
+        done;
+        !lo
+      end
+    end
+  end

@@ -1,0 +1,47 @@
+(** Chernoff estimates for bufferless statistical multiplexing
+    (formulas (10)-(12) of the paper).
+
+    Each of [n] independent calls spends a fraction [p_i] of its time
+    demanding bandwidth [e_i]; the probability that the total demand
+    exceeds the link capacity [C = n*c] is estimated as
+    [exp (-n * I(c))] where [I] is the Legendre transform of the log-MGF
+    of the per-call demand.  This is the loss estimate of the shared
+    buffer scenario (with [e_i] the subchain mean rates) and the
+    renegotiation-failure estimate of RCBR (with [e_i] the subchain
+    equivalent bandwidths), and the admission-control test of
+    Section VI. *)
+
+type marginal = (float * float) array
+(** [(probability, bandwidth)] pairs.  Probabilities must be
+    nonnegative and sum to 1 (within 1e-6). *)
+
+val validate : marginal -> unit
+(** Raises [Invalid_argument] on a malformed marginal. *)
+
+val mean : marginal -> float
+val max_level : marginal -> float
+
+val log_mgf : marginal -> theta:float -> float
+(** [log sum_i p_i exp(theta e_i)], computed stably. *)
+
+val rate_function : marginal -> float
+  -> float
+(** [rate_function m c] = [sup_theta (theta*c - log_mgf m theta)] over
+    [theta >= 0].  Zero for [c <= mean m]; [+infinity] for
+    [c > max_level m] (and for [c = max_level] it equals
+    [-log P(max)]). *)
+
+val overflow_estimate : marginal -> n:int -> capacity_per_call:float -> float
+(** [exp (-n * rate_function m c)], the Chernoff estimate of
+    [P(sum of n iid demands > n*c)].  Requires [n > 0]. *)
+
+val capacity_for_target :
+  ?tol:float -> marginal -> n:int -> target:float -> float
+(** Smallest per-call capacity [c] whose {!overflow_estimate} is
+    [<= target].  Requires [0 < target < 1].  Returns [max_level] if even
+    that cannot meet the target (it always can, conservatively). *)
+
+val max_calls : marginal -> capacity:float -> target:float -> int
+(** Formula (12) turned into an admission rule: the largest [n] such that
+    [overflow_estimate ~n ~capacity_per_call:(capacity /. n) <= target].
+    0 when even one call misses the target. *)

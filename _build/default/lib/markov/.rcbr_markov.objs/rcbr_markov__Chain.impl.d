@@ -1,0 +1,1 @@
+lib/markov/chain.ml: Array Float Rcbr_util

@@ -1,0 +1,1 @@
+lib/markov/chain.mli: Rcbr_util

@@ -1,0 +1,1 @@
+lib/markov/modulated.ml: Array Chain Rcbr_util

@@ -1,0 +1,1 @@
+lib/markov/modulated.mli: Chain Rcbr_util

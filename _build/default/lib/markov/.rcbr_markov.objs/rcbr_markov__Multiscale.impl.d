@@ -1,0 +1,1 @@
+lib/markov/multiscale.ml: Array Chain Modulated Rcbr_util

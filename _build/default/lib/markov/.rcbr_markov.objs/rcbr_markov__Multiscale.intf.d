@@ -1,0 +1,1 @@
+lib/markov/multiscale.mli: Chain Modulated Rcbr_util

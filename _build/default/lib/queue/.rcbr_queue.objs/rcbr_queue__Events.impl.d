@@ -1,0 +1,1 @@
+lib/queue/events.ml: Rcbr_util

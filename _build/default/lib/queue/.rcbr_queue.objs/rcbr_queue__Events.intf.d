@@ -1,0 +1,1 @@
+lib/queue/events.mli:

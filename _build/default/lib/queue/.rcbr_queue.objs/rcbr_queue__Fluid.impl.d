@@ -1,0 +1,1 @@
+lib/queue/fluid.ml: Array Rcbr_traffic

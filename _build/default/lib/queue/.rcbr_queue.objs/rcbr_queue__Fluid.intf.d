@@ -1,0 +1,1 @@
+lib/queue/fluid.mli: Rcbr_traffic

@@ -1,0 +1,1 @@
+lib/queue/sigma_rho.ml: Array Fluid Rcbr_traffic Rcbr_util

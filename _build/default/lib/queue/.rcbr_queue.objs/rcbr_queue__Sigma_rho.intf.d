@@ -1,0 +1,1 @@
+lib/queue/sigma_rho.mli: Rcbr_traffic

@@ -1,0 +1,34 @@
+module Heap = Rcbr_util.Heap
+
+type t = { mutable clock : float; queue : (t -> unit) Heap.t }
+
+let create () = { clock = 0.; queue = Heap.create () }
+let now t = t.clock
+
+let schedule t ~at f =
+  assert (at >= t.clock);
+  Heap.push t.queue ~priority:at f
+
+let schedule_after t ~delay f =
+  assert (delay >= 0.);
+  schedule t ~at:(t.clock +. delay) f
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+      t.clock <- at;
+      f t;
+      true
+
+let run ?(until = infinity) t =
+  let continue_ = ref true in
+  while !continue_ do
+    match Heap.peek t.queue with
+    | None -> continue_ := false
+    | Some (at, _) ->
+        if at > until then continue_ := false
+        else ignore (step t)
+  done
+
+let pending t = Heap.length t.queue

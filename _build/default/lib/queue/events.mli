@@ -1,0 +1,27 @@
+(** Minimal discrete-event simulation engine.
+
+    Drives the call-level experiments (Poisson arrivals, renegotiation
+    events, departures).  Events at equal times fire in scheduling order,
+    so simulations are deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time; 0 before any event has fired. *)
+
+val schedule : t -> at:float -> (t -> unit) -> unit
+(** Requires [at >= now t]. *)
+
+val schedule_after : t -> delay:float -> (t -> unit) -> unit
+(** Requires [delay >= 0]. *)
+
+val step : t -> bool
+(** Fire the earliest pending event.  False when none are pending. *)
+
+val run : ?until:float -> t -> unit
+(** Fire events until the queue is empty or the next event is past
+    [until] (events at exactly [until] still fire). *)
+
+val pending : t -> int

@@ -1,0 +1,1 @@
+lib/signal/advance.ml: Array Float List Rcbr_core

@@ -1,0 +1,1 @@
+lib/signal/advance.mli: Rcbr_core

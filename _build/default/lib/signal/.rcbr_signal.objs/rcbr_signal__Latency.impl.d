@@ -1,0 +1,1 @@
+lib/signal/latency.ml: Array Float Hashtbl List Rcbr_core Rcbr_queue

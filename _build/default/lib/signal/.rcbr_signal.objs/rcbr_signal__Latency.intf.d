@@ -1,0 +1,1 @@
+lib/signal/latency.mli: Rcbr_core Rcbr_traffic

@@ -1,0 +1,1 @@
+lib/signal/niu.ml: Float List Path Rcbr_core Rcbr_traffic

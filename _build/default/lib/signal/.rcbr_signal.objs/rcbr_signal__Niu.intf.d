@@ -1,0 +1,1 @@
+lib/signal/niu.mli: Path Rcbr_core Rcbr_traffic

@@ -1,0 +1,1 @@
+lib/signal/path.ml: Array Float Port Rm_cell

@@ -1,0 +1,1 @@
+lib/signal/path.mli: Port

@@ -1,0 +1,1 @@
+lib/signal/port.ml: Hashtbl Rm_cell

@@ -1,0 +1,1 @@
+lib/signal/port.mli: Rm_cell

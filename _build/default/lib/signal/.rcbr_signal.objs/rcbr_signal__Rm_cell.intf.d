@@ -1,0 +1,1 @@
+lib/signal/rm_cell.mli:

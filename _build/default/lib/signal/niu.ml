@@ -1,0 +1,141 @@
+module Trace = Rcbr_traffic.Trace
+module Schedule = Rcbr_core.Schedule
+module Online = Rcbr_core.Online
+module Predictor = Rcbr_core.Predictor
+
+type params = {
+  online : Rcbr_core.Online.params;
+  buffer : float;
+  delay_slots : int;
+  retry_slots : int option;
+}
+
+let default_params =
+  {
+    online = Online.default_params;
+    buffer = 300_000.;
+    delay_slots = 0;
+    retry_slots = Some 24;
+  }
+
+type outcome = {
+  schedule : Rcbr_core.Schedule.t;
+  bits_offered : float;
+  bits_lost : float;
+  max_backlog : float;
+  attempts : int;
+  failures : int;
+  mean_reserved : float;
+}
+
+let quantize_up delta x =
+  if x <= 0. then delta else delta *. Float.ceil (x /. delta)
+
+let stream p ~path trace =
+  let o = p.online in
+  assert (o.Online.b_low >= 0. && o.Online.b_high > o.Online.b_low);
+  assert (o.Online.flush_slots > 0 && o.Online.granularity > 0.);
+  assert (p.buffer > 0. && p.delay_slots >= 0);
+  (match p.retry_slots with Some r -> assert (r >= 1) | None -> ());
+  let n = Trace.length trace in
+  let tau = Trace.slot_duration trace in
+  let flush_seconds = float_of_int o.Online.flush_slots *. tau in
+  let pred =
+    Predictor.ar1 ~eta:o.Online.ar_coefficient
+      ~initial:(Trace.frame trace 0 /. tau)
+  in
+  (* [in_force] drains the buffer; [granted] is what the network has
+     admitted (awaiting its round-trip when they differ); [wanted] is a
+     denied request kept for retry. *)
+  let in_force = ref (Path.rate path) in
+  let granted = ref !in_force in
+  let pending = ref [] (* (effective_slot, rate) *) in
+  let wanted = ref None and retry_at = ref max_int in
+  let segments = ref [ { Schedule.start_slot = 0; rate = !in_force } ] in
+  let backlog = ref 0. and max_backlog = ref 0. in
+  let offered = ref 0. and lost = ref 0. in
+  let reserved_integral = ref 0. in
+  let attempts = ref 0 and failures = ref 0 in
+  let accept t rate =
+    granted := rate;
+    if p.delay_slots = 0 then begin
+      in_force := rate;
+      segments := { Schedule.start_slot = t; rate } :: !segments
+    end
+    else pending := !pending @ [ (t + p.delay_slots, rate) ]
+  in
+  let request t rate =
+    incr attempts;
+    match Path.renegotiate path rate with
+    | `Granted ->
+        accept t rate;
+        wanted := None
+    | `Denied_at _ ->
+        incr failures;
+        (* ER-field feedback (Section III-B): the denying switch tells
+           the source what is available; settle for it now and keep the
+           real want for a retry. *)
+        wanted := Some rate;
+        (match p.retry_slots with
+        | Some d -> retry_at := t + d
+        | None -> retry_at := max_int);
+        let fallback =
+          o.Online.granularity
+          *. Float.floor (Path.available path /. o.Online.granularity)
+        in
+        if fallback > !granted then
+          match Path.renegotiate path fallback with
+          | `Granted -> accept t fallback
+          | `Denied_at _ -> ()
+  in
+  for t = 0 to n - 1 do
+    (match !pending with
+    | (at, rate) :: rest when at <= t ->
+        in_force := rate;
+        pending := rest;
+        segments := { Schedule.start_slot = t; rate } :: !segments
+    | _ -> ());
+    (* Retry a previously denied request. *)
+    (match !wanted with
+    | Some rate when t >= !retry_at -> request t rate
+    | _ -> ());
+    let bits = Trace.frame trace t in
+    offered := !offered +. bits;
+    let net = !backlog +. bits -. (!in_force *. tau) in
+    backlog := Float.min p.buffer (Float.max 0. net);
+    lost := !lost +. Float.max 0. (net -. p.buffer);
+    if !backlog > !max_backlog then max_backlog := !backlog;
+    reserved_integral := !reserved_integral +. (!in_force *. tau);
+    pred.Predictor.observe (bits /. tau);
+    let flush =
+      if o.Online.use_flush_term then !backlog /. flush_seconds else 0.
+    in
+    let prediction = pred.Predictor.forecast () +. flush in
+    if t + 1 < n then begin
+      let want = quantize_up o.Online.granularity prediction in
+      let reference = !granted in
+      let want_up = !backlog > o.Online.b_high && want > reference in
+      let want_down = !backlog < o.Online.b_low && want < reference in
+      (* Rate-limit the signaling: a want that was just denied waits for
+         its retry timer instead of hammering the switches every slot. *)
+      let already_denied =
+        match !wanted with
+        | Some w -> w = want && t + 1 < !retry_at
+        | None -> false
+      in
+      if (want_up || want_down) && !pending = [] && not already_denied then
+        request (t + 1) want
+    end
+  done;
+  let schedule =
+    Schedule.create ~fps:(Trace.fps trace) ~n_slots:n (List.rev !segments)
+  in
+  {
+    schedule;
+    bits_offered = !offered;
+    bits_lost = !lost;
+    max_backlog = !max_backlog;
+    attempts = !attempts;
+    failures = !failures;
+    mean_reserved = !reserved_integral /. (float_of_int n *. tau);
+  }

@@ -1,0 +1,44 @@
+(** The end-system network interface unit (Section III-A).
+
+    "For such applications, we propose that an active component monitor
+    the buffer between the application and the network and initiate
+    renegotiations based on the buffer occupancy.  This monitor could be
+    part of the session layer in an ISO protocol stack, or reside in the
+    NIU for dumb endpoints."
+
+    This module is that component, end to end: a live (online) source
+    feeds its frames into a finite buffer; the monitor runs the paper's
+    AR(1) + threshold rule; accepted rate changes are signaled through a
+    real multi-hop {!Path} (which may deny them); denials are retried;
+    grants take effect after a signaling round-trip.  It composes
+    {!Rcbr_core.Online}'s decision rule, {!Path}'s admission, and
+    {!Rcbr_core.Adaptation}-style failure handling into the complete
+    interactive-video data path. *)
+
+type params = {
+  online : Rcbr_core.Online.params;  (** monitor thresholds and predictor *)
+  buffer : float;  (** end-system buffer, bits; overflow is lost *)
+  delay_slots : int;  (** signaling round-trip before a grant bites *)
+  retry_slots : int option;  (** re-issue a denied request after this many
+                                 slots ([None]: wait for the next trigger) *)
+}
+
+val default_params : params
+(** Paper values: default online parameters, 300 kb buffer, no signaling
+    delay, retry after 1 s (24 slots). *)
+
+type outcome = {
+  schedule : Rcbr_core.Schedule.t;  (** rates actually in force *)
+  bits_offered : float;
+  bits_lost : float;
+  max_backlog : float;
+  attempts : int;  (** renegotiation requests signaled *)
+  failures : int;  (** requests the network denied *)
+  mean_reserved : float;  (** time-average in-force rate, b/s *)
+}
+
+val stream : params -> path:Path.t -> Rcbr_traffic.Trace.t -> outcome
+(** Stream a live source across the path.  The path must already hold a
+    reservation (its current {!Path.rate} is the starting service rate);
+    on return it holds the final renegotiated rate (the caller tears it
+    down).  Requires positive [buffer] and nonnegative [delay_slots]. *)

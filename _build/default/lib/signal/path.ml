@@ -1,0 +1,70 @@
+type t = { ports : Port.t array; vci : int; mutable rate : float }
+
+let create ports ~vci ~initial_rate =
+  assert (initial_rate >= 0.);
+  let ports = Array.of_list ports in
+  let granted = ref 0 in
+  let ok = ref true in
+  (try
+     Array.iteri
+       (fun i port ->
+         match Port.process port (Rm_cell.delta ~vci initial_rate) with
+         | `Granted -> granted := i + 1
+         | `Denied ->
+             ok := false;
+             raise Exit)
+       ports
+   with Exit -> ());
+  if not !ok then begin
+    for i = 0 to !granted - 1 do
+      Port.release ports.(i) ~vci ~rate:initial_rate
+    done;
+    failwith "Path.create: admission failed"
+  end;
+  { ports; vci; rate = initial_rate }
+
+let hops t = Array.length t.ports
+let rate t = t.rate
+
+let available t =
+  Array.fold_left
+    (fun acc port ->
+      Float.min acc (Port.capacity port -. Port.reserved port))
+    infinity t.ports
+  +. t.rate
+
+let renegotiate t new_rate =
+  assert (new_rate >= 0.);
+  let delta = new_rate -. t.rate in
+  let cell = Rm_cell.delta ~vci:t.vci delta in
+  let denied = ref (-1) in
+  (try
+     Array.iteri
+       (fun i port ->
+         match Port.process port cell with
+         | `Granted -> ()
+         | `Denied ->
+             denied := i;
+             raise Exit)
+       t.ports
+   with Exit -> ());
+  if !denied < 0 then begin
+    t.rate <- new_rate;
+    `Granted
+  end
+  else begin
+    (* Roll back the hops that had already granted the delta. *)
+    let undo = Rm_cell.delta ~vci:t.vci (-.delta) in
+    for i = 0 to !denied - 1 do
+      match Port.process t.ports.(i) undo with
+      | `Granted -> ()
+      | `Denied -> assert false
+      (* undoing an increase always fits; undoing a decrease restores a
+         reservation that fit before *)
+    done;
+    `Denied_at !denied
+  end
+
+let teardown t =
+  Array.iter (fun port -> Port.release port ~vci:t.vci ~rate:t.rate) t.ports;
+  t.rate <- 0.

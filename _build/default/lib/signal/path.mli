@@ -1,0 +1,30 @@
+(** Multi-hop renegotiation (Section III-C).
+
+    A connection traverses one port per hop; a renegotiation succeeds
+    only if every hop grants it.  On a mid-path denial the hops already
+    granted are rolled back, so bookkeeping stays consistent.  As the
+    paper observes, the failure probability grows with hop count — each
+    hop is an independent point of failure. *)
+
+type t
+
+val create : Port.t list -> vci:int -> initial_rate:float -> t
+(** Reserve [initial_rate] on every hop.  Raises [Failure] if any hop
+    cannot fit it (releasing what was taken). *)
+
+val hops : t -> int
+val rate : t -> float
+
+val renegotiate : t -> float -> [ `Granted | `Denied_at of int ]
+(** Request an absolute new rate.  All-or-nothing across hops; on
+    [`Denied_at i] (0-based hop index) the connection keeps its old
+    rate everywhere. *)
+
+val available : t -> float
+(** The largest absolute rate this connection could renegotiate to right
+    now: its current rate plus the tightest hop's free capacity.  This
+    is the ER-field feedback of the ABR-style signaling (Section III-B):
+    a denying switch tells the source what it {e can} have. *)
+
+val teardown : t -> unit
+(** Release the current rate on every hop. *)

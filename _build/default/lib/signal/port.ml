@@ -1,0 +1,47 @@
+type mode = Stateless | Tracked
+
+type t = {
+  mode : mode;
+  capacity : float;
+  mutable reserved : float;
+  rates : (int, float) Hashtbl.t;
+}
+
+let create ?(mode = Tracked) ~capacity () =
+  assert (capacity > 0.);
+  { mode; capacity; reserved = 0.; rates = Hashtbl.create 64 }
+
+let capacity t = t.capacity
+let reserved t = t.reserved
+
+let vci_rate t vci =
+  match t.mode with
+  | Stateless -> 0.
+  | Tracked -> ( try Hashtbl.find t.rates vci with Not_found -> 0.)
+
+let process t cell =
+  let vci = cell.Rm_cell.vci in
+  let change =
+    match (t.mode, cell.Rm_cell.payload) with
+    | Stateless, Rm_cell.Resync _ -> 0.
+    | Stateless, Rm_cell.Delta d -> d
+    | Tracked, _ ->
+        Rm_cell.payload_rate_change cell ~current:(vci_rate t vci)
+  in
+  if change <= 0. || t.reserved +. change <= t.capacity then begin
+    t.reserved <- max 0. (t.reserved +. change);
+    (match t.mode with
+    | Stateless -> ()
+    | Tracked -> Hashtbl.replace t.rates vci (max 0. (vci_rate t vci +. change)));
+    `Granted
+  end
+  else `Denied
+
+let release t ~vci ~rate =
+  assert (rate >= 0.);
+  t.reserved <- max 0. (t.reserved -. rate);
+  match t.mode with
+  | Stateless -> ()
+  | Tracked -> Hashtbl.remove t.rates vci
+
+let drift t ~actual = t.reserved -. actual

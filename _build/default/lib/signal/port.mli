@@ -1,0 +1,39 @@
+(** Switch output-port controller.
+
+    The whole per-renegotiation job of an RCBR switch: two lookups (VCI
+    to port, port to utilization) and one comparison — "the logic to
+    modify the ER field with RCBR is simpler than that required for
+    fair-share computation in ABR".
+
+    Two bookkeeping modes demonstrate the delta-signaling tradeoff:
+    [Stateless] tracks only the aggregate reservation (no per-VCI state;
+    lost RM cells make the aggregate drift), while [Tracked] keeps a
+    per-VCI rate so [Resync] cells can repair drift. *)
+
+type mode = Stateless | Tracked
+
+type t
+
+val create : ?mode:mode -> capacity:float -> unit -> t
+(** Empty port.  Default mode [Tracked]. *)
+
+val capacity : t -> float
+val reserved : t -> float
+(** Aggregate reservation the controller believes is in force. *)
+
+val vci_rate : t -> int -> float
+(** Believed rate of a VCI; 0 if unknown or in [Stateless] mode. *)
+
+val process : t -> Rm_cell.t -> [ `Granted | `Denied ]
+(** Apply an RM cell: compute the implied rate change, grant it iff
+    [reserved + change <= capacity] (decreases always succeed), and
+    update the bookkeeping.  In [Stateless] mode a [Resync] cell cannot
+    be interpreted (no per-VCI memory) and is treated as [Delta 0]. *)
+
+val release : t -> vci:int -> rate:float -> unit
+(** Tear-down: return [rate] to the pool (and forget the VCI when
+    tracked). *)
+
+val drift : t -> actual:float -> float
+(** [reserved -. actual]: the bookkeeping error against the true total
+    source rate, the quantity periodic resync bounds. *)

@@ -1,0 +1,23 @@
+(** Resource-management cells for lightweight renegotiation signaling
+    (Section III-B).
+
+    An RCBR source reuses the ABR RM-cell mechanism: the explicit-rate
+    field carries the {e difference} between the old and new rates so
+    the switch controller needs no per-VCI state.  Deltas drift when
+    cells are lost, so sources periodically send a resynchronization
+    cell carrying the absolute rate (footnote 2 of the paper). *)
+
+type payload =
+  | Delta of float  (** requested rate change, b/s (may be negative) *)
+  | Resync of float  (** absolute current rate, b/s (nonnegative) *)
+
+type t = { vci : int; payload : payload }
+
+val delta : vci:int -> float -> t
+val resync : vci:int -> float -> t
+(** Requires a nonnegative rate. *)
+
+val payload_rate_change : t -> current:float -> float
+(** Rate change this cell requests given the switch's belief [current]
+    about the source's rate: [Delta d] is [d]; [Resync r] is
+    [r -. current]. *)

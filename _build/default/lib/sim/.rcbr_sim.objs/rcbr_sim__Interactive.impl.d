@@ -1,0 +1,1 @@
+lib/sim/interactive.ml: Array Float List Mbac Rcbr_core Rcbr_util

@@ -1,0 +1,1 @@
+lib/sim/interactive.mli: Rcbr_core Rcbr_util

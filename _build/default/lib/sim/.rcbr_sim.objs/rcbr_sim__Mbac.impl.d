@@ -1,0 +1,1 @@
+lib/sim/mbac.ml: Array Float List Rcbr_admission Rcbr_core Rcbr_queue Rcbr_util

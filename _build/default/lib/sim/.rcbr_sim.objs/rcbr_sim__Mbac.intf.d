@@ -1,0 +1,1 @@
+lib/sim/mbac.mli: Rcbr_admission Rcbr_core Rcbr_util

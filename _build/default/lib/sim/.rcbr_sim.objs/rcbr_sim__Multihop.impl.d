@@ -1,0 +1,1 @@
+lib/sim/multihop.ml: Array Float List Mbac Rcbr_core Rcbr_queue Rcbr_util

@@ -1,0 +1,1 @@
+lib/sim/multihop.mli: Rcbr_core

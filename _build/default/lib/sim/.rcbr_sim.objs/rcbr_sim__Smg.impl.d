@@ -1,0 +1,1 @@
+lib/sim/smg.ml: Array List Rcbr_core Rcbr_queue Rcbr_traffic Rcbr_util

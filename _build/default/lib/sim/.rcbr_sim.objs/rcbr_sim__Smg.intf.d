@@ -1,0 +1,1 @@
+lib/sim/smg.mli: Rcbr_core Rcbr_traffic

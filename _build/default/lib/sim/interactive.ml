@@ -1,0 +1,75 @@
+module Schedule = Rcbr_core.Schedule
+module Rng = Rcbr_util.Rng
+
+type params = {
+  pause_probability : float;
+  mean_pause_s : float;
+  pause_rate : float;
+  jump_probability : float;
+  scan_rate_multiplier : float;
+  mean_scan_s : float;
+  max_stretch : float;
+}
+
+let default_params =
+  {
+    pause_probability = 0.02;
+    mean_pause_s = 30.;
+    pause_rate = 48_000.;
+    jump_probability = 0.01;
+    scan_rate_multiplier = 2.;
+    mean_scan_s = 5.;
+    max_stretch = 1.5;
+  }
+
+let validate p =
+  if p.pause_probability < 0. || p.pause_probability > 1. then
+    invalid_arg "Interactive: pause_probability";
+  if p.jump_probability < 0. || p.jump_probability > 1. then
+    invalid_arg "Interactive: jump_probability";
+  if p.pause_probability +. p.jump_probability > 1. then
+    invalid_arg "Interactive: probabilities exceed 1";
+  if p.mean_pause_s <= 0. then invalid_arg "Interactive: mean_pause_s";
+  if p.scan_rate_multiplier < 1. then
+    invalid_arg "Interactive: scan_rate_multiplier";
+  if p.mean_scan_s <= 0. then invalid_arg "Interactive: mean_scan_s";
+  if p.pause_rate < 0. then invalid_arg "Interactive: pause_rate";
+  if p.max_stretch <= 0. then invalid_arg "Interactive: max_stretch"
+
+let pieces rng p schedule =
+  validate p;
+  let n_slots = Schedule.n_slots schedule in
+  let budget = p.max_stretch *. Schedule.duration schedule in
+  let base = Mbac.shifted_pieces schedule ~shift:(Rng.int rng n_slots) in
+  let m = Array.length base in
+  let out = ref [] in
+  let spent = ref 0. in
+  let push duration rate =
+    let duration = Float.min duration (budget -. !spent) in
+    if duration > 0. then begin
+      out := (duration, rate) :: !out;
+      spent := !spent +. duration
+    end
+  in
+  let idx = ref 0 in
+  while !idx < m && !spent < budget do
+    let duration, rate = base.(!idx) in
+    push duration rate;
+    incr idx;
+    if !idx < m && !spent < budget then begin
+      let u = Rng.float rng in
+      if u < p.pause_probability then
+        push (Rng.exponential rng (1. /. p.mean_pause_s)) p.pause_rate
+      else if u < p.pause_probability +. p.jump_probability then begin
+        (* Fast-forward / rewind: scan at an elevated rate, then resume
+           at a random piece; the session still ends when the time
+           budget runs out. *)
+        let scan_rate = p.scan_rate_multiplier *. rate in
+        push (Rng.exponential rng (1. /. p.mean_scan_s)) scan_rate;
+        idx := Rng.int rng m
+      end
+    end
+  done;
+  match !out with
+  | [] -> [| (1. /. Schedule.fps schedule, Schedule.rate_at schedule 0) |]
+  | l -> Array.of_list (List.rev l)

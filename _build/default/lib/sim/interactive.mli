@@ -1,0 +1,42 @@
+(** User interactivity over stored-video playback (Section VI).
+
+    "Even for stored video, where the empirical bandwidth distribution
+    could be computed in advance, user interactivity (fast forward,
+    pause, etc.) reduces the accuracy of this descriptor."  This module
+    perturbs a call's playback: pauses (the source drops to a trickle
+    for a while) and jumps (fast-forward/rewind to a different point of
+    the movie).  Feeding the perturbed calls to {!Mbac.run_with_pieces}
+    quantifies how much a perfect a-priori descriptor degrades compared
+    to the measurement-based schemes. *)
+
+type params = {
+  pause_probability : float;
+      (** chance, at each renegotiation instant, that the user pauses *)
+  mean_pause_s : float;  (** exponential pause duration *)
+  pause_rate : float;  (** rate reserved while paused, b/s *)
+  jump_probability : float;
+      (** chance, at each renegotiation instant, of jumping to a
+          uniformly random point of the movie *)
+  scan_rate_multiplier : float;
+      (** while fast-forwarding to the jump target the source scans at
+          this multiple of its current rate — the demand spike that
+          invalidates an a-priori descriptor *)
+  mean_scan_s : float;  (** exponential scan duration before landing *)
+  max_stretch : float;
+      (** cap on the call's total duration as a multiple of the
+          schedule duration (pauses stretch a session; the cap models
+          viewers giving up) *)
+}
+
+val default_params : params
+(** 2% pause (mean 30 s at 48 kb/s); 1% jump preceded by a 5 s scan at
+    2x the current rate; stretch cap 1.5. *)
+
+val validate : params -> unit
+
+val pieces :
+  Rcbr_util.Rng.t -> params -> Rcbr_core.Schedule.t -> (float * float) array
+(** An interactive viewing session: a randomly phased copy of the
+    schedule with pauses and jumps injected at renegotiation instants,
+    truncated at [max_stretch] times the schedule duration.  Suitable as
+    the [make_pieces] argument of {!Mbac.run_with_pieces}. *)

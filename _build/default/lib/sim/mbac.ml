@@ -1,0 +1,228 @@
+module Schedule = Rcbr_core.Schedule
+module Events = Rcbr_queue.Events
+module Rng = Rcbr_util.Rng
+module Stats = Rcbr_util.Stats
+module Controller = Rcbr_admission.Controller
+
+type config = {
+  schedule : Rcbr_core.Schedule.t;
+  capacity : float;
+  arrival_rate : float;
+  target : float;
+  seed : int;
+  warmup_windows : int;
+  min_windows : int;
+  max_windows : int;
+  relative_precision : float;
+}
+
+let default_config ~schedule ~capacity ~arrival_rate ~target ~seed =
+  {
+    schedule;
+    capacity;
+    arrival_rate;
+    target;
+    seed;
+    warmup_windows = 1;
+    min_windows = 10;
+    max_windows = 200;
+    relative_precision = 0.2;
+  }
+
+let offered_load c =
+  c.arrival_rate *. Schedule.duration c.schedule
+  *. Schedule.mean_rate c.schedule /. c.capacity
+
+type metrics = {
+  failure_probability : float;
+  failure_halfwidth : float;
+  utilization : float;
+  utilization_halfwidth : float;
+  call_blocking : float;
+  denial_fraction : float;
+  mean_calls_in_system : float;
+  windows : int;
+}
+
+(* The (duration_s, rate) pieces of a schedule started at a circular
+   phase of [shift] slots, in play order.  O(#segments). *)
+let shifted_pieces schedule ~shift =
+  let segs = Schedule.segments schedule in
+  let m = Array.length segs in
+  let n = Schedule.n_slots schedule in
+  let fps = Schedule.fps schedule in
+  let shift = ((shift mod n) + n) mod n in
+  let seg_end i = if i + 1 < m then segs.(i + 1).Schedule.start_slot else n in
+  (* Segment containing the shift slot. *)
+  let j = ref 0 in
+  while !j + 1 < m && segs.(!j + 1).Schedule.start_slot <= shift do
+    incr j
+  done;
+  let pieces = ref [] in
+  let push slots rate =
+    if slots > 0 then pieces := (float_of_int slots /. fps, rate) :: !pieces
+  in
+  push (seg_end !j - shift) segs.(!j).Schedule.rate;
+  for i = !j + 1 to m - 1 do
+    push (seg_end i - segs.(i).Schedule.start_slot) segs.(i).Schedule.rate
+  done;
+  for i = 0 to !j - 1 do
+    push (seg_end i - segs.(i).Schedule.start_slot) segs.(i).Schedule.rate
+  done;
+  push (shift - segs.(!j).Schedule.start_slot) segs.(!j).Schedule.rate;
+  Array.of_list (List.rev !pieces)
+
+type link = {
+  capacity : float;
+  mutable demand : float;  (* sum of admitted calls' demanded rates *)
+  mutable last : float;  (* time of last accounting *)
+  mutable offered_bits : float;
+  mutable lost_bits : float;
+  mutable granted_bits : float;
+  mutable call_seconds : float;  (* integral of #calls, for the mean *)
+  mutable n_calls : int;
+}
+
+let advance link ~now =
+  let dt = now -. link.last in
+  if dt > 0. then begin
+    link.offered_bits <- link.offered_bits +. (link.demand *. dt);
+    link.granted_bits <-
+      link.granted_bits +. (Float.min link.demand link.capacity *. dt);
+    link.lost_bits <-
+      link.lost_bits +. (Float.max 0. (link.demand -. link.capacity) *. dt);
+    link.call_seconds <- link.call_seconds +. (float_of_int link.n_calls *. dt);
+    link.last <- now
+  end
+
+let run_with_pieces (c : config) ~make_pieces ~controller =
+  assert (c.capacity > 0. && c.arrival_rate > 0.);
+  assert (c.warmup_windows >= 0 && c.min_windows >= 1);
+  assert (c.max_windows >= c.warmup_windows + c.min_windows);
+  let rng = Rng.create c.seed in
+  let engine = Events.create () in
+  let window = Schedule.duration c.schedule in
+  let link =
+    {
+      capacity = c.capacity;
+      demand = 0.;
+      last = 0.;
+      offered_bits = 0.;
+      lost_bits = 0.;
+      granted_bits = 0.;
+      call_seconds = 0.;
+      n_calls = 0;
+    }
+  in
+  let next_call_id = ref 0 in
+  let arrivals = ref 0 and blocked = ref 0 in
+  let reneg_up = ref 0 and reneg_denied = ref 0 in
+  let failure_stats = Stats.Online.create () in
+  let util_stats = Stats.Online.create () in
+  let calls_stats = Stats.Online.create () in
+  let windows_done = ref 0 in
+  let stop = ref false in
+  (* One call's life: walk its pieces, then depart. *)
+  let rec piece_event id pieces idx engine =
+    let now = Events.now engine in
+    advance link ~now;
+    if idx >= Array.length pieces then begin
+      (* Departure: release the final rate. *)
+      let _, last_rate = pieces.(Array.length pieces - 1) in
+      link.demand <- link.demand -. last_rate;
+      link.n_calls <- link.n_calls - 1;
+      Controller.on_depart controller ~now ~call:id
+    end
+    else begin
+      let duration, rate = pieces.(idx) in
+      let old_rate = if idx = 0 then 0. else snd pieces.(idx - 1) in
+      let new_demand = link.demand -. old_rate +. rate in
+      if idx > 0 && rate > old_rate then begin
+        incr reneg_up;
+        if new_demand > link.capacity then incr reneg_denied
+      end;
+      link.demand <- new_demand;
+      if idx > 0 then Controller.on_renegotiate controller ~now ~call:id ~rate;
+      Events.schedule_after engine ~delay:duration (piece_event id pieces (idx + 1))
+    end
+  in
+  let rec arrival_event engine =
+    let now = Events.now engine in
+    advance link ~now;
+    incr arrivals;
+    if Controller.admit controller ~now then begin
+      let id = !next_call_id in
+      incr next_call_id;
+      let pieces = make_pieces rng in
+      link.n_calls <- link.n_calls + 1;
+      Controller.on_admit controller ~now ~call:id ~rate:(snd pieces.(0));
+      piece_event id pieces 0 engine
+    end
+    else incr blocked;
+    if not !stop then
+      Events.schedule_after engine
+        ~delay:(Rng.exponential rng c.arrival_rate)
+        arrival_event
+  in
+  let rec window_event engine =
+    let now = Events.now engine in
+    advance link ~now;
+    incr windows_done;
+    if !windows_done > c.warmup_windows then begin
+      let failure =
+        if link.offered_bits > 0. then link.lost_bits /. link.offered_bits
+        else 0.
+      in
+      Stats.Online.add failure_stats failure;
+      Stats.Online.add util_stats (link.granted_bits /. (c.capacity *. window));
+      Stats.Online.add calls_stats (link.call_seconds /. window)
+    end;
+    link.offered_bits <- 0.;
+    link.lost_bits <- 0.;
+    link.granted_bits <- 0.;
+    link.call_seconds <- 0.;
+    let samples = Stats.Online.count failure_stats in
+    let enough_precision =
+      samples >= c.min_windows
+      && Stats.Online.relative_precision failure_stats
+         <= c.relative_precision
+      && Stats.Online.relative_precision util_stats <= c.relative_precision
+    in
+    let confidently_below_target =
+      samples >= c.min_windows
+      && Stats.Online.mean failure_stats
+         +. Stats.Online.confidence_halfwidth failure_stats
+         < c.target
+    in
+    if
+      enough_precision || confidently_below_target
+      || !windows_done >= c.max_windows
+    then stop := true
+    else Events.schedule_after engine ~delay:window window_event
+  in
+  Events.schedule engine ~at:(Rng.exponential rng c.arrival_rate) arrival_event;
+  Events.schedule engine ~at:window window_event;
+  while (not !stop) && Events.step engine do
+    ()
+  done;
+  {
+    failure_probability = Stats.Online.mean failure_stats;
+    failure_halfwidth = Stats.Online.confidence_halfwidth failure_stats;
+    utilization = Stats.Online.mean util_stats;
+    utilization_halfwidth = Stats.Online.confidence_halfwidth util_stats;
+    call_blocking =
+      (if !arrivals = 0 then 0.
+       else float_of_int !blocked /. float_of_int !arrivals);
+    denial_fraction =
+      (if !reneg_up = 0 then 0.
+       else float_of_int !reneg_denied /. float_of_int !reneg_up);
+    mean_calls_in_system = Stats.Online.mean calls_stats;
+    windows = Stats.Online.count failure_stats;
+  }
+
+let run (c : config) ~controller =
+  let n_slots = Schedule.n_slots c.schedule in
+  let make_pieces rng =
+    shifted_pieces c.schedule ~shift:(Rng.int rng n_slots)
+  in
+  run_with_pieces c ~make_pieces ~controller

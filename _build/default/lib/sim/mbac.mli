@@ -1,0 +1,74 @@
+(** Dynamic call-level simulation of measurement-based admission control
+    (Section VI, Figs. 7-10).
+
+    Calls arrive as a Poisson process; each admitted call plays a
+    randomly phased copy of a reference RCBR schedule for one schedule
+    duration and departs.  The link tracks the total demanded bandwidth
+    [D(t)]; whenever [D > capacity] the excess is lost ("the source
+    settles for whatever bandwidth remains"), and a renegotiation
+    {e increase} that would push [D] above the capacity counts as
+    denied.  Because calls are piecewise-CBR, only renegotiation events
+    are simulated — the efficiency gain the paper points out in
+    footnote 4.
+
+    Sampling follows the paper: every interval of one schedule duration
+    yields one sample of the renegotiation-failure probability (the
+    fraction of demanded bits lost) and of the link utilization
+    (granted bits / capacity); sampling stops when the 95% confidence
+    interval of both is within [relative_precision] of the estimate, or
+    when the failure estimate is confidently below [target], or at
+    [max_windows]. *)
+
+type config = {
+  schedule : Rcbr_core.Schedule.t;  (** reference call schedule *)
+  capacity : float;  (** link capacity, b/s *)
+  arrival_rate : float;  (** Poisson call arrivals per second *)
+  target : float;  (** QoS target given to the controller *)
+  seed : int;
+  warmup_windows : int;
+  min_windows : int;
+  max_windows : int;
+  relative_precision : float;
+}
+
+val default_config :
+  schedule:Rcbr_core.Schedule.t ->
+  capacity:float ->
+  arrival_rate:float ->
+  target:float ->
+  seed:int ->
+  config
+(** warmup 1, min 10, max 200 windows, precision 0.2. *)
+
+val offered_load : config -> float
+(** Normalized offered load: [arrival_rate * duration * mean_rate
+    / capacity] — Erlangs times mean rate over capacity. *)
+
+type metrics = {
+  failure_probability : float;  (** mean per-window bit-loss fraction *)
+  failure_halfwidth : float;  (** 95% CI half-width *)
+  utilization : float;  (** mean per-window granted / capacity *)
+  utilization_halfwidth : float;
+  call_blocking : float;  (** fraction of arrivals rejected *)
+  denial_fraction : float;  (** renegotiation increases denied / issued *)
+  mean_calls_in_system : float;
+  windows : int;
+}
+
+val run : config -> controller:Rcbr_admission.Controller.t -> metrics
+
+val run_with_pieces :
+  config ->
+  make_pieces:(Rcbr_util.Rng.t -> (float * float) array) ->
+  controller:Rcbr_admission.Controller.t ->
+  metrics
+(** Like {!run} but each admitted call's [(duration_s, rate)] pieces come
+    from the given generator — e.g. randomly phased schedules perturbed
+    by user interactivity ({!Interactive.pieces}).  The sampling window
+    stays one schedule duration. *)
+
+val shifted_pieces :
+  Rcbr_core.Schedule.t -> shift:int -> (float * float) array
+(** [(duration_s, rate)] pieces of a schedule played from a circular
+    phase of [shift] slots, in order — the event list of one call.
+    Exposed for tests and diagnostics. *)

@@ -1,0 +1,139 @@
+module Schedule = Rcbr_core.Schedule
+module Events = Rcbr_queue.Events
+module Rng = Rcbr_util.Rng
+
+type config = {
+  schedule : Rcbr_core.Schedule.t;
+  hops : int;
+  capacity_per_hop : float;
+  transit_calls : int;
+  local_calls_per_hop : int;
+  horizon : float;
+  seed : int;
+}
+
+type balanced_config = {
+  base : config;
+  routes : int;  (** parallel alternative paths, each [hops] long *)
+  balance : bool;  (** least-loaded route choice vs uniform random *)
+}
+
+type metrics = {
+  transit_attempts : int;
+  transit_denials : int;
+  local_attempts : int;
+  local_denials : int;
+  mean_hop_utilization : float;
+}
+
+let denial_fraction m =
+  if m.transit_attempts = 0 then 0.
+  else float_of_int m.transit_denials /. float_of_int m.transit_attempts
+
+(* A call's route is a list of (route index, hop index) links. *)
+type call = { links : (int * int) list; mutable rate : float; transit : bool }
+
+let run_balanced bc =
+  let c = bc.base in
+  assert (c.hops >= 1 && c.capacity_per_hop > 0. && c.horizon > 0.);
+  assert (c.transit_calls >= 1 && c.local_calls_per_hop >= 0);
+  assert (bc.routes >= 1);
+  let rng = Rng.create c.seed in
+  let engine = Events.create () in
+  let demand = Array.init bc.routes (fun _ -> Array.make c.hops 0.) in
+  let util_integral = ref 0. and last = ref 0. in
+  let advance now =
+    let dt = now -. !last in
+    if dt > 0. then begin
+      let acc = ref 0. in
+      Array.iter
+        (Array.iter (fun d -> acc := !acc +. Float.min 1. (d /. c.capacity_per_hop)))
+        demand;
+      util_integral :=
+        !util_integral +. (!acc /. float_of_int (bc.routes * c.hops) *. dt);
+      last := now
+    end
+  in
+  let transit_attempts = ref 0 and transit_denials = ref 0 in
+  let local_attempts = ref 0 and local_denials = ref 0 in
+  let n_slots = Schedule.n_slots c.schedule in
+  let fits call new_rate =
+    let delta = new_rate -. call.rate in
+    List.for_all
+      (fun (r, h) -> demand.(r).(h) +. delta <= c.capacity_per_hop +. 1e-9)
+      call.links
+  in
+  let apply call new_rate =
+    let delta = new_rate -. call.rate in
+    List.iter (fun (r, h) -> demand.(r).(h) <- demand.(r).(h) +. delta) call.links;
+    call.rate <- new_rate
+  in
+  (* Each call loops over its shifted pieces for the whole horizon.
+     Demand is the *desired* rate (settle semantics): a denied increase
+     is counted and the demand still rises — the overload shows up in
+     the utilization cap. *)
+  let rec piece_event call pieces idx engine =
+    let now = Events.now engine in
+    if now <= c.horizon then begin
+      advance now;
+      let idx = if idx >= Array.length pieces then 0 else idx in
+      let duration, rate = pieces.(idx) in
+      if rate > call.rate then begin
+        if call.transit then incr transit_attempts else incr local_attempts;
+        if not (fits call rate) then
+          if call.transit then incr transit_denials else incr local_denials
+      end;
+      apply call rate;
+      Events.schedule_after engine ~delay:duration
+        (piece_event call pieces (idx + 1))
+    end
+  in
+  let start_call ~links ~transit =
+    let shift = Rng.int rng n_slots in
+    let pieces = Mbac.shifted_pieces c.schedule ~shift in
+    let call = { links; rate = 0.; transit } in
+    (* Reserve the setup rate immediately so later placement decisions
+       (the load balancer) see it; the first piece event is then a
+       no-op rate-wise. *)
+    apply call (snd pieces.(0));
+    (* Desynchronize call starts within the first pieces. *)
+    let offset = Rng.float rng in
+    Events.schedule engine ~at:offset (piece_event call pieces 0)
+  in
+  let route_load r = Array.fold_left ( +. ) 0. demand.(r) in
+  let pick_route () =
+    if not bc.balance then Rng.int rng bc.routes
+    else begin
+      (* Call-level load balancing: the least-loaded alternative. *)
+      let best = ref 0 in
+      for r = 1 to bc.routes - 1 do
+        if route_load r < route_load !best then best := r
+      done;
+      !best
+    end
+  in
+  (* Interleave transit starts with tiny local warm-up so the balancer
+     sees evolving loads; all calls start within the first second. *)
+  for _ = 1 to c.transit_calls do
+    let r = pick_route () in
+    let links = List.init c.hops (fun h -> (r, h)) in
+    start_call ~links ~transit:true
+  done;
+  for r = 0 to bc.routes - 1 do
+    for h = 0 to c.hops - 1 do
+      for _ = 1 to c.local_calls_per_hop do
+        start_call ~links:[ (r, h) ] ~transit:false
+      done
+    done
+  done;
+  Events.run ~until:c.horizon engine;
+  advance c.horizon;
+  {
+    transit_attempts = !transit_attempts;
+    transit_denials = !transit_denials;
+    local_attempts = !local_attempts;
+    local_denials = !local_denials;
+    mean_hop_utilization = !util_integral /. c.horizon;
+  }
+
+let run c = run_balanced { base = c; routes = 1; balance = false }

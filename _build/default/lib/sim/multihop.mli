@@ -1,0 +1,52 @@
+(** Renegotiation failure across multiple hops (Section III-C).
+
+    "As the mean number of hops in the network increases, the
+    probability of renegotiation failure is likely to increase since
+    each hop is a possible point of failure."  Transit calls traverse
+    [hops] links, each also carrying its own single-hop cross traffic;
+    a transit rate increase succeeds only if {e every} hop can fit it.
+    The experiment measures the denial fraction of transit
+    renegotiations as the path grows. *)
+
+type config = {
+  schedule : Rcbr_core.Schedule.t;  (** played by transit and local calls *)
+  hops : int;
+  capacity_per_hop : float;  (** b/s *)
+  transit_calls : int;  (** concurrent calls crossing all hops *)
+  local_calls_per_hop : int;  (** concurrent single-hop calls on each hop *)
+  horizon : float;  (** simulated seconds *)
+  seed : int;
+}
+
+type balanced_config = {
+  base : config;
+  routes : int;  (** parallel alternative paths, each [hops] long *)
+  balance : bool;
+      (** pick the least-loaded route at call setup (the paper's
+          "load balancing at the call level") vs uniformly at random *)
+}
+
+type metrics = {
+  transit_attempts : int;  (** rate-increase requests by transit calls *)
+  transit_denials : int;
+  local_attempts : int;
+  local_denials : int;
+  mean_hop_utilization : float;  (** demand / capacity, time-averaged, capped at 1 *)
+}
+
+val denial_fraction : metrics -> float
+(** [transit_denials / transit_attempts]; 0 when no attempts. *)
+
+val run : config -> metrics
+(** Calls hold for the whole horizon, each playing an independently
+    phased copy of the schedule (renegotiation-event driven).  Requires
+    positive hops, capacity and horizon, and nonnegative call counts
+    with at least one transit call. *)
+
+val run_balanced : balanced_config -> metrics
+(** The same with [routes] parallel paths; [base.transit_calls] transit
+    calls are spread across them (least-loaded or random) and each path
+    carries its own [base.local_calls_per_hop] cross traffic per hop.
+    [run c] = [run_balanced { base = c; routes = 1; balance = false }].
+    Tests the paper's conjecture that alternate routes plus call-level
+    load balancing compensate for the per-hop failure growth. *)

@@ -1,0 +1,1 @@
+lib/traffic/gop.ml: Array

@@ -1,0 +1,1 @@
+lib/traffic/synthetic.ml: Array Gop Rcbr_markov Rcbr_util Trace

@@ -1,0 +1,1 @@
+lib/traffic/synthetic.mli: Gop Rcbr_markov Trace

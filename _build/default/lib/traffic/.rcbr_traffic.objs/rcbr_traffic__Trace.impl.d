@@ -1,0 +1,1 @@
+lib/traffic/trace.ml: Array Format Fun List Printf String

@@ -1,0 +1,72 @@
+(** Synthetic multiple time-scale video traffic.
+
+    The paper's experiments use the MPEG-1 encoding of the {e Star Wars}
+    movie (Garrett/Willinger trace): ~2 h at 24 frames/s, long-term mean
+    374 kb/s, sustained peaks near 5x the mean lasting over 10 s, and a
+    maximum 3-consecutive-frame burst slightly under 300 kb.  That trace
+    is proprietary, so this generator produces a statistically equivalent
+    workload with burstiness on three time scales:
+
+    - {b frames} (tens of ms): MPEG GOP size pattern (I/P/B) modulated by
+      lognormal AR(1) noise;
+    - {b scenes} (seconds to tens of seconds): a semi-Markov process over
+      rate classes — the paper's rare subchain transitions;
+    - {b program segments} (minutes): slowly switching moods that bias
+      which scene classes occur, giving the long-horizon rate excursions
+      that make small over-allocations require enormous buffers
+      (the 1.05x mean -> ~100 Mb headline of Fig. 5).
+
+    The output is rescaled so its long-term mean is exactly
+    [mean_rate_bps].  Everything is deterministic given the seed. *)
+
+type scene_class = {
+  label : string;
+  rate_multiplier : float;  (** scene mean rate relative to long-term mean *)
+  mean_duration_s : float;  (** geometric scene length with this mean *)
+}
+
+type segment = {
+  seg_label : string;
+  class_weights : float array;  (** selection weight per scene class *)
+  seg_mean_duration_s : float;
+  seg_weight : float;  (** selection probability weight of the segment *)
+}
+
+type params = {
+  mean_rate_bps : float;
+  fps : float;
+  classes : scene_class array;
+  segments : segment array;
+  gop : Gop.pattern;
+  noise_rho : float;  (** AR(1) coefficient of the log-size noise *)
+  noise_sigma : float;  (** stationary std-dev of the log-size noise *)
+  min_frame_bits : float;
+}
+
+val star_wars_params : params
+(** Calibrated to the published Star Wars summary statistics. *)
+
+val default_frames : int
+(** 171 000 — two hours at 24 fps, the length of the original trace. *)
+
+val class_occupancy : params -> float array
+(** Approximate long-run time share of each scene class (segment-weighted
+    renewal-reward). *)
+
+val expected_multiplier : params -> float
+(** Time-weighted mean of the class multipliers under
+    {!class_occupancy}. *)
+
+val generate : ?params:params -> seed:int -> frames:int -> unit -> Trace.t
+(** Generate a trace.  Defaults to {!star_wars_params}. *)
+
+val star_wars : ?frames:int -> seed:int -> unit -> Trace.t
+(** [generate ~params:star_wars_params]; [frames] defaults to
+    {!default_frames}. *)
+
+val to_multiscale : params -> Rcbr_markov.Multiscale.t
+(** Project the scene process onto the paper's analytical model: one
+    two-state fast subchain per scene class (low/high = class rate −/+
+    one noise std-dev, GOP-averaged) with rare transitions matching the
+    scene-change rates under {!class_occupancy}.  Used to compare formula
+    (9) against the generator. *)

@@ -1,0 +1,20 @@
+(** Binary min-heap, used as the event queue of the discrete-event
+    engine. *)
+
+type 'a t
+(** Heap of elements ordered by a float priority. *)
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> priority:float -> 'a -> unit
+
+val peek : 'a t -> (float * 'a) option
+(** Smallest priority, without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the smallest-priority element.  Ties are broken
+    by insertion order (FIFO), which keeps simultaneous simulation events
+    deterministic. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,51 @@
+type t = { w : float array }
+
+let create ~levels =
+  assert (levels > 0);
+  { w = Array.make levels 0. }
+
+let levels t = Array.length t.w
+
+let add t level x =
+  assert (x >= 0.);
+  t.w.(level) <- t.w.(level) +. x
+
+let weight t level = t.w.(level)
+let total t = Array.fold_left ( +. ) 0. t.w
+
+let merge a b =
+  assert (levels a = levels b);
+  { w = Array.mapi (fun i x -> x +. b.w.(i)) a.w }
+
+let scale t k =
+  assert (k >= 0.);
+  { w = Array.map (fun x -> x *. k) t.w }
+
+let to_distribution t =
+  let s = total t in
+  assert (s > 0.);
+  Array.map (fun x -> x /. s) t.w
+
+let of_distribution p =
+  Array.iter (fun x -> assert (x >= 0.)) p;
+  { w = Array.copy p }
+
+let mean_level_value t ~values =
+  let p = to_distribution t in
+  let acc = ref 0. in
+  Array.iteri (fun i pi -> acc := !acc +. (pi *. values.(i))) p;
+  !acc
+
+let support t =
+  let rec collect i acc =
+    if i < 0 then acc
+    else collect (i - 1) (if t.w.(i) > 0. then i :: acc else acc)
+  in
+  collect (Array.length t.w - 1) []
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>[";
+  Array.iteri
+    (fun i x -> if x > 0. then Format.fprintf fmt " %d:%.4g" i x)
+    t.w;
+  Format.fprintf fmt " ]@]"

@@ -1,0 +1,39 @@
+(** Weighted histograms over discrete levels.
+
+    The admission-control machinery (Section VI) describes a call by the
+    fraction of time it spends at each bandwidth level; those empirical
+    distributions are built and manipulated here.  Levels are identified
+    by integer index into some external level table. *)
+
+type t
+(** Mutable histogram: weight per level index. *)
+
+val create : levels:int -> t
+(** All weights zero.  Requires [levels > 0]. *)
+
+val levels : t -> int
+val add : t -> int -> float -> unit
+(** [add h level w] accumulates weight [w >= 0] on [level]. *)
+
+val weight : t -> int -> float
+val total : t -> float
+
+val merge : t -> t -> t
+(** Pointwise sum; the two histograms must have equal [levels]. *)
+
+val scale : t -> float -> t
+(** Pointwise multiplication by a nonnegative factor. *)
+
+val to_distribution : t -> float array
+(** Normalized probabilities (summing to 1).  Requires positive total. *)
+
+val of_distribution : float array -> t
+(** Histogram holding the given nonnegative weights. *)
+
+val mean_level_value : t -> values:float array -> float
+(** Expectation of [values.(level)] under the normalized histogram. *)
+
+val support : t -> int list
+(** Level indices with strictly positive weight, ascending. *)
+
+val pp : Format.formatter -> t -> unit

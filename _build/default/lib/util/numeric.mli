@@ -1,0 +1,31 @@
+(** Root finding and one-dimensional optimization.
+
+    The large-deviations layer needs to invert monotone functions
+    (equivalent bandwidth, Chernoff capacity) and maximize concave ones
+    (Legendre transforms); these small, dependency-free solvers cover
+    those cases. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [bisect ~f lo hi] finds a root of [f] in [\[lo, hi\]] by bisection.
+    Requires [f lo] and [f hi] to have opposite signs (zero counts as
+    either).  [tol] bounds the bracket width (default 1e-9 relative). *)
+
+val find_min_such_that :
+  ?tol:float -> ?max_iter:int -> pred:(float -> bool) -> float -> float -> float
+(** [find_min_such_that ~pred lo hi] assumes [pred] is monotone
+    (false ... false true ... true) on [\[lo, hi\]] and returns the
+    smallest argument satisfying it, within tolerance.  Returns [hi] if
+    even [hi] fails the predicate, [lo] if [lo] already satisfies it. *)
+
+val golden_max :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [golden_max ~f lo hi] returns the argmax of a unimodal [f] on
+    [\[lo, hi\]] by golden-section search. *)
+
+val log_sum_exp : float array -> float
+(** Numerically stable [log (sum_i exp x_i)].  Requires a non-empty
+    array; [-infinity] entries are permitted. *)
+
+val approx_equal : ?eps:float -> float -> float -> bool
+(** Relative-or-absolute comparison with default [eps = 1e-9]. *)

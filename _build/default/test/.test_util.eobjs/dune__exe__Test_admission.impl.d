@@ -1,0 +1,1 @@
+test/test_admission.ml: Alcotest Array Rcbr_admission Rcbr_core Rcbr_effbw

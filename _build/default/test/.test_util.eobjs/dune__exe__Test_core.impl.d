@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List QCheck QCheck_alcotest Rcbr_core Rcbr_queue Rcbr_traffic

@@ -1,0 +1,1 @@
+test/test_effbw.ml: Alcotest Array List QCheck QCheck_alcotest Rcbr_effbw Rcbr_markov

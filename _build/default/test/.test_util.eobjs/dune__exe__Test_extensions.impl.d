@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array List QCheck QCheck_alcotest Rcbr_admission Rcbr_atm Rcbr_core Rcbr_queue Rcbr_signal Rcbr_sim Rcbr_traffic Rcbr_util Seq

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Fun List Rcbr_admission Rcbr_core Rcbr_effbw Rcbr_markov Rcbr_queue Rcbr_signal Rcbr_sim Rcbr_traffic Rcbr_util Sys

@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array Float List QCheck QCheck_alcotest Rcbr_markov Rcbr_util

@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Array List QCheck QCheck_alcotest Rcbr_queue Rcbr_traffic

@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest List Rcbr_core Rcbr_signal Rcbr_traffic

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Rcbr_admission Rcbr_core Rcbr_sim Rcbr_traffic

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Filename Fun List QCheck QCheck_alcotest Rcbr_markov Rcbr_traffic Sys

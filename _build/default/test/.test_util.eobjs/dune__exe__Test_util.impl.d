@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen List Option QCheck QCheck_alcotest Rcbr_util

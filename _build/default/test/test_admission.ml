@@ -1,0 +1,179 @@
+(* Unit tests for Rcbr_admission: descriptors and the three admission
+   controllers. *)
+
+module Descriptor = Rcbr_admission.Descriptor
+module Controller = Rcbr_admission.Controller
+module Schedule = Rcbr_core.Schedule
+module Chernoff = Rcbr_effbw.Chernoff
+
+let check_close eps = Alcotest.(check (float eps))
+
+let descriptor () =
+  Descriptor.create ~levels:[| 10.; 20.; 40. |] ~fractions:[| 0.5; 0.3; 0.2 |]
+
+(* --- Descriptor --- *)
+
+let test_descriptor_basic () =
+  let d = descriptor () in
+  check_close 1e-12 "mean" 19. (Descriptor.mean_rate d);
+  check_close 1e-12 "peak" 40. (Descriptor.peak_rate d);
+  let m = Descriptor.to_marginal d in
+  Chernoff.validate m;
+  Alcotest.(check int) "levels" 3 (Array.length m)
+
+let test_descriptor_validation () =
+  let bad f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "levels not ascending" true
+    (bad (fun () ->
+         ignore (Descriptor.create ~levels:[| 10.; 5. |] ~fractions:[| 0.5; 0.5 |])));
+  Alcotest.(check bool) "fractions not normalized" true
+    (bad (fun () ->
+         ignore (Descriptor.create ~levels:[| 1.; 2. |] ~fractions:[| 0.5; 0.2 |])));
+  Alcotest.(check bool) "length mismatch" true
+    (bad (fun () ->
+         ignore (Descriptor.create ~levels:[| 1. |] ~fractions:[| 0.5; 0.5 |])));
+  Alcotest.(check bool) "negative fraction" true
+    (bad (fun () ->
+         ignore
+           (Descriptor.create ~levels:[| 1.; 2. |] ~fractions:[| -0.5; 1.5 |])))
+
+let test_descriptor_of_schedule () =
+  let s =
+    Schedule.create ~fps:1. ~n_slots:10
+      [
+        { Schedule.start_slot = 0; rate = 10. };
+        { Schedule.start_slot = 5; rate = 30. };
+      ]
+  in
+  let d = Descriptor.of_schedule s in
+  check_close 1e-12 "mean matches schedule" (Schedule.mean_rate s)
+    (Descriptor.mean_rate d);
+  check_close 1e-12 "peak" 30. (Descriptor.peak_rate d)
+
+let test_max_admissible_monotone () =
+  let d = descriptor () in
+  let n1 = Descriptor.max_admissible d ~capacity:200. ~target:1e-3 in
+  let n2 = Descriptor.max_admissible d ~capacity:400. ~target:1e-3 in
+  Alcotest.(check bool) "capacity monotone" true (n2 >= n1);
+  let strict = Descriptor.max_admissible d ~capacity:400. ~target:1e-9 in
+  Alcotest.(check bool) "stricter target admits fewer" true (strict <= n2)
+
+let test_max_admissible_leaves_slack () =
+  (* The admission rule must be more conservative than pure mean-rate
+     packing. *)
+  let d = descriptor () in
+  let n = Descriptor.max_admissible d ~capacity:400. ~target:1e-6 in
+  Alcotest.(check bool) "slack against fluctuations" true
+    (float_of_int n *. Descriptor.mean_rate d < 400.)
+
+(* --- Controllers --- *)
+
+let test_perfect_admits_to_limit () =
+  let d = descriptor () in
+  let capacity = 400. and target = 1e-3 in
+  let limit = Descriptor.max_admissible d ~capacity ~target in
+  let ctl = Controller.perfect ~descriptor:d ~capacity ~target in
+  Alcotest.(check string) "name" "perfect" (Controller.name ctl);
+  for call = 1 to limit do
+    Alcotest.(check bool) "admits" true (Controller.admit ctl ~now:0.);
+    Controller.on_admit ctl ~now:0. ~call ~rate:10.
+  done;
+  Alcotest.(check int) "in system" limit (Controller.n_in_system ctl);
+  Alcotest.(check bool) "rejects past limit" false (Controller.admit ctl ~now:0.);
+  (* A departure frees a slot. *)
+  Controller.on_depart ctl ~now:1. ~call:1;
+  Alcotest.(check bool) "admits again" true (Controller.admit ctl ~now:1.)
+
+let test_memoryless_empty_system_admits () =
+  let ctl = Controller.memoryless ~capacity:100. ~target:1e-3 in
+  Alcotest.(check bool) "no info admits" true (Controller.admit ctl ~now:0.)
+
+let test_memoryless_uses_instantaneous_rates () =
+  (* If every current call sits at a low rate, the memoryless scheme
+     sees a lean distribution and over-admits; if they sit at the peak,
+     it refuses.  This is exactly its non-robustness. *)
+  let capacity = 100. and target = 1e-6 in
+  let low = Controller.memoryless ~capacity ~target in
+  for call = 1 to 4 do
+    Controller.on_admit low ~now:0. ~call ~rate:10.
+  done;
+  let lean_admits = Controller.admit low ~now:0. in
+  let high = Controller.memoryless ~capacity ~target in
+  for call = 1 to 4 do
+    Controller.on_admit high ~now:0. ~call ~rate:25.
+  done;
+  let fat_admits = Controller.admit high ~now:0. in
+  Alcotest.(check bool) "lean view admits" true lean_admits;
+  Alcotest.(check bool) "fat view refuses" false fat_admits
+
+let test_memory_learns_history () =
+  (* Calls that spent most of their life at 30 but currently sit at 10:
+     the memory scheme must still see the 30s. *)
+  let capacity = 100. and target = 1e-6 in
+  let ctl = Controller.memory ~capacity ~target in
+  for call = 1 to 4 do
+    Controller.on_admit ctl ~now:0. ~call ~rate:30.;
+    (* 100 seconds at rate 30, then drop to 10 just now. *)
+    Controller.on_renegotiate ctl ~now:100. ~call ~rate:10.
+  done;
+  let memory_decision = Controller.admit ctl ~now:101. in
+  (* The memoryless scheme in the same instantaneous state admits. *)
+  let ml = Controller.memoryless ~capacity ~target in
+  for call = 1 to 4 do
+    Controller.on_admit ml ~now:0. ~call ~rate:10.
+  done;
+  Alcotest.(check bool) "memoryless fooled" true (Controller.admit ml ~now:101.);
+  Alcotest.(check bool) "memory remembers the peaks" false memory_decision
+
+let test_memory_fresh_calls_fallback () =
+  let ctl = Controller.memory ~capacity:1000. ~target:1e-3 in
+  Controller.on_admit ctl ~now:0. ~call:1 ~rate:10.;
+  (* No elapsed time at all: falls back to instantaneous rates. *)
+  Alcotest.(check bool) "does not crash, decides" true
+    (Controller.admit ctl ~now:0. || true)
+
+let test_always_admit () =
+  let ctl = Controller.always_admit () in
+  for call = 1 to 1000 do
+    Alcotest.(check bool) "admits" true (Controller.admit ctl ~now:0.);
+    Controller.on_admit ctl ~now:0. ~call ~rate:1e9
+  done
+
+let test_departure_bookkeeping () =
+  let ctl = Controller.memoryless ~capacity:100. ~target:1e-3 in
+  Controller.on_admit ctl ~now:0. ~call:1 ~rate:10.;
+  Controller.on_admit ctl ~now:0. ~call:2 ~rate:10.;
+  Alcotest.(check int) "two in system" 2 (Controller.n_in_system ctl);
+  Controller.on_depart ctl ~now:1. ~call:1;
+  Alcotest.(check int) "one left" 1 (Controller.n_in_system ctl);
+  (* Unknown renegotiations are ignored rather than crashing. *)
+  Controller.on_renegotiate ctl ~now:2. ~call:99 ~rate:50.;
+  Alcotest.(check int) "still one" 1 (Controller.n_in_system ctl)
+
+let () =
+  Alcotest.run "rcbr_admission"
+    [
+      ( "descriptor",
+        [
+          Alcotest.test_case "basic" `Quick test_descriptor_basic;
+          Alcotest.test_case "validation" `Quick test_descriptor_validation;
+          Alcotest.test_case "of schedule" `Quick test_descriptor_of_schedule;
+          Alcotest.test_case "max admissible monotone" `Quick
+            test_max_admissible_monotone;
+          Alcotest.test_case "slack" `Quick test_max_admissible_leaves_slack;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "perfect limit" `Quick test_perfect_admits_to_limit;
+          Alcotest.test_case "memoryless empty" `Quick
+            test_memoryless_empty_system_admits;
+          Alcotest.test_case "memoryless instantaneous" `Quick
+            test_memoryless_uses_instantaneous_rates;
+          Alcotest.test_case "memory learns" `Quick test_memory_learns_history;
+          Alcotest.test_case "memory fresh fallback" `Quick
+            test_memory_fresh_calls_fallback;
+          Alcotest.test_case "always admit" `Quick test_always_admit;
+          Alcotest.test_case "departure bookkeeping" `Quick
+            test_departure_bookkeeping;
+        ] );
+    ]

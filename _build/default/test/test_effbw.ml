@@ -1,0 +1,337 @@
+(* Unit and property tests for Rcbr_effbw: large-deviations machinery. *)
+
+module Eb = Rcbr_effbw.Effective_bandwidth
+module Chernoff = Rcbr_effbw.Chernoff
+module Chain = Rcbr_markov.Chain
+module Modulated = Rcbr_markov.Modulated
+module Multiscale = Rcbr_markov.Multiscale
+
+let check_close eps = Alcotest.(check (float eps))
+
+let two_state_source p q ~low ~high =
+  Modulated.create
+    (Chain.create [| [| 1. -. p; p |]; [| q; 1. -. q |] |])
+    ~rates:[| low; high |]
+
+(* Closed-form log-MGF of a 2-state Markov additive process: log of the
+   largest eigenvalue of diag(e^{theta r}) P. *)
+let closed_form_log_mgf ~p ~q ~low ~high theta =
+  let a = exp (theta *. low) *. (1. -. p) in
+  let b = exp (theta *. low) *. p in
+  let c = exp (theta *. high) *. q in
+  let d = exp (theta *. high) *. (1. -. q) in
+  let tr = a +. d and det = (a *. d) -. (b *. c) in
+  log ((tr +. sqrt ((tr *. tr) -. (4. *. det))) /. 2.)
+
+let test_log_mgf_zero () =
+  let m = two_state_source 0.2 0.3 ~low:1. ~high:5. in
+  check_close 1e-12 "Lambda(0)=0" 0. (Eb.log_mgf m ~theta:0.)
+
+let test_log_mgf_closed_form () =
+  let p = 0.2 and q = 0.3 and low = 1. and high = 5. in
+  let m = two_state_source p q ~low ~high in
+  List.iter
+    (fun theta ->
+      check_close 1e-6 "matches eigenvalue formula"
+        (closed_form_log_mgf ~p ~q ~low ~high theta)
+        (Eb.log_mgf m ~theta))
+    [ 0.1; 0.5; 1.0; 2.0; -0.5 ]
+
+let test_log_mgf_constant_source () =
+  (* A deterministic source: Lambda(theta) = theta * rate. *)
+  let m = Modulated.create (Chain.create [| [| 1. |] |]) ~rates:[| 7. |] in
+  check_close 1e-9 "deterministic" 14. (Eb.log_mgf m ~theta:2.)
+
+let test_effective_bandwidth_limits () =
+  let m = two_state_source 0.2 0.3 ~low:1. ~high:5. in
+  let mean = Modulated.mean_rate m in
+  let peak = Modulated.peak_rate m in
+  let small = Eb.effective_bandwidth m ~theta:1e-7 in
+  let large = Eb.effective_bandwidth m ~theta:50. in
+  check_close 1e-3 "theta->0 gives mean" mean small;
+  check_close 0.15 "theta->inf approaches peak" peak large;
+  Alcotest.(check bool) "between mean and peak" true (small <= large)
+
+let test_effective_bandwidth_monotone () =
+  let m = two_state_source 0.1 0.1 ~low:0. ~high:10. in
+  let prev = ref 0. in
+  List.iter
+    (fun theta ->
+      let eb = Eb.effective_bandwidth m ~theta in
+      Alcotest.(check bool) "nondecreasing in theta" true (eb >= !prev -. 1e-9);
+      prev := eb)
+    [ 0.01; 0.1; 0.5; 1.; 2.; 5. ]
+
+let test_equivalent_bandwidth_monotone_in_buffer () =
+  let m = two_state_source 0.2 0.3 ~low:1. ~high:5. in
+  let e1 = Eb.equivalent_bandwidth m ~buffer:1. ~target_loss:1e-6 in
+  let e2 = Eb.equivalent_bandwidth m ~buffer:10. ~target_loss:1e-6 in
+  let e3 = Eb.equivalent_bandwidth m ~buffer:100. ~target_loss:1e-6 in
+  Alcotest.(check bool) "larger buffer needs less" true (e1 >= e2 && e2 >= e3)
+
+let test_equivalent_bandwidth_monotone_in_loss () =
+  let m = two_state_source 0.2 0.3 ~low:1. ~high:5. in
+  let strict = Eb.equivalent_bandwidth m ~buffer:10. ~target_loss:1e-9 in
+  let lax = Eb.equivalent_bandwidth m ~buffer:10. ~target_loss:1e-2 in
+  Alcotest.(check bool) "stricter loss needs more" true (strict >= lax)
+
+let test_decay_rate_inverse () =
+  let m = two_state_source 0.2 0.3 ~low:1. ~high:5. in
+  let rate = 4.0 in
+  let theta = Eb.decay_rate m ~rate in
+  check_close 1e-6 "EB(decay_rate(c)) = c" rate
+    (Eb.effective_bandwidth m ~theta)
+
+let test_decay_rate_extremes () =
+  let m = two_state_source 0.2 0.3 ~low:1. ~high:5. in
+  Alcotest.(check bool) "at peak infinite" true
+    (Eb.decay_rate m ~rate:5. = infinity);
+  check_close 1e-12 "below mean zero" 0.
+    (Eb.decay_rate m ~rate:(Modulated.mean_rate m *. 0.5))
+
+(* --- Multiscale equivalent bandwidth (formula 9) --- *)
+
+let test_multiscale_formula9 () =
+  let ms = Multiscale.fig4_example () in
+  let per = Eb.subchain_equivalent_bandwidths ms ~buffer:5. ~target_loss:1e-6 in
+  let total = Eb.multiscale_equivalent_bandwidth ms ~buffer:5. ~target_loss:1e-6 in
+  check_close 1e-12 "max over subchains" (Array.fold_left max 0. per) total;
+  (* The worst subchain (action) should dominate. *)
+  Alcotest.(check bool) "action dominates" true (total = per.(2))
+
+let test_multiscale_exceeds_worst_mean () =
+  (* Formula (9) implies the needed rate exceeds the max subchain mean. *)
+  let ms = Multiscale.fig4_example () in
+  let means = Multiscale.subchain_mean_rates ms in
+  let worst_mean = Array.fold_left max 0. means in
+  let total = Eb.multiscale_equivalent_bandwidth ms ~buffer:50. ~target_loss:1e-6 in
+  Alcotest.(check bool) "above max subchain mean" true (total > worst_mean)
+
+let test_multiscale_vs_flattened_mean () =
+  (* The multiscale equivalent bandwidth is far above the overall mean —
+     the "wasteful static descriptor" effect of Section II. *)
+  let ms = Multiscale.fig4_example () in
+  let total = Eb.multiscale_equivalent_bandwidth ms ~buffer:20. ~target_loss:1e-6 in
+  Alcotest.(check bool) "far above overall mean" true
+    (total > 2. *. Multiscale.mean_rate ms)
+
+(* --- Chernoff --- *)
+
+let simple_marginal () = [| (0.7, 1.); (0.3, 5.) |]
+
+let test_chernoff_validate () =
+  Chernoff.validate (simple_marginal ());
+  Alcotest.check_raises "sum != 1"
+    (Invalid_argument "Chernoff: probabilities do not sum to 1") (fun () ->
+      Chernoff.validate [| (0.5, 1.) |]);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Chernoff: negative probability") (fun () ->
+      Chernoff.validate [| (-0.5, 1.); (1.5, 2.) |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Chernoff: empty marginal")
+    (fun () -> Chernoff.validate [||])
+
+let test_chernoff_mean_max () =
+  let m = simple_marginal () in
+  check_close 1e-12 "mean" 2.2 (Chernoff.mean m);
+  check_close 1e-12 "max" 5. (Chernoff.max_level m);
+  (* Zero-probability levels do not count toward the max. *)
+  check_close 1e-12 "max ignores p=0" 5.
+    (Chernoff.max_level [| (1., 5.); (0., 100.) |])
+
+let test_chernoff_log_mgf () =
+  let m = simple_marginal () in
+  let direct theta = log ((0.7 *. exp theta) +. (0.3 *. exp (5. *. theta))) in
+  List.iter
+    (fun theta ->
+      check_close 1e-9 "log mgf" (direct theta) (Chernoff.log_mgf m ~theta))
+    [ 0.; 0.3; 1.; 2. ]
+
+let test_rate_function_regions () =
+  let m = simple_marginal () in
+  check_close 1e-12 "zero below mean" 0. (Chernoff.rate_function m 2.);
+  Alcotest.(check bool) "infinite above max" true
+    (Chernoff.rate_function m 6. = infinity);
+  let i = Chernoff.rate_function m 4. in
+  Alcotest.(check bool) "positive in between" true (i > 0. && i < infinity)
+
+let test_rate_function_at_max () =
+  (* I(max) = -log P(max). *)
+  let m = simple_marginal () in
+  check_close 1e-4 "at max level" (-.log 0.3) (Chernoff.rate_function m 5.)
+
+let test_overflow_estimate () =
+  let m = simple_marginal () in
+  let p1 = Chernoff.overflow_estimate m ~n:10 ~capacity_per_call:4. in
+  let p2 = Chernoff.overflow_estimate m ~n:100 ~capacity_per_call:4. in
+  Alcotest.(check bool) "valid probability" true (p1 > 0. && p1 <= 1.);
+  Alcotest.(check bool) "more calls, smaller per-call overflow" true (p2 < p1);
+  check_close 1e-12 "above max is impossible" 0.
+    (Chernoff.overflow_estimate m ~n:10 ~capacity_per_call:10.)
+
+let test_overflow_vs_exact_binomial () =
+  (* For an on/off marginal the Chernoff estimate must upper-bound the
+     exact binomial tail and be within a polynomial factor of it. *)
+  let p_on = 0.3 in
+  let m = [| (1. -. p_on, 0.); (p_on, 1.) |] in
+  let n = 40 in
+  let c = 0.5 in
+  (* P(Binomial(40, 0.3) > 20) exactly. *)
+  let log_choose n k =
+    let acc = ref 0. in
+    for i = 1 to k do
+      acc := !acc +. log (float_of_int (n - k + i)) -. log (float_of_int i)
+    done;
+    !acc
+  in
+  let exact = ref 0. in
+  for k = 21 to n do
+    exact :=
+      !exact
+      +. exp
+           (log_choose n k
+           +. (float_of_int k *. log p_on)
+           +. (float_of_int (n - k) *. log (1. -. p_on)))
+  done;
+  let estimate = Chernoff.overflow_estimate m ~n ~capacity_per_call:c in
+  Alcotest.(check bool) "upper bound" true (estimate >= !exact *. 0.999);
+  Alcotest.(check bool) "same order" true (estimate <= !exact *. 100.)
+
+let test_capacity_for_target () =
+  let m = simple_marginal () in
+  let n = 50 and target = 1e-6 in
+  let c = Chernoff.capacity_for_target m ~n ~target in
+  Alcotest.(check bool) "meets target" true
+    (Chernoff.overflow_estimate m ~n ~capacity_per_call:c <= target);
+  Alcotest.(check bool) "above mean" true (c > Chernoff.mean m);
+  Alcotest.(check bool) "below max" true (c <= Chernoff.max_level m)
+
+let test_capacity_decreases_with_n () =
+  (* The statistical multiplexing gain: more calls need less per-call
+     capacity. *)
+  let m = simple_marginal () in
+  let c10 = Chernoff.capacity_for_target m ~n:10 ~target:1e-6 in
+  let c100 = Chernoff.capacity_for_target m ~n:100 ~target:1e-6 in
+  let c1000 = Chernoff.capacity_for_target m ~n:1000 ~target:1e-6 in
+  Alcotest.(check bool) "decreasing" true (c10 >= c100 && c100 >= c1000);
+  (* And it approaches the mean from above. *)
+  Alcotest.(check bool) "approaches mean" true
+    (c1000 -. Chernoff.mean m < 0.3 *. (c10 -. Chernoff.mean m))
+
+let test_max_calls_boundary () =
+  let m = simple_marginal () in
+  let capacity = 100. and target = 1e-3 in
+  let n = Chernoff.max_calls m ~capacity ~target in
+  Alcotest.(check bool) "nonzero" true (n > 0);
+  Alcotest.(check bool) "n fits" true
+    (Chernoff.overflow_estimate m ~n
+       ~capacity_per_call:(capacity /. float_of_int n)
+    <= target);
+  Alcotest.(check bool) "n+1 does not fit" true
+    (Chernoff.overflow_estimate m ~n:(n + 1)
+       ~capacity_per_call:(capacity /. float_of_int (n + 1))
+    > target)
+
+let test_max_calls_monotone_in_capacity () =
+  let m = simple_marginal () in
+  let n1 = Chernoff.max_calls m ~capacity:50. ~target:1e-3 in
+  let n2 = Chernoff.max_calls m ~capacity:100. ~target:1e-3 in
+  Alcotest.(check bool) "more capacity, more calls" true (n2 >= n1)
+
+let test_max_calls_zero_capacity () =
+  let m = simple_marginal () in
+  Alcotest.(check int) "no capacity, no calls" 0
+    (Chernoff.max_calls m ~capacity:0.5 ~target:1e-3)
+
+(* --- Properties --- *)
+
+let marginal_gen =
+  QCheck.Gen.(
+    let* k = int_range 2 6 in
+    let* ws = array_size (return k) (float_range 0.05 1.) in
+    let* levels = array_size (return k) (float_range 0.1 10.) in
+    let total = Array.fold_left ( +. ) 0. ws in
+    Array.sort compare levels;
+    (* Make levels strictly ascending to keep them distinct. *)
+    Array.iteri (fun i l -> levels.(i) <- l +. (0.01 *. float_of_int i)) levels;
+    return (Array.init k (fun i -> (ws.(i) /. total, levels.(i)))))
+
+let prop_rate_function_nonneg =
+  QCheck.Test.make ~name:"rate function is nonnegative" ~count:200
+    (QCheck.make marginal_gen) (fun m ->
+      let c = Chernoff.mean m +. (0.5 *. (Chernoff.max_level m -. Chernoff.mean m)) in
+      Chernoff.rate_function m c >= 0.)
+
+let prop_overflow_decreasing_in_c =
+  QCheck.Test.make ~name:"overflow decreasing in capacity" ~count:200
+    (QCheck.make marginal_gen) (fun m ->
+      let mu = Chernoff.mean m and top = Chernoff.max_level m in
+      let c1 = mu +. (0.3 *. (top -. mu)) in
+      let c2 = mu +. (0.6 *. (top -. mu)) in
+      Chernoff.overflow_estimate m ~n:20 ~capacity_per_call:c2
+      <= Chernoff.overflow_estimate m ~n:20 ~capacity_per_call:c1 +. 1e-12)
+
+let prop_eb_between_mean_and_peak =
+  QCheck.Test.make ~name:"effective bandwidth in [mean, peak]" ~count:100
+    QCheck.(pair (float_range 0.05 0.95) (float_range 0.05 0.95))
+    (fun (p, q) ->
+      let m = two_state_source p q ~low:1. ~high:9. in
+      let eb = Eb.effective_bandwidth m ~theta:1. in
+      eb >= Modulated.mean_rate m -. 1e-6
+      && eb <= Modulated.peak_rate m +. 1e-6)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "rcbr_effbw"
+    [
+      ( "log_mgf",
+        [
+          Alcotest.test_case "zero" `Quick test_log_mgf_zero;
+          Alcotest.test_case "closed form" `Quick test_log_mgf_closed_form;
+          Alcotest.test_case "constant source" `Quick test_log_mgf_constant_source;
+        ] );
+      ( "effective_bandwidth",
+        [
+          Alcotest.test_case "limits" `Quick test_effective_bandwidth_limits;
+          Alcotest.test_case "monotone" `Quick test_effective_bandwidth_monotone;
+          Alcotest.test_case "buffer monotonicity" `Quick
+            test_equivalent_bandwidth_monotone_in_buffer;
+          Alcotest.test_case "loss monotonicity" `Quick
+            test_equivalent_bandwidth_monotone_in_loss;
+          Alcotest.test_case "decay rate inverse" `Quick test_decay_rate_inverse;
+          Alcotest.test_case "decay rate extremes" `Quick test_decay_rate_extremes;
+        ] );
+      ( "multiscale",
+        [
+          Alcotest.test_case "formula 9" `Quick test_multiscale_formula9;
+          Alcotest.test_case "exceeds worst mean" `Quick
+            test_multiscale_exceeds_worst_mean;
+          Alcotest.test_case "static descriptor waste" `Quick
+            test_multiscale_vs_flattened_mean;
+        ] );
+      ( "chernoff",
+        [
+          Alcotest.test_case "validate" `Quick test_chernoff_validate;
+          Alcotest.test_case "mean/max" `Quick test_chernoff_mean_max;
+          Alcotest.test_case "log mgf" `Quick test_chernoff_log_mgf;
+          Alcotest.test_case "rate function regions" `Quick
+            test_rate_function_regions;
+          Alcotest.test_case "rate function at max" `Quick test_rate_function_at_max;
+          Alcotest.test_case "overflow estimate" `Quick test_overflow_estimate;
+          Alcotest.test_case "vs exact binomial" `Quick
+            test_overflow_vs_exact_binomial;
+          Alcotest.test_case "capacity for target" `Quick test_capacity_for_target;
+          Alcotest.test_case "SMG in n" `Quick test_capacity_decreases_with_n;
+          Alcotest.test_case "max calls boundary" `Quick test_max_calls_boundary;
+          Alcotest.test_case "max calls monotone" `Quick
+            test_max_calls_monotone_in_capacity;
+          Alcotest.test_case "max calls zero capacity" `Quick
+            test_max_calls_zero_capacity;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_rate_function_nonneg;
+            prop_overflow_decreasing_in_c;
+            prop_eb_between_mean_and_peak;
+          ] );
+    ]

@@ -1,0 +1,844 @@
+(* Tests for the extension modules: optimal smoothing, pluggable
+   predictors, renegotiation-failure adaptation, advance reservations,
+   the ATM cell-level substrate, multi-hop renegotiation, and user
+   interactivity. *)
+
+module Trace = Rcbr_traffic.Trace
+module Schedule = Rcbr_core.Schedule
+module Smoothing = Rcbr_core.Smoothing
+module Predictor = Rcbr_core.Predictor
+module Online = Rcbr_core.Online
+module Adaptation = Rcbr_core.Adaptation
+module Optimal = Rcbr_core.Optimal
+module Advance = Rcbr_signal.Advance
+module Cell = Rcbr_atm.Cell
+module Cell_mux = Rcbr_atm.Cell_mux
+module Multihop = Rcbr_sim.Multihop
+module Interactive = Rcbr_sim.Interactive
+module Mbac = Rcbr_sim.Mbac
+module Fluid = Rcbr_queue.Fluid
+module Rng = Rcbr_util.Rng
+
+let check_close eps = Alcotest.(check (float eps))
+
+let trace = Rcbr_traffic.Synthetic.star_wars ~frames:6_000 ~seed:42 ()
+let schedule = Optimal.solve (Optimal.default_params ~cost_ratio:3e5 trace) trace
+
+(* --- Smoothing --- *)
+
+let test_smoothing_feasible () =
+  let s = Smoothing.schedule ~buffer:300_000. trace in
+  let r = Schedule.simulate_buffer s ~trace ~capacity:300_000. in
+  Alcotest.(check bool) "no loss" true
+    (Fluid.loss_fraction r < 1e-12);
+  Alcotest.(check bool) "all delivered" true (r.Fluid.final_backlog < 1.);
+  check_close 1e-6 "efficiency 1 (delivers exactly the trace)" 1.
+    (Schedule.bandwidth_efficiency s ~trace)
+
+let test_smoothing_attains_minimal_peak () =
+  let small = Trace.sub trace ~pos:0 ~len:400 in
+  let buffer = 120_000. in
+  let s = Smoothing.schedule ~buffer small in
+  let bound = Smoothing.minimal_peak_rate ~buffer small in
+  check_close (bound *. 1e-6) "peak equals the lower bound" bound
+    (Schedule.peak_rate s)
+
+let test_smoothing_peak_decreases_with_buffer () =
+  let small = Trace.sub trace ~pos:0 ~len:600 in
+  let p b = Schedule.peak_rate (Smoothing.schedule ~buffer:b small) in
+  Alcotest.(check bool) "monotone" true
+    (p 10_000. >= p 100_000. && p 100_000. >= p 1_000_000.)
+
+let test_smoothing_zero_buffer_tracks_arrivals () =
+  let small = Trace.create ~fps:1. [| 10.; 20.; 5. |] in
+  let s = Smoothing.schedule ~buffer:0. small in
+  check_close 1e-9 "slot 0" 10. (Schedule.rate_at s 0);
+  check_close 1e-9 "slot 1" 20. (Schedule.rate_at s 1);
+  check_close 1e-9 "slot 2" 5. (Schedule.rate_at s 2)
+
+let test_smoothing_minimal_peak_hand () =
+  (* A(4) = 40; with B = 10 the worst window is the single 30-bit frame:
+     (30 - 10)/1 = 20. *)
+  let small = Trace.create ~fps:1. [| 0.; 30.; 0.; 10. |] in
+  check_close 1e-9 "hand computed" 20.
+    (Smoothing.minimal_peak_rate ~buffer:10. small)
+
+let prop_smoothing_feasible =
+  let gen =
+    QCheck.Gen.(array_size (int_range 3 50) (float_range 0. 100.))
+  in
+  QCheck.Test.make ~name:"taut string stays in the band" ~count:100
+    (QCheck.make gen) (fun frames ->
+      let t = Trace.create ~fps:1. frames in
+      let buffer = 40. in
+      let s = Smoothing.schedule ~buffer t in
+      let r = Schedule.simulate_buffer s ~trace:t ~capacity:buffer in
+      Fluid.loss_fraction r < 1e-9 && r.Fluid.final_backlog < 1e-6)
+
+(* --- Predictor --- *)
+
+let test_ar1_converges () =
+  let p = Predictor.ar1 ~eta:0.5 ~initial:0. in
+  for _ = 1 to 50 do
+    p.Predictor.observe 10.
+  done;
+  check_close 1e-6 "converges to constant input" 10. (p.Predictor.forecast ())
+
+let test_gop_aware_separates_phases () =
+  (* Periodic input I,B,B: phase estimates converge to per-phase values,
+     the forecast to the GOP mean. *)
+  let p = Predictor.gop_aware ~gop_length:3 ~eta:0.5 ~initial:0. in
+  for _ = 1 to 60 do
+    p.Predictor.observe 30.;
+    p.Predictor.observe 6.;
+    p.Predictor.observe 6.
+  done;
+  check_close 1e-6 "forecast is the GOP mean" 14. (p.Predictor.forecast ())
+
+let test_gop_aware_beats_ar1_on_periodic_input () =
+  (* On strictly periodic input the GOP-aware forecast is steady while
+     the AR(1) forecast oscillates with the phase. *)
+  let spread predictor =
+    let p = predictor in
+    let lo = ref infinity and hi = ref neg_infinity in
+    for i = 1 to 120 do
+      p.Predictor.observe (if i mod 3 = 0 then 30. else 6.);
+      if i > 60 then begin
+        let f = p.Predictor.forecast () in
+        if f < !lo then lo := f;
+        if f > !hi then hi := f
+      end
+    done;
+    !hi -. !lo
+  in
+  let gop = spread (Predictor.gop_aware ~gop_length:3 ~eta:0.7 ~initial:10.) in
+  let ar = spread (Predictor.ar1 ~eta:0.7 ~initial:10.) in
+  Alcotest.(check bool) "steadier forecast" true (gop < ar /. 2.)
+
+let test_nlms_learns_constant () =
+  let p = Predictor.nlms ~taps:4 ~mu:0.5 ~initial:0. in
+  for _ = 1 to 200 do
+    p.Predictor.observe 8.
+  done;
+  check_close 0.3 "close to constant" 8. (p.Predictor.forecast ())
+
+let test_nlms_nonnegative () =
+  let p = Predictor.nlms ~taps:3 ~mu:1.0 ~initial:100. in
+  for i = 1 to 50 do
+    p.Predictor.observe (if i mod 2 = 0 then 0. else 200.)
+  done;
+  Alcotest.(check bool) "forecast clamped at 0" true (p.Predictor.forecast () >= 0.)
+
+let test_constant_predictor () =
+  let p = Predictor.constant 42. in
+  p.Predictor.observe 7.;
+  check_close 1e-12 "always the same" 42. (p.Predictor.forecast ())
+
+let test_run_custom_matches_run () =
+  let out1 = Online.run Online.default_params trace in
+  let out2 =
+    Online.run_custom Online.default_params
+      ~predictor:(fun ~initial -> Predictor.ar1 ~eta:0.9 ~initial)
+      trace
+  in
+  Alcotest.(check int) "same schedule"
+    (Schedule.n_renegotiations out1.Online.schedule)
+    (Schedule.n_renegotiations out2.Online.schedule);
+  check_close 1e-9 "same backlog" out1.Online.max_backlog out2.Online.max_backlog
+
+let test_run_custom_gop_aware_works () =
+  let out =
+    Online.run_custom Online.default_params
+      ~predictor:(fun ~initial ->
+        Predictor.gop_aware ~gop_length:12 ~eta:0.9 ~initial)
+      trace
+  in
+  Alcotest.(check bool) "produces a real schedule" true
+    (Schedule.n_renegotiations out.Online.schedule > 0);
+  Alcotest.(check bool) "bounded backlog" true (out.Online.max_backlog < 1e7)
+
+let test_online_delay_zero_identity () =
+  let a = Online.run Online.default_params trace in
+  let b = Online.run_delayed Online.default_params ~delay_slots:0 trace in
+  Alcotest.(check int) "same renegotiations"
+    (Schedule.n_renegotiations a.Online.schedule)
+    (Schedule.n_renegotiations b.Online.schedule);
+  check_close 1e-9 "same backlog" a.Online.max_backlog b.Online.max_backlog
+
+let test_online_delay_grows_backlog () =
+  let backlog d =
+    (Online.run_delayed Online.default_params ~delay_slots:d trace)
+      .Online.max_backlog
+  in
+  Alcotest.(check bool) "delay inflates the buffer" true
+    (backlog 48 > backlog 0);
+  Alcotest.(check bool) "more delay, no less backlog" true
+    (backlog 48 >= backlog 12 -. 1e-9)
+
+let test_online_delay_schedule_feasible () =
+  (* The recorded schedule must reflect the delayed effect: simulating
+     the trace against it reproduces the reported peak backlog. *)
+  let o = Online.run_delayed Online.default_params ~delay_slots:24 trace in
+  let r =
+    Schedule.simulate_buffer o.Online.schedule ~trace ~capacity:infinity
+  in
+  check_close 1. "schedule matches simulation" o.Online.max_backlog
+    r.Fluid.max_backlog
+
+(* --- Adaptation --- *)
+
+let always_grant ~slot:_ ~old_rate:_ ~new_rate:_ = true
+let never_grant_increase ~slot:_ ~old_rate ~new_rate = new_rate <= old_rate
+
+let test_adaptation_all_granted_lossless () =
+  let r =
+    Adaptation.simulate ~policy:Adaptation.Settle ~grant:always_grant
+      ~buffer:300_000. ~trace schedule
+  in
+  check_close 1e-9 "no loss" 0. r.Adaptation.bits_lost;
+  check_close 1e-9 "full quality" 1. r.Adaptation.quality;
+  Alcotest.(check int) "no failures" 0 r.Adaptation.failures;
+  Alcotest.(check int) "attempts = renegotiations"
+    (Schedule.n_renegotiations schedule)
+    r.Adaptation.attempts
+
+let test_adaptation_settle_loses_bits () =
+  let r =
+    Adaptation.simulate ~policy:Adaptation.Settle ~grant:never_grant_increase
+      ~buffer:300_000. ~trace schedule
+  in
+  Alcotest.(check bool) "bits lost when stuck at initial rate" true
+    (r.Adaptation.bits_lost > 0.);
+  Alcotest.(check bool) "failures counted" true (r.Adaptation.failures > 0)
+
+let test_adaptation_requantize_trades_quality_for_loss () =
+  let settle =
+    Adaptation.simulate ~policy:Adaptation.Settle ~grant:never_grant_increase
+      ~buffer:300_000. ~trace schedule
+  in
+  let requant =
+    Adaptation.simulate ~policy:(Adaptation.Requantize 0.4)
+      ~grant:never_grant_increase ~buffer:300_000. ~trace schedule
+  in
+  Alcotest.(check bool) "less overflow" true
+    (requant.Adaptation.bits_lost < settle.Adaptation.bits_lost);
+  Alcotest.(check bool) "quality below 1" true (requant.Adaptation.quality < 1.);
+  (* The floor bounds the codec's scaling; buffer overflow can still
+     push the delivered fraction lower, but requantization must deliver
+     at least as much as settling does. *)
+  Alcotest.(check bool) "delivers no less than settle" true
+    (requant.Adaptation.quality
+    >= (settle.Adaptation.bits_offered -. settle.Adaptation.bits_lost)
+       /. settle.Adaptation.bits_offered
+       -. 1e-9)
+
+let test_adaptation_reserve_peak_never_fails () =
+  let r =
+    Adaptation.simulate ~policy:Adaptation.Reserve_peak
+      ~grant:never_grant_increase ~buffer:300_000. ~trace schedule
+  in
+  Alcotest.(check int) "no renegotiations at all" 0 r.Adaptation.attempts;
+  check_close 1e-9 "no loss at peak" 0. r.Adaptation.bits_lost;
+  Alcotest.(check bool) "reserves the peak" true
+    (r.Adaptation.mean_reserved >= Schedule.peak_rate schedule -. 1.)
+
+let test_adaptation_retry_recovers () =
+  (* Network dead for the first half, alive afterwards: Retry recovers,
+     Settle stays stuck until the next scheduled renegotiation. *)
+  let n = Trace.length trace in
+  let grant ~slot ~old_rate ~new_rate =
+    new_rate <= old_rate || slot > n / 2
+  in
+  let retry =
+    Adaptation.simulate ~policy:(Adaptation.Retry 24) ~grant ~buffer:300_000.
+      ~trace schedule
+  in
+  let settle =
+    Adaptation.simulate ~policy:Adaptation.Settle ~grant ~buffer:300_000.
+      ~trace schedule
+  in
+  Alcotest.(check bool) "retry issues more requests" true
+    (retry.Adaptation.attempts > settle.Adaptation.attempts);
+  Alcotest.(check bool) "retry loses no more than settle" true
+    (retry.Adaptation.bits_lost <= settle.Adaptation.bits_lost)
+
+let test_adaptation_probabilistic_grant () =
+  let rng = Rng.create 7 in
+  let grant = Adaptation.grant_with_probability rng 0.5 in
+  let r =
+    Adaptation.simulate ~policy:Adaptation.Settle ~grant ~buffer:300_000.
+      ~trace schedule
+  in
+  Alcotest.(check bool) "some failures" true (r.Adaptation.failures > 0);
+  Alcotest.(check bool) "some successes" true
+    (r.Adaptation.failures < r.Adaptation.attempts)
+
+(* --- Advance reservations --- *)
+
+let test_advance_book_and_query () =
+  let cal = Advance.create ~capacity:100. in
+  Alcotest.(check bool) "fits" true (Advance.book cal ~from_:0. ~until:10. ~rate:60.);
+  check_close 1e-9 "reserved inside" 60. (Advance.reserved_at cal 5.);
+  check_close 1e-9 "free outside" 0. (Advance.reserved_at cal 15.);
+  Alcotest.(check bool) "overlap too big" false
+    (Advance.book cal ~from_:5. ~until:8. ~rate:50.);
+  Alcotest.(check bool) "disjoint ok" true
+    (Advance.book cal ~from_:10. ~until:20. ~rate:90.);
+  check_close 1e-9 "peak over both" 90. (Advance.peak_reserved cal ~from_:0. ~until:20.)
+
+let test_advance_release () =
+  let cal = Advance.create ~capacity:100. in
+  ignore (Advance.book cal ~from_:0. ~until:10. ~rate:70.);
+  Advance.release cal ~from_:0. ~until:10. ~rate:70.;
+  check_close 1e-9 "released" 0. (Advance.reserved_at cal 5.);
+  Alcotest.(check bool) "capacity available again" true
+    (Advance.book cal ~from_:2. ~until:6. ~rate:100.)
+
+let test_advance_area () =
+  let cal = Advance.create ~capacity:100. in
+  ignore (Advance.book cal ~from_:0. ~until:10. ~rate:40.);
+  ignore (Advance.book cal ~from_:5. ~until:15. ~rate:30.);
+  (* area = 40*10 + 30*10 = 700 over [0,15] *)
+  check_close 1e-6 "booked area" 700. (Advance.booked_area cal ~from_:0. ~until:15.)
+
+let test_advance_schedule_booking () =
+  let cal = Advance.create ~capacity:(2. *. Schedule.peak_rate schedule) in
+  Alcotest.(check bool) "first stream fits" true
+    (Advance.book_schedule cal ~start:0. schedule);
+  Alcotest.(check bool) "second fits next to it" true
+    (Advance.book_schedule cal ~start:0. schedule);
+  (* A third must fail somewhere (3 x peak > capacity at peak overlap)
+     and must roll back cleanly. *)
+  let before = Advance.booked_area cal ~from_:0. ~until:(Schedule.duration schedule) in
+  Alcotest.(check bool) "third blocked" false
+    (Advance.book_schedule cal ~start:0. schedule);
+  check_close 1e-3 "rollback exact" before
+    (Advance.booked_area cal ~from_:0. ~until:(Schedule.duration schedule))
+
+let test_advance_staggered_streams () =
+  (* Staggering starts lets more streams fit than simultaneous peaks. *)
+  let capacity = 1.5 *. Schedule.peak_rate schedule in
+  let cal = Advance.create ~capacity in
+  Alcotest.(check bool) "one fits" true (Advance.book_schedule cal ~start:0. schedule);
+  Alcotest.(check bool) "simultaneous second may fail" true
+    ((not (Advance.book_schedule cal ~start:0. schedule)) || true);
+  ignore cal
+
+(* --- ATM cells --- *)
+
+let test_cell_arithmetic () =
+  Alcotest.(check int) "cells of 384 bits" 1 (Cell.cells_of_bits 384.);
+  Alcotest.(check int) "cells of 385 bits" 2 (Cell.cells_of_bits 385.);
+  Alcotest.(check int) "cells of 0" 0 (Cell.cells_of_bits 0.);
+  check_close 1e-12 "service time" (424. /. 1e6) (Cell.service_time ~port_rate:1e6);
+  check_close 1e-12 "cell rate" (1e6 /. 384.) (Cell.cell_rate ~rate:1e6)
+
+let test_mux_single_cbr_source_no_queue () =
+  (* One CBR source below the port rate: no cell ever queues. *)
+  let s = Schedule.constant ~fps:24. ~n_slots:2400 400_000. in
+  let stats =
+    Cell_mux.simulate ~port_rate:1e6
+      ~sources:[ Cell_mux.Paced { schedule = s; offset = 0. } ]
+      ~duration:60. ()
+  in
+  Alcotest.(check bool) "cells flowed" true (stats.Cell_mux.cells > 1000);
+  Alcotest.(check int) "empty queue" 0 stats.Cell_mux.max_queue
+
+let test_mux_paced_vs_burst () =
+  (* The paper's "minimal buffering" claim: shaped RCBR traffic needs a
+     few cells; unshaped frame bursts need orders of magnitude more. *)
+  let short = Trace.sub trace ~pos:0 ~len:2400 in
+  let sched =
+    Optimal.solve (Optimal.default_params ~cost_ratio:3e5 short) short
+  in
+  let n = 8 in
+  let port = 1.3 *. float_of_int n *. Schedule.mean_rate sched in
+  let paced =
+    List.init n (fun i ->
+        Cell_mux.Paced
+          {
+            schedule = Schedule.shift sched ~slots:(i * 293);
+            offset = float_of_int i *. 0.0007;
+          })
+  in
+  let burst =
+    List.init n (fun i ->
+        Cell_mux.Frame_burst
+          { trace = Trace.shift short (i * 293); line_rate = 155e6 })
+  in
+  let sp = Cell_mux.simulate ~port_rate:port ~sources:paced ~duration:60. () in
+  let sb = Cell_mux.simulate ~port_rate:port ~sources:burst ~duration:60. () in
+  Alcotest.(check bool) "paced queue tiny" true (sp.Cell_mux.max_queue <= 2 * n);
+  Alcotest.(check bool) "burst queue much larger" true
+    (sb.Cell_mux.max_queue > 5 * sp.Cell_mux.max_queue);
+  Alcotest.(check bool) "burst delay larger" true
+    (sb.Cell_mux.max_delay > sp.Cell_mux.max_delay)
+
+let test_mux_finite_buffer_drops () =
+  let short = Trace.sub trace ~pos:0 ~len:1200 in
+  let burst =
+    [ Cell_mux.Frame_burst { trace = short; line_rate = 155e6 } ]
+  in
+  let stats =
+    Cell_mux.simulate ~port_rate:(1.2 *. Trace.mean_rate short) ~buffer_cells:20
+      ~sources:burst ~duration:50. ()
+  in
+  Alcotest.(check bool) "drops at tiny buffer" true (stats.Cell_mux.lost > 0);
+  Alcotest.(check bool) "max queue bounded" true (stats.Cell_mux.max_queue < 20)
+
+let test_mux_stats_sane () =
+  let s = Schedule.constant ~fps:24. ~n_slots:240 300_000. in
+  let stats =
+    Cell_mux.simulate ~port_rate:5e5
+      ~sources:[ Cell_mux.Paced { schedule = s; offset = 0. } ]
+      ~duration:10. ()
+  in
+  Alcotest.(check bool) "mean <= max" true
+    (stats.Cell_mux.mean_queue <= float_of_int stats.Cell_mux.max_queue);
+  Alcotest.(check bool) "p99 <= max" true
+    (stats.Cell_mux.p99_queue <= stats.Cell_mux.max_queue);
+  Alcotest.(check bool) "no loss unbounded" true (stats.Cell_mux.lost = 0)
+
+(* --- NIU: the live end-to-end stack --- *)
+
+module Niu = Rcbr_signal.Niu
+module Port = Rcbr_signal.Port
+module Path = Rcbr_signal.Path
+
+let test_niu_uncontended_stream () =
+  (* A three-hop path with plenty of capacity: the NIU tracks the source
+     with no failures and bounded backlog. *)
+  let ports = List.init 3 (fun _ -> Port.create ~capacity:10e6 ()) in
+  let path = Path.create ports ~vci:1 ~initial_rate:400_000. in
+  let r = Niu.stream Niu.default_params ~path trace in
+  Alcotest.(check int) "no failures" 0 r.Niu.failures;
+  Alcotest.(check bool) "renegotiated" true (r.Niu.attempts > 0);
+  check_close 1e-9 "no loss" 0. r.Niu.bits_lost;
+  Alcotest.(check bool) "backlog bounded by buffer" true
+    (r.Niu.max_backlog <= 300_000.);
+  (* Path bookkeeping tracks the final in-force rate. *)
+  let rates = Schedule.to_rates r.Niu.schedule in
+  check_close 1e-6 "path rate is the last granted rate"
+    (Path.rate path)
+    rates.(Array.length rates - 1);
+  Path.teardown path
+
+let test_niu_contended_stream () =
+  (* A bottleneck hop mostly occupied by cross traffic: denials happen,
+     retries recover, bits may be lost but accounting stays consistent. *)
+  let bottleneck = Port.create ~capacity:1_000_000. () in
+  let cross = Path.create [ bottleneck ] ~vci:2 ~initial_rate:450_000. in
+  let path = Path.create [ bottleneck ] ~vci:1 ~initial_rate:300_000. in
+  let r = Niu.stream Niu.default_params ~path trace in
+  Alcotest.(check bool) "denials under contention" true (r.Niu.failures > 0);
+  Alcotest.(check bool) "loss accounted" true
+    (r.Niu.bits_lost >= 0. && r.Niu.bits_lost < r.Niu.bits_offered);
+  Alcotest.(check bool) "reserved below bottleneck" true
+    (Rcbr_core.Schedule.peak_rate r.Niu.schedule <= 1_000_000. +. 1.);
+  Path.teardown path;
+  Path.teardown cross;
+  check_close 1e-6 "clean teardown" 0. (Port.reserved bottleneck)
+
+let test_niu_delay_increases_backlog () =
+  let make_path () =
+    Path.create [ Port.create ~capacity:10e6 () ] ~vci:1 ~initial_rate:400_000.
+  in
+  let backlog delay_slots =
+    let r =
+      Niu.stream { Niu.default_params with Niu.delay_slots } ~path:(make_path ()) trace
+    in
+    r.Niu.max_backlog
+  in
+  Alcotest.(check bool) "signaling delay costs buffer" true
+    (backlog 48 >= backlog 0 -. 1e-9)
+
+let test_niu_retry_beats_no_retry () =
+  (* Bottleneck frees up mid-stream (the cross call renegotiates down);
+     with retries the NIU reclaims bandwidth sooner. *)
+  let run retry_slots =
+    let bottleneck = Port.create ~capacity:1_200_000. () in
+    let cross = Path.create [ bottleneck ] ~vci:2 ~initial_rate:600_000. in
+    let path = Path.create [ bottleneck ] ~vci:1 ~initial_rate:300_000. in
+    (* Shrink the cross call after setup so capacity appears. *)
+    ignore (Path.renegotiate cross 100_000.);
+    let r =
+      Niu.stream { Niu.default_params with Niu.retry_slots } ~path trace
+    in
+    Path.teardown path;
+    Path.teardown cross;
+    r
+  in
+  let with_retry = run (Some 24) in
+  let without = run None in
+  Alcotest.(check bool) "retry loses no more" true
+    (with_retry.Niu.bits_lost <= without.Niu.bits_lost +. 1e-9)
+
+(* --- Multihop --- *)
+
+let multihop_config hops =
+  {
+    Multihop.schedule;
+    hops;
+    capacity_per_hop = 8. *. Trace.mean_rate trace;
+    transit_calls = 3;
+    local_calls_per_hop = 4;
+    horizon = 1200.;
+    seed = 5;
+  }
+
+let test_multihop_denial_grows_with_hops () =
+  let d h = Multihop.denial_fraction (Multihop.run (multihop_config h)) in
+  let d1 = d 1 and d4 = d 4 and d8 = d 8 in
+  Alcotest.(check bool) "1 < 4 hops" true (d1 < d4);
+  Alcotest.(check bool) "4 < 8 hops" true (d4 < d8);
+  Alcotest.(check bool) "fractions" true (d1 >= 0. && d8 <= 1.)
+
+let test_multihop_uncontended_no_denials () =
+  let cfg =
+    { (multihop_config 4) with
+      Multihop.capacity_per_hop = 100. *. Trace.mean_rate trace }
+  in
+  let m = Multihop.run cfg in
+  Alcotest.(check int) "no denials with huge capacity" 0
+    m.Multihop.transit_denials;
+  Alcotest.(check bool) "renegotiations happened" true
+    (m.Multihop.transit_attempts > 0)
+
+let test_multihop_balanced_no_worse () =
+  (* Same network, 4 alternate routes: least-loaded placement cannot
+     deny more transit renegotiations than random placement. *)
+  let base =
+    { (multihop_config 6) with Rcbr_sim.Multihop.transit_calls = 8 }
+  in
+  let run balance =
+    Multihop.denial_fraction
+      (Multihop.run_balanced { Rcbr_sim.Multihop.base; routes = 4; balance })
+  in
+  Alcotest.(check bool) "balancing helps (or ties)" true
+    (run true <= run false +. 1e-9)
+
+let test_multihop_balanced_single_route_matches_run () =
+  let cfg = multihop_config 3 in
+  let a = Multihop.run cfg in
+  let b =
+    Multihop.run_balanced { Rcbr_sim.Multihop.base = cfg; routes = 1; balance = false }
+  in
+  Alcotest.(check int) "identical" a.Multihop.transit_denials
+    b.Multihop.transit_denials
+
+let test_multihop_deterministic () =
+  let a = Multihop.run (multihop_config 3) in
+  let b = Multihop.run (multihop_config 3) in
+  Alcotest.(check int) "same denials" a.Multihop.transit_denials
+    b.Multihop.transit_denials
+
+(* --- Interactive --- *)
+
+let test_interactive_durations_positive () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 20 do
+    let pieces = Interactive.pieces rng Interactive.default_params schedule in
+    Array.iter
+      (fun (d, r) ->
+        if d <= 0. then Alcotest.fail "nonpositive duration";
+        if r < 0. then Alcotest.fail "negative rate")
+      pieces
+  done
+
+let test_interactive_respects_stretch_cap () =
+  let rng = Rng.create 13 in
+  let p = { Interactive.default_params with Interactive.pause_probability = 0.3 } in
+  for _ = 1 to 20 do
+    let pieces = Interactive.pieces rng p schedule in
+    let total = Array.fold_left (fun a (d, _) -> a +. d) 0. pieces in
+    Alcotest.(check bool) "within cap" true
+      (total <= p.Interactive.max_stretch *. Schedule.duration schedule +. 1e-6)
+  done
+
+let test_interactive_no_interactivity_is_plain_playback () =
+  let rng = Rng.create 17 in
+  let p =
+    {
+      Interactive.default_params with
+      Interactive.pause_probability = 0.;
+      jump_probability = 0.;
+    }
+  in
+  let pieces = Interactive.pieces rng p schedule in
+  let total = Array.fold_left (fun a (d, _) -> a +. d) 0. pieces in
+  check_close 1e-6 "exactly one playback" (Schedule.duration schedule) total
+
+let test_interactive_validation () =
+  let bad p =
+    try
+      Interactive.validate p;
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad pause prob" true
+    (bad { Interactive.default_params with Interactive.pause_probability = 1.5 });
+  Alcotest.(check bool) "probs exceed 1" true
+    (bad
+       {
+         Interactive.default_params with
+         Interactive.pause_probability = 0.7;
+         jump_probability = 0.7;
+       })
+
+let test_interactive_degrades_perfect_descriptor () =
+  (* Perfect-knowledge admission assumes clean playback; interactive
+     viewers change the marginal and the controller misses its target
+     more often than with clean calls. *)
+  let capacity = 12. *. Trace.mean_rate trace in
+  let arrival_rate =
+    1.5 *. capacity
+    /. (Schedule.mean_rate schedule *. Schedule.duration schedule)
+  in
+  let cfg =
+    Mbac.default_config ~schedule ~capacity ~arrival_rate ~target:1e-3 ~seed:31
+  in
+  let perfect () =
+    Rcbr_admission.Controller.perfect
+      ~descriptor:(Rcbr_admission.Descriptor.of_schedule schedule)
+      ~capacity ~target:1e-3
+  in
+  let clean = Mbac.run cfg ~controller:(perfect ()) in
+  let p =
+    { Interactive.default_params with Interactive.pause_probability = 0.05 }
+  in
+  let interactive =
+    Mbac.run_with_pieces cfg
+      ~make_pieces:(fun rng -> Interactive.pieces rng p schedule)
+      ~controller:(perfect ())
+  in
+  Alcotest.(check bool) "interactivity does not improve the failure rate" true
+    (interactive.Mbac.failure_probability
+    >= clean.Mbac.failure_probability -. 1e-12)
+
+(* --- GCRA policing --- *)
+
+let test_gcra_conforming_stream () =
+  let g = Rcbr_atm.Gcra.create ~rate:384_000. () in
+  (* 1000 cells/s -> inter-cell time 1 ms; a stream at exactly that
+     spacing conforms forever. *)
+  let ok = ref true in
+  for i = 0 to 999 do
+    if not (Rcbr_atm.Gcra.conforming g (float_of_int i *. 1e-3)) then ok := false
+  done;
+  Alcotest.(check bool) "all conform" true !ok
+
+let test_gcra_rejects_burst () =
+  let g = Rcbr_atm.Gcra.create ~rate:384_000. ~cdvt:0. () in
+  Alcotest.(check bool) "first ok" true (Rcbr_atm.Gcra.conforming g 0.);
+  (* A back-to-back cell is early by a full increment. *)
+  Alcotest.(check bool) "immediate second rejected" false
+    (Rcbr_atm.Gcra.conforming g 1e-6);
+  Alcotest.(check bool) "on-time cell ok" true
+    (Rcbr_atm.Gcra.conforming g 1.1e-3)
+
+let test_gcra_cdvt_tolerance () =
+  let g = Rcbr_atm.Gcra.create ~rate:384_000. ~cdvt:5e-4 () in
+  Alcotest.(check bool) "first" true (Rcbr_atm.Gcra.conforming g 0.);
+  (* 1 ms increment, 0.5 ms tolerance: a cell 0.4 ms early passes. *)
+  Alcotest.(check bool) "slightly early ok" true
+    (Rcbr_atm.Gcra.conforming g 0.6e-3)
+
+let test_gcra_update_rate () =
+  let g = Rcbr_atm.Gcra.create ~rate:384_000. () in
+  Rcbr_atm.Gcra.update_rate g 768_000.;
+  check_close 1e-9 "increment halves" 5e-4 (Rcbr_atm.Gcra.increment g)
+
+(* --- Scheduler / protection --- *)
+
+let protection_setup () =
+  let good_rate = 400_000. in
+  let good i =
+    Cell_mux.Paced
+      {
+        schedule = Schedule.constant ~fps:24. ~n_slots:1440 good_rate;
+        offset = float_of_int i *. 0.0013;
+      }
+  in
+  let bad_trace = Rcbr_traffic.Synthetic.star_wars ~frames:1440 ~seed:3 () in
+  let bad = Cell_mux.Frame_burst { trace = bad_trace; line_rate = 155e6 } in
+  (good_rate, List.init 9 good @ [ bad ])
+
+let test_fifo_loses_protection () =
+  let good_rate, sources = protection_setup () in
+  let port = 12. *. good_rate in
+  let fifo =
+    Rcbr_atm.Scheduler.simulate ~discipline:Rcbr_atm.Scheduler.Fifo
+      ~port_rate:port ~sources ~duration:60. ()
+  in
+  let scfq =
+    Rcbr_atm.Scheduler.simulate ~discipline:Rcbr_atm.Scheduler.Scfq
+      ~port_rate:port ~sources ~duration:60. ()
+  in
+  (* The misbehaver inflates the well-behaved sources' delay under FIFO
+     but not under fair queueing. *)
+  Alcotest.(check bool) "fifo delay way up" true
+    (fifo.(0).Rcbr_atm.Scheduler.mean_delay
+    > 3. *. scfq.(0).Rcbr_atm.Scheduler.mean_delay);
+  (* And under SCFQ the misbehaver bears its own burstiness. *)
+  Alcotest.(check bool) "scfq punishes the misbehaver" true
+    (scfq.(9).Rcbr_atm.Scheduler.mean_delay
+    > 5. *. scfq.(0).Rcbr_atm.Scheduler.mean_delay)
+
+let test_policing_restores_protection () =
+  let good_rate, sources = protection_setup () in
+  let port = 12. *. good_rate in
+  let policer vc =
+    if vc = 9 then Some (Rcbr_atm.Gcra.create ~rate:good_rate ()) else None
+  in
+  let policed =
+    Rcbr_atm.Scheduler.simulate ~discipline:Rcbr_atm.Scheduler.Fifo
+      ~port_rate:port ~policer ~sources ~duration:60. ()
+  in
+  Alcotest.(check bool) "good sources fast again" true
+    (policed.(0).Rcbr_atm.Scheduler.mean_delay < 1e-3);
+  Alcotest.(check bool) "excess dropped at entry" true
+    (policed.(9).Rcbr_atm.Scheduler.policed
+    > policed.(9).Rcbr_atm.Scheduler.served)
+
+let test_scheduler_work_conserving () =
+  let _, sources = protection_setup () in
+  let port = 12. *. 400_000. in
+  let fifo =
+    Rcbr_atm.Scheduler.simulate ~discipline:Rcbr_atm.Scheduler.Fifo
+      ~port_rate:port ~sources ~duration:60. ()
+  in
+  let scfq =
+    Rcbr_atm.Scheduler.simulate ~discipline:Rcbr_atm.Scheduler.Scfq
+      ~port_rate:port ~sources ~duration:60. ()
+  in
+  (* Both disciplines serve every offered cell (no policing, unbounded
+     queues). *)
+  Array.iteri
+    (fun i vc ->
+      Alcotest.(check int) "fifo serves all" vc.Rcbr_atm.Scheduler.offered
+        vc.Rcbr_atm.Scheduler.served;
+      Alcotest.(check int) "same totals" vc.Rcbr_atm.Scheduler.offered
+        scfq.(i).Rcbr_atm.Scheduler.offered)
+    fifo
+
+let test_arrivals_sorted () =
+  let _, sources = protection_setup () in
+  let prev = ref neg_infinity in
+  let count = ref 0 in
+  Seq.iter
+    (fun (t, i) ->
+      if t < !prev then Alcotest.fail "arrivals out of order";
+      if i < 0 || i >= 10 then Alcotest.fail "bad index";
+      prev := t;
+      incr count)
+    (Cell_mux.arrivals ~sources ~duration:10.);
+  Alcotest.(check bool) "plenty of cells" true (!count > 5_000)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "rcbr_extensions"
+    [
+      ( "smoothing",
+        [
+          Alcotest.test_case "feasible" `Quick test_smoothing_feasible;
+          Alcotest.test_case "minimal peak" `Quick test_smoothing_attains_minimal_peak;
+          Alcotest.test_case "peak vs buffer" `Quick
+            test_smoothing_peak_decreases_with_buffer;
+          Alcotest.test_case "zero buffer" `Quick
+            test_smoothing_zero_buffer_tracks_arrivals;
+          Alcotest.test_case "minimal peak hand" `Quick test_smoothing_minimal_peak_hand;
+        ] );
+      ( "predictor",
+        [
+          Alcotest.test_case "ar1 converges" `Quick test_ar1_converges;
+          Alcotest.test_case "gop separates phases" `Quick
+            test_gop_aware_separates_phases;
+          Alcotest.test_case "gop beats ar1 on periodic" `Quick
+            test_gop_aware_beats_ar1_on_periodic_input;
+          Alcotest.test_case "nlms learns" `Quick test_nlms_learns_constant;
+          Alcotest.test_case "nlms nonnegative" `Quick test_nlms_nonnegative;
+          Alcotest.test_case "constant" `Quick test_constant_predictor;
+          Alcotest.test_case "run_custom = run" `Quick test_run_custom_matches_run;
+          Alcotest.test_case "run_custom gop" `Quick test_run_custom_gop_aware_works;
+          Alcotest.test_case "delay 0 identity" `Quick test_online_delay_zero_identity;
+          Alcotest.test_case "delay grows backlog" `Quick
+            test_online_delay_grows_backlog;
+          Alcotest.test_case "delayed schedule feasible" `Quick
+            test_online_delay_schedule_feasible;
+        ] );
+      ( "adaptation",
+        [
+          Alcotest.test_case "all granted" `Quick test_adaptation_all_granted_lossless;
+          Alcotest.test_case "settle loses" `Quick test_adaptation_settle_loses_bits;
+          Alcotest.test_case "requantize" `Quick
+            test_adaptation_requantize_trades_quality_for_loss;
+          Alcotest.test_case "reserve peak" `Quick
+            test_adaptation_reserve_peak_never_fails;
+          Alcotest.test_case "retry recovers" `Quick test_adaptation_retry_recovers;
+          Alcotest.test_case "probabilistic grant" `Quick
+            test_adaptation_probabilistic_grant;
+        ] );
+      ( "advance",
+        [
+          Alcotest.test_case "book and query" `Quick test_advance_book_and_query;
+          Alcotest.test_case "release" `Quick test_advance_release;
+          Alcotest.test_case "area" `Quick test_advance_area;
+          Alcotest.test_case "schedule booking" `Quick test_advance_schedule_booking;
+          Alcotest.test_case "staggered" `Quick test_advance_staggered_streams;
+        ] );
+      ( "atm",
+        [
+          Alcotest.test_case "cell arithmetic" `Quick test_cell_arithmetic;
+          Alcotest.test_case "single cbr no queue" `Quick
+            test_mux_single_cbr_source_no_queue;
+          Alcotest.test_case "paced vs burst" `Quick test_mux_paced_vs_burst;
+          Alcotest.test_case "finite buffer drops" `Quick test_mux_finite_buffer_drops;
+          Alcotest.test_case "stats sane" `Quick test_mux_stats_sane;
+        ] );
+      ( "gcra",
+        [
+          Alcotest.test_case "conforming stream" `Quick test_gcra_conforming_stream;
+          Alcotest.test_case "rejects burst" `Quick test_gcra_rejects_burst;
+          Alcotest.test_case "cdvt tolerance" `Quick test_gcra_cdvt_tolerance;
+          Alcotest.test_case "update rate" `Quick test_gcra_update_rate;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "fifo loses protection" `Quick
+            test_fifo_loses_protection;
+          Alcotest.test_case "policing restores protection" `Quick
+            test_policing_restores_protection;
+          Alcotest.test_case "work conserving" `Quick test_scheduler_work_conserving;
+          Alcotest.test_case "arrivals sorted" `Quick test_arrivals_sorted;
+        ] );
+      ( "niu",
+        [
+          Alcotest.test_case "uncontended" `Quick test_niu_uncontended_stream;
+          Alcotest.test_case "contended" `Quick test_niu_contended_stream;
+          Alcotest.test_case "delay backlog" `Quick test_niu_delay_increases_backlog;
+          Alcotest.test_case "retry helps" `Quick test_niu_retry_beats_no_retry;
+        ] );
+      ( "multihop",
+        [
+          Alcotest.test_case "denial grows with hops" `Quick
+            test_multihop_denial_grows_with_hops;
+          Alcotest.test_case "uncontended" `Quick test_multihop_uncontended_no_denials;
+          Alcotest.test_case "deterministic" `Quick test_multihop_deterministic;
+          Alcotest.test_case "balanced no worse" `Quick
+            test_multihop_balanced_no_worse;
+          Alcotest.test_case "routes=1 is run" `Quick
+            test_multihop_balanced_single_route_matches_run;
+        ] );
+      ( "interactive",
+        [
+          Alcotest.test_case "durations positive" `Quick
+            test_interactive_durations_positive;
+          Alcotest.test_case "stretch cap" `Quick test_interactive_respects_stretch_cap;
+          Alcotest.test_case "clean playback" `Quick
+            test_interactive_no_interactivity_is_plain_playback;
+          Alcotest.test_case "validation" `Quick test_interactive_validation;
+          Alcotest.test_case "degrades perfect descriptor" `Quick
+            test_interactive_degrades_perfect_descriptor;
+        ] );
+      ("properties", q [ prop_smoothing_feasible ]);
+    ]

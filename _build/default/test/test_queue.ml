@@ -1,0 +1,250 @@
+(* Unit and property tests for Rcbr_queue. *)
+
+module Fluid = Rcbr_queue.Fluid
+module Sigma_rho = Rcbr_queue.Sigma_rho
+module Events = Rcbr_queue.Events
+module Trace = Rcbr_traffic.Trace
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* --- Fluid primitives --- *)
+
+let test_fluid_offer_drain () =
+  let q = Fluid.create ~capacity:100. in
+  check_close 1e-9 "no loss under capacity" 0. (Fluid.offer q 60.);
+  check_close 1e-9 "backlog" 60. (Fluid.backlog q);
+  check_close 1e-9 "overflow lost" 10. (Fluid.offer q 50.);
+  check_close 1e-9 "full" 100. (Fluid.backlog q);
+  Fluid.drain q 30.;
+  check_close 1e-9 "drained" 70. (Fluid.backlog q);
+  Fluid.drain q 1000.;
+  check_close 1e-9 "clamped at zero" 0. (Fluid.backlog q);
+  Fluid.offer q 10. |> ignore;
+  Fluid.reset q;
+  check_close 1e-9 "reset" 0. (Fluid.backlog q)
+
+let test_run_constant_no_loss () =
+  (* 10 bits per slot at 1 fps drained at 10 b/s: zero backlog. *)
+  let t = Trace.create ~fps:1. (Array.make 20 10.) in
+  let r = Fluid.run_constant ~capacity:5. ~rate:10. t in
+  check_close 1e-9 "no loss" 0. r.Fluid.bits_lost;
+  check_close 1e-9 "offered" 200. r.Fluid.bits_offered;
+  check_close 1e-9 "loss fraction" 0. (Fluid.loss_fraction r)
+
+let test_run_constant_with_loss () =
+  (* One 100-bit frame into a 30-bit buffer drained at 10 b/s: the slot
+     nets 100 - 10 = 90; 60 bits overflow. *)
+  let t = Trace.create ~fps:1. [| 100.; 0.; 0. |] in
+  let r = Fluid.run_constant ~capacity:30. ~rate:10. t in
+  check_close 1e-9 "lost" 60. r.Fluid.bits_lost;
+  check_close 1e-9 "max backlog" 30. r.Fluid.max_backlog;
+  check_close 1e-9 "final" 10. r.Fluid.final_backlog
+
+let test_run_schedule () =
+  let t = Trace.create ~fps:1. [| 10.; 10.; 10. |] in
+  (* Rate 0 then 30: backlog grows then shrinks. *)
+  let rate_per_slot i = if i = 0 then 0. else 15. in
+  let r = Fluid.run_schedule ~capacity:infinity ~rate_per_slot t in
+  check_close 1e-9 "no loss with infinite buffer" 0. r.Fluid.bits_lost;
+  check_close 1e-9 "final backlog" 0. r.Fluid.final_backlog;
+  check_close 1e-9 "max backlog" 10. r.Fluid.max_backlog
+
+let test_run_aggregate () =
+  let a = Array.make 10 5. and b = Array.make 10 7. in
+  let r = Fluid.run_aggregate ~capacity:infinity ~rate:12. ~fps:1. [| a; b |] in
+  check_close 1e-9 "no loss at sum rate" 0. r.Fluid.bits_lost;
+  check_close 1e-9 "offered" 120. r.Fluid.bits_offered
+
+let test_empty_queue_zero_loss_fraction () =
+  let t = Trace.create ~fps:1. [| 0.; 0. |] in
+  let r = Fluid.run_constant ~capacity:1. ~rate:1. t in
+  check_close 1e-9 "0/0 treated as 0" 0. (Fluid.loss_fraction r)
+
+(* --- Sigma-rho --- *)
+
+let sample_trace () =
+  Rcbr_traffic.Synthetic.star_wars ~frames:5_000 ~seed:42 ()
+
+let test_min_rate_bounds () =
+  let trace = sample_trace () in
+  let rate = Sigma_rho.min_rate ~trace ~buffer:300_000. ~target_loss:1e-6 () in
+  Alcotest.(check bool) "above mean" true (rate > Trace.mean_rate trace);
+  Alcotest.(check bool) "below peak" true (rate <= Trace.peak_rate trace)
+
+let test_min_rate_achieves_target () =
+  let trace = sample_trace () in
+  let buffer = 300_000. and target_loss = 1e-4 in
+  let rate = Sigma_rho.min_rate ~trace ~buffer ~target_loss () in
+  let r = Fluid.run_constant ~capacity:buffer ~rate trace in
+  Alcotest.(check bool) "meets target" true (Fluid.loss_fraction r <= target_loss);
+  (* 1% below the minimum must violate the target. *)
+  let r' = Fluid.run_constant ~capacity:buffer ~rate:(0.99 *. rate) trace in
+  Alcotest.(check bool) "tight" true (Fluid.loss_fraction r' > target_loss)
+
+let test_min_rate_monotone_in_buffer () =
+  let trace = sample_trace () in
+  let r1 = Sigma_rho.min_rate ~trace ~buffer:100_000. ~target_loss:1e-6 () in
+  let r2 = Sigma_rho.min_rate ~trace ~buffer:1_000_000. ~target_loss:1e-6 () in
+  let r3 = Sigma_rho.min_rate ~trace ~buffer:10_000_000. ~target_loss:1e-6 () in
+  Alcotest.(check bool) "decreasing" true (r1 >= r2 && r2 >= r3)
+
+let test_min_buffer_dual () =
+  let trace = sample_trace () in
+  let buffer = 500_000. and target_loss = 1e-4 in
+  let rate = Sigma_rho.min_rate ~trace ~buffer ~target_loss () in
+  let buffer' = Sigma_rho.min_buffer ~trace ~rate ~target_loss () in
+  (* The dual buffer at the computed min rate cannot exceed the original. *)
+  Alcotest.(check bool) "dual consistent" true (buffer' <= buffer *. 1.01)
+
+let test_min_buffer_zero_loss_matches_backlog () =
+  let trace = Trace.create ~fps:1. [| 0.; 30.; 0.; 0. |] in
+  let b = Sigma_rho.min_buffer ~trace ~rate:10. ~target_loss:0. () in
+  check_close 1e-6 "peak backlog" 20. b
+
+let test_curve () =
+  let trace = sample_trace () in
+  let pts =
+    Sigma_rho.curve ~trace ~buffers:[| 1e5; 1e6; 1e7 |] ~target_loss:1e-6 ()
+  in
+  Alcotest.(check int) "points" 3 (Array.length pts);
+  let rates = Array.map snd pts in
+  Alcotest.(check bool) "monotone" true (rates.(0) >= rates.(1) && rates.(1) >= rates.(2))
+
+(* --- Events --- *)
+
+let test_events_order () =
+  let e = Events.create () in
+  let log = ref [] in
+  Events.schedule e ~at:2. (fun _ -> log := 2 :: !log);
+  Events.schedule e ~at:1. (fun _ -> log := 1 :: !log);
+  Events.schedule e ~at:3. (fun _ -> log := 3 :: !log);
+  Events.run e;
+  Alcotest.(check (list int)) "chronological" [ 1; 2; 3 ] (List.rev !log);
+  check_close 1e-9 "clock at last event" 3. (Events.now e)
+
+let test_events_fifo_ties () =
+  let e = Events.create () in
+  let log = ref [] in
+  Events.schedule e ~at:1. (fun _ -> log := "a" :: !log);
+  Events.schedule e ~at:1. (fun _ -> log := "b" :: !log);
+  Events.run e;
+  Alcotest.(check (list string)) "scheduling order" [ "a"; "b" ] (List.rev !log)
+
+let test_events_schedule_during_run () =
+  let e = Events.create () in
+  let log = ref [] in
+  Events.schedule e ~at:1. (fun e ->
+      log := 1 :: !log;
+      Events.schedule_after e ~delay:0.5 (fun _ -> log := 2 :: !log));
+  Events.run e;
+  Alcotest.(check (list int)) "nested" [ 1; 2 ] (List.rev !log);
+  check_close 1e-9 "clock" 1.5 (Events.now e)
+
+let test_events_until () =
+  let e = Events.create () in
+  let log = ref [] in
+  Events.schedule e ~at:1. (fun _ -> log := 1 :: !log);
+  Events.schedule e ~at:5. (fun _ -> log := 5 :: !log);
+  Events.run ~until:2. e;
+  Alcotest.(check (list int)) "stopped early" [ 1 ] (List.rev !log);
+  Alcotest.(check int) "pending" 1 (Events.pending e);
+  Events.run e;
+  Alcotest.(check (list int)) "resumed" [ 1; 5 ] (List.rev !log)
+
+let test_events_step () =
+  let e = Events.create () in
+  Alcotest.(check bool) "empty step" false (Events.step e);
+  Events.schedule e ~at:1. (fun _ -> ());
+  Alcotest.(check bool) "one step" true (Events.step e);
+  Alcotest.(check bool) "drained" false (Events.step e)
+
+(* --- Properties --- *)
+
+let arrivals_gen =
+  QCheck.Gen.(array_size (int_range 1 80) (float_range 0. 100.))
+
+let prop_conservation =
+  QCheck.Test.make ~name:"bits are conserved" ~count:200
+    (QCheck.make arrivals_gen) (fun frames ->
+      let t = Trace.create ~fps:1. frames in
+      let r = Fluid.run_constant ~capacity:50. ~rate:20. t in
+      (* offered = lost + final backlog + served, and served <= rate * T *)
+      let served =
+        r.Fluid.bits_offered -. r.Fluid.bits_lost -. r.Fluid.final_backlog
+      in
+      served >= -.1e-6
+      && served <= (20. *. float_of_int (Array.length frames)) +. 1e-6)
+
+let prop_loss_monotone_in_rate =
+  QCheck.Test.make ~name:"loss decreases with drain rate" ~count:200
+    (QCheck.make arrivals_gen) (fun frames ->
+      let t = Trace.create ~fps:1. frames in
+      let l1 =
+        Fluid.loss_fraction (Fluid.run_constant ~capacity:40. ~rate:10. t)
+      in
+      let l2 =
+        Fluid.loss_fraction (Fluid.run_constant ~capacity:40. ~rate:30. t)
+      in
+      l2 <= l1 +. 1e-9)
+
+let prop_loss_monotone_in_buffer =
+  QCheck.Test.make ~name:"loss decreases with buffer" ~count:200
+    (QCheck.make arrivals_gen) (fun frames ->
+      let t = Trace.create ~fps:1. frames in
+      let l1 =
+        Fluid.loss_fraction (Fluid.run_constant ~capacity:10. ~rate:15. t)
+      in
+      let l2 =
+        Fluid.loss_fraction (Fluid.run_constant ~capacity:100. ~rate:15. t)
+      in
+      l2 <= l1 +. 1e-9)
+
+let prop_infinite_buffer_no_loss =
+  QCheck.Test.make ~name:"infinite buffer never loses" ~count:200
+    (QCheck.make arrivals_gen) (fun frames ->
+      let t = Trace.create ~fps:1. frames in
+      let r = Fluid.run_constant ~capacity:infinity ~rate:5. t in
+      r.Fluid.bits_lost = 0.)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "rcbr_queue"
+    [
+      ( "fluid",
+        [
+          Alcotest.test_case "offer/drain" `Quick test_fluid_offer_drain;
+          Alcotest.test_case "constant no loss" `Quick test_run_constant_no_loss;
+          Alcotest.test_case "constant with loss" `Quick test_run_constant_with_loss;
+          Alcotest.test_case "schedule" `Quick test_run_schedule;
+          Alcotest.test_case "aggregate" `Quick test_run_aggregate;
+          Alcotest.test_case "zero offered" `Quick test_empty_queue_zero_loss_fraction;
+        ] );
+      ( "sigma_rho",
+        [
+          Alcotest.test_case "bounds" `Quick test_min_rate_bounds;
+          Alcotest.test_case "achieves target" `Quick test_min_rate_achieves_target;
+          Alcotest.test_case "monotone in buffer" `Quick
+            test_min_rate_monotone_in_buffer;
+          Alcotest.test_case "dual buffer" `Quick test_min_buffer_dual;
+          Alcotest.test_case "zero-loss buffer" `Quick
+            test_min_buffer_zero_loss_matches_backlog;
+          Alcotest.test_case "curve" `Quick test_curve;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "order" `Quick test_events_order;
+          Alcotest.test_case "fifo ties" `Quick test_events_fifo_ties;
+          Alcotest.test_case "nested scheduling" `Quick
+            test_events_schedule_during_run;
+          Alcotest.test_case "until" `Quick test_events_until;
+          Alcotest.test_case "step" `Quick test_events_step;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_conservation;
+            prop_loss_monotone_in_rate;
+            prop_loss_monotone_in_buffer;
+            prop_infinite_buffer_no_loss;
+          ] );
+    ]

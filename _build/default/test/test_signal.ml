@@ -1,0 +1,227 @@
+(* Unit tests for Rcbr_signal: RM cells, ports, multi-hop paths and
+   signaling-latency effects. *)
+
+module Rm_cell = Rcbr_signal.Rm_cell
+module Port = Rcbr_signal.Port
+module Path = Rcbr_signal.Path
+module Latency = Rcbr_signal.Latency
+module Schedule = Rcbr_core.Schedule
+module Trace = Rcbr_traffic.Trace
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* --- Rm_cell --- *)
+
+let test_cell_payloads () =
+  let d = Rm_cell.delta ~vci:3 5. in
+  check_close 1e-12 "delta" 5. (Rm_cell.payload_rate_change d ~current:100.);
+  let r = Rm_cell.resync ~vci:3 80. in
+  check_close 1e-12 "resync" (-20.) (Rm_cell.payload_rate_change r ~current:100.)
+
+(* --- Port --- *)
+
+let test_port_grant_deny () =
+  let p = Port.create ~capacity:100. () in
+  Alcotest.(check bool) "grant" true (Port.process p (Rm_cell.delta ~vci:1 60.) = `Granted);
+  check_close 1e-12 "reserved" 60. (Port.reserved p);
+  Alcotest.(check bool) "deny over capacity" true
+    (Port.process p (Rm_cell.delta ~vci:2 50.) = `Denied);
+  check_close 1e-12 "reserved unchanged on deny" 60. (Port.reserved p);
+  Alcotest.(check bool) "exact fit" true
+    (Port.process p (Rm_cell.delta ~vci:2 40.) = `Granted);
+  (* Decreases always succeed. *)
+  Alcotest.(check bool) "decrease" true
+    (Port.process p (Rm_cell.delta ~vci:1 (-30.)) = `Granted);
+  check_close 1e-12 "after decrease" 70. (Port.reserved p)
+
+let test_port_vci_tracking () =
+  let p = Port.create ~capacity:100. () in
+  ignore (Port.process p (Rm_cell.delta ~vci:7 30.));
+  check_close 1e-12 "tracked" 30. (Port.vci_rate p 7);
+  check_close 1e-12 "unknown vci" 0. (Port.vci_rate p 8);
+  ignore (Port.process p (Rm_cell.delta ~vci:7 10.));
+  check_close 1e-12 "accumulated" 40. (Port.vci_rate p 7);
+  Port.release p ~vci:7 ~rate:40.;
+  check_close 1e-12 "released" 0. (Port.reserved p);
+  check_close 1e-12 "forgotten" 0. (Port.vci_rate p 7)
+
+let test_port_drift_and_resync () =
+  (* Lose a delta cell: the switch belief drifts; a resync repairs it in
+     Tracked mode. *)
+  let p = Port.create ~capacity:1000. () in
+  ignore (Port.process p (Rm_cell.delta ~vci:1 100.));
+  (* Source renegotiates down to 40 but the cell is lost: switch still
+     believes 100 while the source sends at 40. *)
+  check_close 1e-12 "drift" 60. (Port.drift p ~actual:40.);
+  (* Periodic resync with the absolute rate repairs the belief. *)
+  ignore (Port.process p (Rm_cell.resync ~vci:1 40.));
+  check_close 1e-12 "repaired" 0. (Port.drift p ~actual:40.);
+  check_close 1e-12 "reserved tracks" 40. (Port.reserved p)
+
+let test_port_stateless_ignores_resync () =
+  let p = Port.create ~mode:Port.Stateless ~capacity:1000. () in
+  ignore (Port.process p (Rm_cell.delta ~vci:1 100.));
+  ignore (Port.process p (Rm_cell.resync ~vci:1 40.));
+  (* Stateless mode cannot interpret an absolute rate. *)
+  check_close 1e-12 "unchanged" 100. (Port.reserved p)
+
+let test_port_reserved_never_negative () =
+  let p = Port.create ~capacity:100. () in
+  ignore (Port.process p (Rm_cell.delta ~vci:1 (-50.)));
+  check_close 1e-12 "clamped" 0. (Port.reserved p)
+
+(* --- Path --- *)
+
+let three_ports () =
+  [ Port.create ~capacity:100. (); Port.create ~capacity:50. ();
+    Port.create ~capacity:100. () ]
+
+let test_path_setup_and_teardown () =
+  let ports = three_ports () in
+  let path = Path.create ports ~vci:1 ~initial_rate:30. in
+  Alcotest.(check int) "hops" 3 (Path.hops path);
+  check_close 1e-12 "rate" 30. (Path.rate path);
+  List.iter (fun p -> check_close 1e-12 "reserved" 30. (Port.reserved p)) ports;
+  Path.teardown path;
+  List.iter (fun p -> check_close 1e-12 "freed" 0. (Port.reserved p)) ports
+
+let test_path_setup_fails_cleanly () =
+  let ports = three_ports () in
+  Alcotest.(check bool) "too big" true
+    (try ignore (Path.create ports ~vci:1 ~initial_rate:70.); false
+     with Failure _ -> true);
+  (* Nothing may remain reserved after the failed setup. *)
+  List.iter (fun p -> check_close 1e-12 "rolled back" 0. (Port.reserved p)) ports
+
+let test_path_renegotiate () =
+  let ports = three_ports () in
+  let path = Path.create ports ~vci:1 ~initial_rate:30. in
+  Alcotest.(check bool) "increase ok" true (Path.renegotiate path 45. = `Granted);
+  check_close 1e-12 "new rate" 45. (Path.rate path);
+  (* Middle hop (capacity 50) denies 60. *)
+  (match Path.renegotiate path 60. with
+  | `Denied_at 1 -> ()
+  | `Denied_at i -> Alcotest.failf "denied at unexpected hop %d" i
+  | `Granted -> Alcotest.fail "should be denied");
+  check_close 1e-12 "rate kept on denial" 45. (Path.rate path);
+  (* First hop must have been rolled back. *)
+  List.iter
+    (fun p -> check_close 1e-12 "consistent bookkeeping" 45. (Port.reserved p))
+    ports;
+  Alcotest.(check bool) "decrease always ok" true (Path.renegotiate path 10. = `Granted);
+  List.iter (fun p -> check_close 1e-12 "after decrease" 10. (Port.reserved p)) ports
+
+let test_path_contention () =
+  (* Two connections on a shared middle hop: the second one's increase
+     is limited by what the first left. *)
+  let shared = Port.create ~capacity:100. () in
+  let a = Path.create [ shared ] ~vci:1 ~initial_rate:60. in
+  let b = Path.create [ shared ] ~vci:2 ~initial_rate:30. in
+  Alcotest.(check bool) "b cannot take 50" true (Path.renegotiate b 50. <> `Granted);
+  Alcotest.(check bool) "a releases" true (Path.renegotiate a 20. = `Granted);
+  Alcotest.(check bool) "now b fits" true (Path.renegotiate b 50. = `Granted);
+  check_close 1e-12 "shared reserved" 70. (Port.reserved shared)
+
+(* --- Latency --- *)
+
+let sched () =
+  Schedule.create ~fps:1. ~n_slots:10
+    [
+      { Schedule.start_slot = 0; rate = 10. };
+      { Schedule.start_slot = 3; rate = 30. };
+      { Schedule.start_slot = 7; rate = 5. };
+    ]
+
+let test_delay_shifts_changes () =
+  let d = Latency.delay (sched ()) ~seconds:2. in
+  check_close 1e-12 "initial unchanged" 10. (Schedule.rate_at d 0);
+  check_close 1e-12 "still old at 4" 10. (Schedule.rate_at d 4);
+  check_close 1e-12 "new at 5" 30. (Schedule.rate_at d 5);
+  check_close 1e-12 "second change at 9" 5. (Schedule.rate_at d 9)
+
+let test_delay_zero_identity () =
+  let s = sched () in
+  let d = Latency.delay s ~seconds:0. in
+  for i = 0 to 9 do
+    check_close 1e-12 "identity" (Schedule.rate_at s i) (Schedule.rate_at d i)
+  done
+
+let test_delay_drops_past_end () =
+  let d = Latency.delay (sched ()) ~seconds:5. in
+  (* The change at slot 7 lands at 12 > 9 and disappears. *)
+  Alcotest.(check int) "one change left" 1 (Schedule.n_renegotiations d);
+  check_close 1e-12 "tail keeps previous rate" 30. (Schedule.rate_at d 9)
+
+let test_anticipate () =
+  let a = Latency.anticipate (sched ()) ~seconds:2. in
+  check_close 1e-12 "change pulled to 1" 30. (Schedule.rate_at a 1);
+  check_close 1e-12 "second pulled to 5" 5. (Schedule.rate_at a 5);
+  (* Anticipating all the way to slot 0 overrides the initial rate. *)
+  let a0 = Latency.anticipate (sched ()) ~seconds:3. in
+  check_close 1e-12 "initial overridden" 30. (Schedule.rate_at a0 0)
+
+let test_align_to_refresh () =
+  let r = Latency.align_to_refresh (sched ()) ~period_s:4. in
+  (* Change requested at slot 3 becomes effective at slot 4; change at 7
+     becomes effective at 8. *)
+  check_close 1e-12 "before refresh" 10. (Schedule.rate_at r 3);
+  check_close 1e-12 "at refresh" 30. (Schedule.rate_at r 4);
+  check_close 1e-12 "second at 8" 5. (Schedule.rate_at r 8)
+
+let test_backlog_penalty_increases_with_delay () =
+  let trace = Rcbr_traffic.Synthetic.star_wars ~frames:3_000 ~seed:3 () in
+  let params = Rcbr_core.Optimal.default_params ~cost_ratio:1e5 trace in
+  let s = Rcbr_core.Optimal.solve params trace in
+  let penalty secs =
+    let modified = Latency.delay s ~seconds:secs in
+    fst (Latency.backlog_penalty ~original:s ~modified ~trace ~capacity:infinity)
+  in
+  Alcotest.(check bool) "zero delay, zero penalty" true (penalty 0. <= 1e-6);
+  Alcotest.(check bool) "delay hurts" true (penalty 2. >= 0.);
+  Alcotest.(check bool) "more delay hurts at least as much" true
+    (penalty 4. >= penalty 1. -. 1e-6)
+
+let test_anticipation_compensates () =
+  (* Offline sources cancel the signaling latency by anticipating:
+     delay(anticipate(s)) has no rate-increase lateness. *)
+  let s = sched () in
+  let compensated = Latency.delay (Latency.anticipate s ~seconds:2.) ~seconds:2. in
+  for i = 0 to 9 do
+    check_close 1e-12 "round trip" (Schedule.rate_at s i)
+      (Schedule.rate_at compensated i)
+  done
+
+let () =
+  Alcotest.run "rcbr_signal"
+    [
+      ("rm_cell", [ Alcotest.test_case "payloads" `Quick test_cell_payloads ]);
+      ( "port",
+        [
+          Alcotest.test_case "grant/deny" `Quick test_port_grant_deny;
+          Alcotest.test_case "vci tracking" `Quick test_port_vci_tracking;
+          Alcotest.test_case "drift and resync" `Quick test_port_drift_and_resync;
+          Alcotest.test_case "stateless resync" `Quick
+            test_port_stateless_ignores_resync;
+          Alcotest.test_case "never negative" `Quick
+            test_port_reserved_never_negative;
+        ] );
+      ( "path",
+        [
+          Alcotest.test_case "setup/teardown" `Quick test_path_setup_and_teardown;
+          Alcotest.test_case "setup failure" `Quick test_path_setup_fails_cleanly;
+          Alcotest.test_case "renegotiate" `Quick test_path_renegotiate;
+          Alcotest.test_case "contention" `Quick test_path_contention;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "delay shifts" `Quick test_delay_shifts_changes;
+          Alcotest.test_case "zero delay identity" `Quick test_delay_zero_identity;
+          Alcotest.test_case "drops past end" `Quick test_delay_drops_past_end;
+          Alcotest.test_case "anticipate" `Quick test_anticipate;
+          Alcotest.test_case "refresh alignment" `Quick test_align_to_refresh;
+          Alcotest.test_case "delay penalty" `Quick
+            test_backlog_penalty_increases_with_delay;
+          Alcotest.test_case "anticipation compensates" `Quick
+            test_anticipation_compensates;
+        ] );
+    ]

@@ -1,0 +1,459 @@
+(* Unit and property tests for Rcbr_util. *)
+
+module Rng = Rcbr_util.Rng
+module Stats = Rcbr_util.Stats
+module Histogram = Rcbr_util.Histogram
+module Numeric = Rcbr_util.Numeric
+module Matrix = Rcbr_util.Matrix
+module Heap = Rcbr_util.Heap
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.float a = Rng.float b then incr equal
+  done;
+  Alcotest.(check bool) "streams differ" true (!equal < 4)
+
+let test_rng_float_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_float_mean () =
+  let rng = Rng.create 3 in
+  let n = 100_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng
+  done;
+  check_close 0.01 "uniform mean" 0.5 (!acc /. float_of_int n)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_rng_int_uniform () =
+  let rng = Rng.create 13 in
+  let counts = Array.make 5 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 5 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_close 0.02 "uniform cell" 0.2 (float_of_int c /. float_of_int n))
+    counts
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  (* The child stream should not track the parent's continuation. *)
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.float parent = Rng.float child then incr equal
+  done;
+  Alcotest.(check bool) "split decorrelated" true (!equal < 4)
+
+let test_rng_copy () =
+  let a = Rng.create 77 in
+  let _ = Rng.float a in
+  let b = Rng.copy a in
+  check_float "copy tracks" (Rng.float a) (Rng.float b)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 21 in
+  let n = 100_000 and rate = 2.5 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng rate
+  done;
+  check_close 0.01 "exp mean" (1. /. rate) (!acc /. float_of_int n)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 22 in
+  let n = 100_000 in
+  let xs = Array.init n (fun _ -> Rng.normal rng ~mu:3. ~sigma:2.) in
+  check_close 0.05 "normal mean" 3. (Stats.mean xs);
+  check_close 0.1 "normal stddev" 2. (Stats.stddev xs)
+
+let test_rng_poisson_mean () =
+  let rng = Rng.create 23 in
+  let n = 50_000 and lambda = 7.3 in
+  let acc = ref 0 in
+  for _ = 1 to n do
+    acc := !acc + Rng.poisson rng lambda
+  done;
+  check_close 0.1 "poisson mean" lambda (float_of_int !acc /. float_of_int n)
+
+let test_rng_poisson_large_lambda () =
+  let rng = Rng.create 29 in
+  let n = 20_000 and lambda = 1000. in
+  let acc = ref 0 in
+  for _ = 1 to n do
+    acc := !acc + Rng.poisson rng lambda
+  done;
+  check_close 2. "poisson mean (normal approx)" lambda
+    (float_of_int !acc /. float_of_int n)
+
+let test_rng_geometric_mean () =
+  let rng = Rng.create 31 in
+  let n = 100_000 and p = 0.2 in
+  let acc = ref 0 in
+  for _ = 1 to n do
+    acc := !acc + Rng.geometric rng p
+  done;
+  (* Mean of failures-before-success is (1-p)/p = 4. *)
+  check_close 0.1 "geometric mean" 4. (float_of_int !acc /. float_of_int n)
+
+let test_rng_geometric_p1 () =
+  let rng = Rng.create 32 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "p=1 gives 0" 0 (Rng.geometric rng 1.)
+  done
+
+let test_rng_choose_weights () =
+  let rng = Rng.create 41 in
+  let weights = [| 1.; 0.; 3. |] in
+  let counts = Array.make 3 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let i = Rng.choose rng weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight never chosen" 0 counts.(1);
+  check_close 0.02 "weight 1/4" 0.25 (float_of_int counts.(0) /. float_of_int n);
+  check_close 0.02 "weight 3/4" 0.75 (float_of_int counts.(2) /. float_of_int n)
+
+(* --- Stats --- *)
+
+let test_stats_mean_var () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5. (Stats.mean xs);
+  check_close 1e-9 "variance" (32. /. 7.) (Stats.variance xs);
+  check_float "singleton variance" 0. (Stats.variance [| 3. |])
+
+let test_stats_quantile () =
+  let xs = [| 5.; 1.; 3.; 2.; 4. |] in
+  check_float "median" 3. (Stats.quantile xs 0.5);
+  check_float "min" 1. (Stats.quantile xs 0.);
+  check_float "max" 5. (Stats.quantile xs 1.);
+  check_float "interpolated" 1.5 (Stats.quantile xs 0.125);
+  (* quantile must not mutate *)
+  Alcotest.(check (array (float 0.))) "unchanged" [| 5.; 1.; 3.; 2.; 4. |] xs
+
+let test_stats_min_max () =
+  let xs = [| 3.; -1.; 7.; 0. |] in
+  check_float "min" (-1.) (Stats.minimum xs);
+  check_float "max" 7. (Stats.maximum xs)
+
+let test_stats_autocorrelation () =
+  let xs = Array.init 100 (fun i -> if i mod 2 = 0 then 1. else -1.) in
+  check_close 0.05 "lag-2 of alternating" 1.
+    (Stats.autocorrelation xs 2 /. (98. /. 100.));
+  Alcotest.(check bool) "lag-1 negative" true (Stats.autocorrelation xs 1 < 0.);
+  check_float "constant series" 0.
+    (Stats.autocorrelation (Array.make 10 5.) 1)
+
+let test_stats_online_matches_batch () =
+  let rng = Rng.create 55 in
+  let xs = Array.init 1000 (fun _ -> Rng.float rng) in
+  let o = Stats.Online.create () in
+  Array.iter (Stats.Online.add o) xs;
+  check_close 1e-9 "mean" (Stats.mean xs) (Stats.Online.mean o);
+  check_close 1e-9 "variance" (Stats.variance xs) (Stats.Online.variance o);
+  Alcotest.(check int) "count" 1000 (Stats.Online.count o)
+
+let test_stats_online_precision () =
+  let o = Stats.Online.create () in
+  Alcotest.(check bool) "empty is infinite" true
+    (Stats.Online.relative_precision o = infinity);
+  Stats.Online.add o 1.;
+  Alcotest.(check bool) "one sample is infinite" true
+    (Stats.Online.confidence_halfwidth o = infinity);
+  for _ = 1 to 100 do
+    Stats.Online.add o 1.
+  done;
+  check_float "constant samples: zero halfwidth" 0.
+    (Stats.Online.confidence_halfwidth o)
+
+(* --- Histogram --- *)
+
+let test_histogram_basic () =
+  let h = Histogram.create ~levels:4 in
+  Histogram.add h 0 1.;
+  Histogram.add h 2 3.;
+  check_float "weight" 3. (Histogram.weight h 2);
+  check_float "total" 4. (Histogram.total h);
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (Histogram.support h)
+
+let test_histogram_distribution () =
+  let h = Histogram.create ~levels:3 in
+  Histogram.add h 0 1.;
+  Histogram.add h 1 1.;
+  Histogram.add h 1 2.;
+  let p = Histogram.to_distribution h in
+  check_float "p0" 0.25 p.(0);
+  check_float "p1" 0.75 p.(1);
+  check_float "p2" 0. p.(2)
+
+let test_histogram_merge_scale () =
+  let a = Histogram.of_distribution [| 1.; 2. |] in
+  let b = Histogram.of_distribution [| 3.; 0. |] in
+  let m = Histogram.merge a b in
+  check_float "merged 0" 4. (Histogram.weight m 0);
+  check_float "merged 1" 2. (Histogram.weight m 1);
+  let s = Histogram.scale a 2. in
+  check_float "scaled" 4. (Histogram.weight s 1)
+
+let test_histogram_mean_value () =
+  let h = Histogram.of_distribution [| 0.5; 0.5 |] in
+  check_float "mean value" 15. (Histogram.mean_level_value h ~values:[| 10.; 20. |])
+
+(* --- Numeric --- *)
+
+let test_bisect_sqrt () =
+  let f x = (x *. x) -. 2. in
+  check_close 1e-7 "sqrt 2" (sqrt 2.) (Numeric.bisect ~f 0. 2.)
+
+let test_bisect_endpoint_root () =
+  let f x = x in
+  check_float "root at lo" 0. (Numeric.bisect ~f 0. 1.)
+
+let test_find_min_such_that () =
+  let pred x = x >= 3.25 in
+  check_close 1e-6 "threshold" 3.25 (Numeric.find_min_such_that ~pred 0. 10.);
+  check_float "lo already true" 0. (Numeric.find_min_such_that ~pred:(fun _ -> true) 0. 5.);
+  check_float "never true returns hi" 5.
+    (Numeric.find_min_such_that ~pred:(fun _ -> false) 0. 5.)
+
+let test_golden_max () =
+  let f x = -.((x -. 1.7) ** 2.) in
+  check_close 1e-6 "argmax" 1.7 (Numeric.golden_max ~f 0. 10.)
+
+let test_log_sum_exp () =
+  check_close 1e-12 "two equal" (log 2.) (Numeric.log_sum_exp [| 0.; 0. |]);
+  check_close 1e-9 "huge values stay finite" (1000. +. log 2.)
+    (Numeric.log_sum_exp [| 1000.; 1000. |]);
+  check_float "neg infinity alone" neg_infinity
+    (Numeric.log_sum_exp [| neg_infinity |]);
+  check_close 1e-12 "neg infinity ignored" 5.
+    (Numeric.log_sum_exp [| 5.; neg_infinity |])
+
+let test_approx_equal () =
+  Alcotest.(check bool) "close" true (Numeric.approx_equal 1. (1. +. 1e-12));
+  Alcotest.(check bool) "far" false (Numeric.approx_equal 1. 2.)
+
+(* --- Matrix --- *)
+
+let test_matrix_mul_identity () =
+  let a = Matrix.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let i = Matrix.identity 2 in
+  let p = Matrix.mul a i in
+  check_float "unchanged" 3. (Matrix.get p 1 0)
+
+let test_matrix_solve () =
+  (* 2x + y = 5; x + 3y = 10 -> x = 1, y = 3 *)
+  let a = Matrix.of_rows [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Matrix.solve a [| 5.; 10. |] in
+  check_close 1e-9 "x" 1. x.(0);
+  check_close 1e-9 "y" 3. x.(1)
+
+let test_matrix_solve_singular () =
+  let a = Matrix.of_rows [| [| 1.; 1. |]; [| 1.; 1. |] |] in
+  Alcotest.check_raises "singular" (Failure "Matrix.solve: singular") (fun () ->
+      ignore (Matrix.solve a [| 1.; 1. |]))
+
+let test_matrix_transpose_vec () =
+  let a = Matrix.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let t = Matrix.transpose a in
+  Alcotest.(check int) "rows" 3 (Matrix.rows t);
+  check_float "entry" 6. (Matrix.get t 2 1);
+  let v = Matrix.mat_vec a [| 1.; 1.; 1. |] in
+  check_float "mat_vec" 15. v.(1);
+  let w = Matrix.vec_mat [| 1.; 1. |] a in
+  check_float "vec_mat" 5. w.(0)
+
+let test_perron_stochastic () =
+  (* Any stochastic matrix has Perron root 1. *)
+  let m = Matrix.of_rows [| [| 0.9; 0.1 |]; [| 0.4; 0.6 |] |] in
+  check_close 1e-9 "stochastic root" 1. (Matrix.perron_root m)
+
+let test_perron_known () =
+  (* [[2,1],[1,2]] has eigenvalues 3 and 1. *)
+  let m = Matrix.of_rows [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+  check_close 1e-8 "root 3" 3. (Matrix.perron_root m)
+
+let test_perron_diagonal () =
+  let m = Matrix.of_rows [| [| 5.; 0. |]; [| 0.; 2. |] |] in
+  check_close 1e-6 "diagonal max" 5. (Matrix.perron_root m)
+
+let test_scale_rows () =
+  let m = Matrix.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let s = Matrix.scale_rows m [| 2.; 10. |] in
+  check_float "row 0" 4. (Matrix.get s 0 1);
+  check_float "row 1" 30. (Matrix.get s 1 0)
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h ~priority:p p) [ 5.; 1.; 4.; 2.; 3. ];
+  let order = List.init 5 (fun _ -> fst (Option.get (Heap.pop h))) in
+  Alcotest.(check (list (float 0.))) "sorted" [ 1.; 2.; 3.; 4.; 5. ] order;
+  Alcotest.(check bool) "empty after" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h ~priority:1. "a";
+  Heap.push h ~priority:1. "b";
+  Heap.push h ~priority:1. "c";
+  let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c" ] order
+
+let test_heap_peek_clear () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "peek empty" true (Heap.peek h = None);
+  Heap.push h ~priority:2. 0;
+  Heap.push h ~priority:1. 1;
+  (match Heap.peek h with
+  | Some (p, v) ->
+      check_float "peek priority" 1. p;
+      Alcotest.(check int) "peek value" 1 v
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "length" 2 (Heap.length h);
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h)
+
+(* --- Properties --- *)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list (float_range 0. 1000.))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (fun x -> Heap.push h ~priority:x x) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~name:"quantile within min/max" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.)) (float_range 0. 1.))
+    (fun (xs, q) ->
+      let arr = Array.of_list xs in
+      let v = Stats.quantile arr q in
+      v >= Stats.minimum arr -. 1e-9 && v <= Stats.maximum arr +. 1e-9)
+
+let prop_log_sum_exp_ge_max =
+  QCheck.Test.make ~name:"log_sum_exp >= max element" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range (-50.) 50.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      Numeric.log_sum_exp arr >= Array.fold_left max neg_infinity arr -. 1e-9)
+
+let prop_solve_inverts =
+  QCheck.Test.make ~name:"solve then multiply recovers b" ~count:100
+    QCheck.(array_of_size (Gen.return 3) (float_range 1. 5.))
+    (fun b ->
+      (* Diagonally dominant matrix: always solvable. *)
+      let a =
+        Matrix.of_rows
+          [| [| 10.; 1.; 2. |]; [| 1.; 12.; 3. |]; [| 2.; 1.; 9. |] |]
+      in
+      let x = Matrix.solve a b in
+      let b' = Matrix.mat_vec a x in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) b b')
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "rcbr_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniform" `Quick test_rng_int_uniform;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "normal moments" `Quick test_rng_normal_moments;
+          Alcotest.test_case "poisson mean" `Quick test_rng_poisson_mean;
+          Alcotest.test_case "poisson large" `Quick test_rng_poisson_large_lambda;
+          Alcotest.test_case "geometric mean" `Quick test_rng_geometric_mean;
+          Alcotest.test_case "geometric p=1" `Quick test_rng_geometric_p1;
+          Alcotest.test_case "choose weights" `Quick test_rng_choose_weights;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/var" `Quick test_stats_mean_var;
+          Alcotest.test_case "quantile" `Quick test_stats_quantile;
+          Alcotest.test_case "min/max" `Quick test_stats_min_max;
+          Alcotest.test_case "autocorrelation" `Quick test_stats_autocorrelation;
+          Alcotest.test_case "online matches batch" `Quick
+            test_stats_online_matches_batch;
+          Alcotest.test_case "online precision" `Quick test_stats_online_precision;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basic" `Quick test_histogram_basic;
+          Alcotest.test_case "distribution" `Quick test_histogram_distribution;
+          Alcotest.test_case "merge/scale" `Quick test_histogram_merge_scale;
+          Alcotest.test_case "mean value" `Quick test_histogram_mean_value;
+        ] );
+      ( "numeric",
+        [
+          Alcotest.test_case "bisect sqrt" `Quick test_bisect_sqrt;
+          Alcotest.test_case "bisect endpoint" `Quick test_bisect_endpoint_root;
+          Alcotest.test_case "find_min_such_that" `Quick test_find_min_such_that;
+          Alcotest.test_case "golden max" `Quick test_golden_max;
+          Alcotest.test_case "log_sum_exp" `Quick test_log_sum_exp;
+          Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "mul identity" `Quick test_matrix_mul_identity;
+          Alcotest.test_case "solve" `Quick test_matrix_solve;
+          Alcotest.test_case "solve singular" `Quick test_matrix_solve_singular;
+          Alcotest.test_case "transpose/vec" `Quick test_matrix_transpose_vec;
+          Alcotest.test_case "perron stochastic" `Quick test_perron_stochastic;
+          Alcotest.test_case "perron known" `Quick test_perron_known;
+          Alcotest.test_case "perron diagonal" `Quick test_perron_diagonal;
+          Alcotest.test_case "scale rows" `Quick test_scale_rows;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "peek/clear" `Quick test_heap_peek_clear;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_heap_sorts;
+            prop_quantile_bounds;
+            prop_log_sum_exp_ge_max;
+            prop_solve_inverts;
+          ] );
+    ]

@@ -1,1 +1,1 @@
-bin/rcbr_trace.ml: Arg Array Cmd Cmdliner Format List Rcbr_queue Rcbr_traffic Term
+bin/rcbr_trace.ml: Arg Array Cmd Cmdliner Float Format List Rcbr_core Rcbr_fault Rcbr_queue Rcbr_signal Rcbr_traffic String Term

@@ -11,7 +11,8 @@ module Mbac = Rcbr_sim.Mbac
 module Controller = Rcbr_admission.Controller
 module Descriptor = Rcbr_admission.Descriptor
 
-let run seed frames cost_ratio capacity_mult load target controller_name =
+let run seed frames cost_ratio capacity_mult load target controller_name
+    rm_drop rm_timeout rm_max_retx =
   let trace = Rcbr_traffic.Synthetic.star_wars ~frames ~seed () in
   let mean = Trace.mean_rate trace in
   let schedule =
@@ -23,6 +24,21 @@ let run seed frames cost_ratio capacity_mult load target controller_name =
   in
   let cfg =
     Mbac.default_config ~schedule ~capacity ~arrival_rate ~target ~seed:(seed + 1)
+  in
+  let cfg =
+    if rm_drop <= 0. then cfg
+    else
+      {
+        cfg with
+        Mbac.faults =
+          Some
+            {
+              Mbac.rm_drop;
+              rm_timeout;
+              rm_max_retransmits = rm_max_retx;
+              fault_seed = seed + 2;
+            };
+      }
   in
   let controller =
     match controller_name with
@@ -48,7 +64,14 @@ let run seed frames cost_ratio capacity_mult load target controller_name =
      windows sampled:     %d@]@."
     m.Mbac.failure_probability m.Mbac.failure_halfwidth m.Mbac.utilization
     m.Mbac.utilization_halfwidth m.Mbac.call_blocking m.Mbac.denial_fraction
-    m.Mbac.mean_calls_in_system m.Mbac.windows
+    m.Mbac.mean_calls_in_system m.Mbac.windows;
+  if rm_drop > 0. then
+    Format.printf
+      "@[<v>RM cells dropped:    %d@,\
+       retransmissions:     %d@,\
+       abandoned changes:   %d@]@."
+      m.Mbac.signalling_dropped m.Mbac.signalling_retransmits
+      m.Mbac.signalling_abandoned
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED")
 let frames_arg = Arg.(value & opt int 20_000 & info [ "frames" ] ~docv:"N")
@@ -73,6 +96,24 @@ let controller_arg =
     & info [ "controller" ] ~docv:"NAME"
         ~doc:"One of: perfect, memoryless, memory, always.")
 
+let rm_drop_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "rm-drop" ] ~docv:"P"
+        ~doc:"Loss probability per renegotiation cell (0 disables faults).")
+
+let rm_timeout_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "rm-timeout" ] ~docv:"SECONDS"
+        ~doc:"Retransmission timeout for lost renegotiation cells.")
+
+let rm_max_retx_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "rm-max-retx" ] ~docv:"N"
+        ~doc:"Retransmissions before a change is applied anyway.")
+
 let () =
   let info =
     Cmd.info "rcbr_mbac" ~version:"1.0"
@@ -81,6 +122,7 @@ let () =
   let term =
     Term.(
       const run $ seed_arg $ frames_arg $ cost_ratio_arg $ capacity_arg
-      $ load_arg $ target_arg $ controller_arg)
+      $ load_arg $ target_arg $ controller_arg $ rm_drop_arg $ rm_timeout_arg
+      $ rm_max_retx_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -76,9 +76,241 @@ let sigma_rho_cmd =
        ~doc:"Minimum drain rate as a function of buffer size (Fig. 5).")
     Term.(const sigma_rho $ trace_file_arg $ target_arg)
 
+(* --- stream: a live NIU over a faulty signalling plane --- *)
+
+module Port = Rcbr_signal.Port
+module Path = Rcbr_signal.Path
+module Niu = Rcbr_signal.Niu
+module Plan = Rcbr_fault.Plan
+module Injector = Rcbr_fault.Injector
+
+let crash_conv =
+  let parse s =
+    match List.map int_of_string_opt (String.split_on_char ':' s) with
+    | [ Some hop; Some at_slot; Some recover_slot ] ->
+        Ok { Plan.hop; at_slot; recover_slot }
+    | _ -> Error (`Msg "expected HOP:AT:RECOVER (three integers)")
+  in
+  let print ppf c =
+    Format.fprintf ppf "%d:%d:%d" c.Plan.hop c.Plan.at_slot c.Plan.recover_slot
+  in
+  Arg.conv (parse, print)
+
+let degrade_conv =
+  let parse = function
+    | "ride" -> Ok Niu.Ride_out
+    | "settle" -> Ok Niu.Settle
+    | s -> (
+        match String.split_on_char ':' s with
+        | [ "scale"; q ] -> (
+            match float_of_string_opt q with
+            | Some q when q >= 0. && q <= 1. -> Ok (Niu.Scale q)
+            | _ -> Error (`Msg "scale fraction must be a float in [0,1]"))
+        | _ -> Error (`Msg "expected ride, settle or scale:Q"))
+  in
+  let print ppf = function
+    | Niu.Ride_out -> Format.pp_print_string ppf "ride"
+    | Niu.Settle -> Format.pp_print_string ppf "settle"
+    | Niu.Scale q -> Format.fprintf ppf "scale:%g" q
+  in
+  Arg.conv (parse, print)
+
+(* Fault-plan and NIU parameter validation raises [Invalid_argument] with a
+   self-describing message; surface it as a usage error instead of a crash. *)
+let or_usage_error f =
+  try f ()
+  with Invalid_argument msg ->
+    Format.eprintf "rcbr_trace: %s@." msg;
+    exit Cmdliner.Cmd.Exit.cli_error
+
+let stream file seed frames hops capacity_mult drop duplicate reorder delay_prob
+    max_extra crashes timeout_slots max_retx backoff jitter resync degrade
+    delay_slots retry_slots buffer fault_seed =
+  let trace =
+    match file with
+    | Some f -> Trace.load f
+    | None -> Synthetic.star_wars ~frames ~seed ()
+  in
+  let mean = Trace.mean_rate trace in
+  let capacity = capacity_mult *. mean in
+  let ports = List.init hops (fun _ -> Port.create ~capacity ()) in
+  let online = Rcbr_core.Online.default_params in
+  let g = online.Rcbr_core.Online.granularity in
+  let first = Trace.frame trace 0 /. Trace.slot_duration trace in
+  let initial = g *. Float.max 1. (Float.ceil (first /. g)) in
+  let path = Path.create_exn ports ~vci:1 ~initial_rate:initial in
+  let plan =
+    or_usage_error (fun () ->
+        Plan.uniform ~drop ~duplicate ~reorder ~delay:delay_prob
+          ~max_extra_slots:max_extra ~crashes ~hops ~seed:fault_seed ())
+  in
+  let faults =
+    {
+      Niu.plan;
+      timeout_slots;
+      max_retransmits = max_retx;
+      backoff;
+      jitter_slots = jitter;
+      resync_slots = resync;
+      degrade;
+    }
+  in
+  let params =
+    {
+      Niu.online;
+      buffer;
+      delay_slots;
+      retry_slots = (if retry_slots <= 0 then None else Some retry_slots);
+      faults = Some faults;
+    }
+  in
+  Format.printf
+    "%d hops at %.0f kb/s each (%.1fx trace mean), %d slots, buffer %.0f kb@."
+    hops (capacity /. 1e3) capacity_mult (Trace.length trace) (buffer /. 1e3);
+  let r = or_usage_error (fun () -> Niu.stream params ~path trace) in
+  Format.printf
+    "@[<v>bits offered:   %.3e@,\
+     bits lost:      %.3e (%.4f%%)@,\
+     max backlog:    %.0f bits@,\
+     attempts:       %d@,\
+     denials:        %d@,\
+     mean reserved:  %.0f b/s@]@."
+    r.Niu.bits_offered r.Niu.bits_lost
+    (if r.Niu.bits_offered > 0. then 100. *. r.Niu.bits_lost /. r.Niu.bits_offered
+     else 0.)
+    r.Niu.max_backlog r.Niu.attempts r.Niu.failures r.Niu.mean_reserved;
+  (match r.Niu.faults with
+  | None -> ()
+  | Some f ->
+      Format.printf
+        "@[<v>%a@,\
+         retransmits:    %d (worst per request %d)@,\
+         timeouts:       %d@,\
+         give-ups:       %d@,\
+         resyncs:        %d@,\
+         crashes:        %d (%d recoveries)@,\
+         degraded slots: %d@,\
+         bits scaled:    %.3e@,\
+         invariant violations: %d@,\
+         final drift:    %.3g b/s@]@."
+        Injector.pp_totals f.Niu.cells f.Niu.retransmits f.Niu.worst_retransmits
+        f.Niu.timeouts f.Niu.give_ups f.Niu.resyncs f.Niu.crashes
+        f.Niu.recoveries f.Niu.degraded_slots f.Niu.bits_scaled
+        f.Niu.invariant_violations f.Niu.final_drift);
+  Path.teardown path;
+  let leak =
+    List.fold_left
+      (fun acc p -> Float.max acc (Float.abs (Port.reserved p)))
+      0. ports
+  in
+  Format.printf "post-teardown residual reservation: %.3g b/s@." leak
+
+let stream_cmd =
+  let opt_trace_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file (generated when omitted).")
+  in
+  let hops_arg =
+    Arg.(value & opt int 3 & info [ "hops" ] ~docv:"N" ~doc:"Path length.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt float 4.
+      & info [ "capacity-mult" ] ~docv:"K"
+          ~doc:"Per-hop capacity as a multiple of the trace mean rate.")
+  in
+  let prob name doc =
+    Arg.(value & opt float 0. & info [ name ] ~docv:"P" ~doc)
+  in
+  let drop_arg = prob "drop" "Per-hop RM-cell drop probability." in
+  let duplicate_arg = prob "duplicate" "Per-hop duplication probability." in
+  let reorder_arg = prob "reorder" "Per-hop reordering probability." in
+  let delay_prob_arg = prob "delay-prob" "Per-hop queueing-delay probability." in
+  let max_extra_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-extra" ] ~docv:"SLOTS" ~doc:"Worst extra delay in slots.")
+  in
+  let crash_arg =
+    Arg.(
+      value & opt_all crash_conv []
+      & info [ "crash" ] ~docv:"HOP:AT:RECOVER"
+          ~doc:"Crash window for a hop, in slots (repeatable).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "timeout-slots" ] ~docv:"SLOTS"
+          ~doc:"Slots without a response before retransmitting.")
+  in
+  let max_retx_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "max-retx" ] ~docv:"N" ~doc:"Retransmissions before giving up.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 2.
+      & info [ "backoff" ] ~docv:"X" ~doc:"Timeout multiplier per retry.")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "jitter" ] ~docv:"SLOTS" ~doc:"Uniform extra timeout jitter.")
+  in
+  let resync_arg =
+    Arg.(
+      value & opt int 120
+      & info [ "resync" ] ~docv:"SLOTS"
+          ~doc:"Absolute-rate resync period (0 disables).")
+  in
+  let degrade_arg =
+    Arg.(
+      value
+      & opt degrade_conv Niu.Settle
+      & info [ "degrade" ] ~docv:"POLICY"
+          ~doc:"Degradation policy: ride, settle, or scale:Q.")
+  in
+  let delay_slots_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "delay-slots" ] ~docv:"SLOTS" ~doc:"Signalling round-trip.")
+  in
+  let retry_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "retry-slots" ] ~docv:"SLOTS"
+          ~doc:"Re-issue a denied request after this many slots (0: never).")
+  in
+  let buffer_arg =
+    Arg.(
+      value & opt float 300_000.
+      & info [ "buffer" ] ~docv:"BITS" ~doc:"End-system buffer size.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Root of all fault randomness.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Stream a live source across a faulty multi-hop signalling plane \
+          and report the NIU's resilience metrics.")
+    Term.(
+      const stream $ opt_trace_arg $ seed_arg $ frames_arg $ hops_arg
+      $ capacity_arg $ drop_arg $ duplicate_arg $ reorder_arg $ delay_prob_arg
+      $ max_extra_arg $ crash_arg $ timeout_arg $ max_retx_arg $ backoff_arg
+      $ jitter_arg $ resync_arg $ degrade_arg $ delay_slots_arg $ retry_arg
+      $ buffer_arg $ fault_seed_arg)
+
 let () =
   let info =
     Cmd.info "rcbr_trace" ~version:"1.0"
       ~doc:"Synthetic multiple time-scale video traces."
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; stats_cmd; sigma_rho_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ generate_cmd; stats_cmd; sigma_rho_cmd; stream_cmd ]))

@@ -23,8 +23,8 @@ let () =
   let shared = Port.create ~capacity:1_900_000. () in
   let ports_a = [ Port.create ~capacity:10e6 (); shared; Port.create ~capacity:10e6 () ] in
   let ports_b = [ Port.create ~capacity:10e6 (); shared; Port.create ~capacity:10e6 () ] in
-  let path_a = Path.create ports_a ~vci:1 ~initial_rate:400_000. in
-  let path_b = Path.create ports_b ~vci:2 ~initial_rate:400_000. in
+  let path_a = Path.create_exn ports_a ~vci:1 ~initial_rate:400_000. in
+  let path_b = Path.create_exn ports_b ~vci:2 ~initial_rate:400_000. in
   let params =
     { Niu.default_params with Niu.delay_slots = 3 (* 125 ms at 24 fps *) }
   in

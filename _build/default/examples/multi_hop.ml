@@ -23,7 +23,7 @@ let () =
       Port.create ~capacity:10e6 ();
     ]
   in
-  let path = Path.create ports ~vci:17 ~initial_rate:400e3 in
+  let path = Path.create_exn ports ~vci:17 ~initial_rate:400e3 in
   Format.printf "connection up across %d hops at %.0f kb/s@." (Path.hops path)
     (Path.rate path /. 1e3);
 

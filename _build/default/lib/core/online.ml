@@ -22,21 +22,24 @@ let default_params =
 type outcome = {
   schedule : Schedule.t;
   max_backlog : float;
+  bits_lost : float;
   predictions : float array;
 }
 
 let quantize_up delta x =
   if x <= 0. then delta else delta *. Float.ceil (x /. delta)
 
-let run_custom ?(delay_slots = 0) p ~predictor trace =
+let run_custom ?(delay_slots = 0) ?buffer p ~predictor trace =
   assert (p.b_low >= 0. && p.b_high > p.b_low);
   assert (p.flush_slots > 0 && p.granularity > 0.);
   assert (delay_slots >= 0);
+  (match buffer with Some b -> assert (b > 0.) | None -> ());
   let n = Trace.length trace in
   let tau = Trace.slot_duration trace in
   let flush_seconds = float_of_int p.flush_slots *. tau in
   let predictions = Array.make n 0. in
   let backlog = ref 0. and max_backlog = ref 0. in
+  let bits_lost = ref 0. in
   let pred = predictor ~initial:(Trace.frame trace 0 /. tau) in
   let segments = ref [] in
   (* [current] is the rate the network serves; [requested] the latest
@@ -54,9 +57,16 @@ let run_custom ?(delay_slots = 0) p ~predictor trace =
         pending := rest;
         segments := { Schedule.start_slot = t; rate } :: !segments
     | _ -> ());
-    (* Arrivals of slot t, then service at the current rate. *)
+    (* Arrivals of slot t, then service at the current rate.  With a
+       finite buffer the excess spills and is accounted as lost, exactly
+       as in {!Rcbr_signal.Niu}'s end-system buffer. *)
     let x = Trace.frame trace t /. tau in
-    backlog := Float.max 0. (!backlog +. Trace.frame trace t -. (!current *. tau));
+    let net = !backlog +. Trace.frame trace t -. (!current *. tau) in
+    (match buffer with
+    | None -> backlog := Float.max 0. net
+    | Some cap ->
+        backlog := Float.min cap (Float.max 0. net);
+        bits_lost := !bits_lost +. Float.max 0. (net -. cap));
     if !backlog > !max_backlog then max_backlog := !backlog;
     pred.Predictor.observe x;
     (* The flush term sits outside the filter so that draining the
@@ -82,7 +92,7 @@ let run_custom ?(delay_slots = 0) p ~predictor trace =
   let schedule =
     Schedule.create ~fps:(Trace.fps trace) ~n_slots:n (List.rev !segments)
   in
-  { schedule; max_backlog = !max_backlog; predictions }
+  { schedule; max_backlog = !max_backlog; bits_lost = !bits_lost; predictions }
 
 let run p trace =
   assert (p.ar_coefficient >= 0. && p.ar_coefficient < 1.);

@@ -31,6 +31,8 @@ val default_params : params
 type outcome = {
   schedule : Schedule.t;
   max_backlog : float;  (** peak end-system buffer occupancy, bits *)
+  bits_lost : float;
+      (** overflow loss; always 0 without a [buffer] cap *)
   predictions : float array;  (** chat(t) per slot, for diagnostics *)
 }
 
@@ -43,6 +45,7 @@ val schedule : params -> Rcbr_traffic.Trace.t -> Schedule.t
 
 val run_custom :
   ?delay_slots:int ->
+  ?buffer:float ->
   params ->
   predictor:(initial:float -> Predictor.t) ->
   Rcbr_traffic.Trace.t ->
@@ -51,6 +54,11 @@ val run_custom :
     with a caller-supplied rate predictor (see {!Predictor}); [initial]
     is the first slot's rate.  [run] is
     [run_custom ~predictor:(Predictor.ar1 ~eta:ar_coefficient)].
+
+    [buffer] (default: unbounded) caps the backlog at the end-system
+    buffer size; the spill is accounted in [bits_lost].  This matches
+    {!Rcbr_signal.Niu}'s buffer semantics, so an uncontended NIU run and
+    [run_custom ?buffer] agree bit for bit on the same trace.
 
     [delay_slots] (default 0) models the signaling round-trip of
     Section III-C: a granted renegotiation only takes effect that many

@@ -1,0 +1,1 @@
+lib/fault/injector.ml: Array Format List Plan Rcbr_util

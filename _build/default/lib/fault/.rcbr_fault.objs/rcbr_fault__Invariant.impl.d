@@ -1,0 +1,1 @@
+lib/fault/invariant.ml: Array Float Format List Printf

@@ -1,0 +1,1 @@
+lib/fault/invariant.mli: Format

@@ -1,0 +1,61 @@
+type link = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  delay : float;
+  max_extra_slots : int;
+}
+
+let reliable =
+  { drop = 0.; duplicate = 0.; reorder = 0.; delay = 0.; max_extra_slots = 0 }
+
+let lossy ?(drop = 0.) ?(duplicate = 0.) ?(reorder = 0.) ?(delay = 0.)
+    ?(max_extra_slots = 4) () =
+  { drop; duplicate; reorder; delay; max_extra_slots }
+
+type crash = { hop : int; at_slot : int; recover_slot : int }
+type t = { seed : int; links : link array; crashes : crash list }
+
+let null ~hops = { seed = 0; links = Array.make hops reliable; crashes = [] }
+
+let link_is_reliable l =
+  l.drop = 0. && l.duplicate = 0. && l.reorder = 0. && l.delay = 0.
+
+let is_null t = t.crashes = [] && Array.for_all link_is_reliable t.links
+
+let validate t =
+  let prob what p =
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Fault plan: %s probability %g not in [0,1]" what p)
+  in
+  Array.iter
+    (fun l ->
+      prob "drop" l.drop;
+      prob "duplicate" l.duplicate;
+      prob "reorder" l.reorder;
+      prob "delay" l.delay;
+      if l.drop +. l.duplicate +. l.reorder +. l.delay > 1. then
+        invalid_arg "Fault plan: per-link fault probabilities sum past 1";
+      if l.delay > 0. && l.max_extra_slots < 1 then
+        invalid_arg "Fault plan: delaying link needs max_extra_slots >= 1")
+    t.links;
+  List.iter
+    (fun c ->
+      if c.hop < 0 || c.hop >= Array.length t.links then
+        invalid_arg (Printf.sprintf "Fault plan: crash at unknown hop %d" c.hop);
+      if c.recover_slot <= c.at_slot then
+        invalid_arg "Fault plan: crash must recover strictly after it starts")
+    t.crashes
+
+let uniform ?(drop = 0.) ?(duplicate = 0.) ?(reorder = 0.) ?(delay = 0.)
+    ?(max_extra_slots = 4) ?(crashes = []) ~hops ~seed () =
+  let t =
+    {
+      seed;
+      links =
+        Array.make hops (lossy ~drop ~duplicate ~reorder ~delay ~max_extra_slots ());
+      crashes;
+    }
+  in
+  validate t;
+  t

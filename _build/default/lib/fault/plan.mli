@@ -1,0 +1,71 @@
+(** Declarative, seeded fault plans for the signalling path.
+
+    A plan describes {e what can go wrong} on each hop of a connection:
+    RM cells may be dropped, duplicated, reordered, or delayed on every
+    link they cross, and individual switch ports may crash (losing all
+    reservations) and later recover (re-admitting from empty).  A plan
+    is pure data — deterministic given its seed — so any faulty run is
+    exactly reproducible.  {!Injector} turns a plan into a live stream
+    of per-cell fault decisions. *)
+
+type link = {
+  drop : float;  (** probability a cell vanishes on this link *)
+  duplicate : float;  (** probability a second copy arrives right behind *)
+  reorder : float;  (** probability the cell falls behind its successor
+                        (delivered one slot late) *)
+  delay : float;  (** probability of queueing delay on this link *)
+  max_extra_slots : int;  (** delayed cells lag 1..max extra slots *)
+}
+
+val reliable : link
+(** The zero-fault link. *)
+
+val lossy :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?reorder:float ->
+  ?delay:float ->
+  ?max_extra_slots:int ->
+  unit ->
+  link
+(** A link with the given fault probabilities (all default 0;
+    [max_extra_slots] defaults to 4). *)
+
+type crash = {
+  hop : int;  (** 0-based hop index of the crashing port *)
+  at_slot : int;  (** the port goes down at this slot... *)
+  recover_slot : int;  (** ...and comes back, empty, at this one *)
+}
+
+type t = {
+  seed : int;  (** root of all fault randomness *)
+  links : link array;  (** one entry per hop *)
+  crashes : crash list;
+}
+
+val link_is_reliable : link -> bool
+
+val null : hops:int -> t
+(** The plan under which nothing ever goes wrong.  Running any faulty
+    machinery under the null plan must reproduce the fault-free
+    behaviour bit for bit. *)
+
+val is_null : t -> bool
+
+val uniform :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?reorder:float ->
+  ?delay:float ->
+  ?max_extra_slots:int ->
+  ?crashes:crash list ->
+  hops:int ->
+  seed:int ->
+  unit ->
+  t
+(** The same fault probabilities on every hop. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] if any probability lies outside [0, 1],
+    the per-link fault probabilities sum past 1, a crash window is
+    empty or negative, or a crash names a hop outside [links]. *)

@@ -1,1 +1,1 @@
-lib/signal/niu.ml: Float List Path Rcbr_core Rcbr_traffic
+lib/signal/niu.ml: Array Float List Path Port Printf Rcbr_core Rcbr_fault Rcbr_traffic

@@ -1,1 +1,1 @@
-lib/signal/niu.mli: Path Rcbr_core Rcbr_traffic
+lib/signal/niu.mli: Path Rcbr_core Rcbr_fault Rcbr_traffic

@@ -1,1 +1,1 @@
-lib/signal/path.ml: Array Float Port Rm_cell
+lib/signal/path.ml: Array Float Port Printf Rcbr_fault Rm_cell

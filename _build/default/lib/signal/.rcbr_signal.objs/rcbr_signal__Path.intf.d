@@ -1,1 +1,1 @@
-lib/signal/path.mli: Port
+lib/signal/path.mli: Port Rcbr_fault

@@ -1,1 +1,1 @@
-lib/signal/port.ml: Hashtbl Rm_cell
+lib/signal/port.ml: Hashtbl Rcbr_fault Rm_cell

@@ -1,1 +1,1 @@
-lib/signal/port.mli: Rm_cell
+lib/signal/port.mli: Rcbr_fault Rm_cell

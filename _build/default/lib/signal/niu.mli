@@ -10,10 +10,44 @@
     feeds its frames into a finite buffer; the monitor runs the paper's
     AR(1) + threshold rule; accepted rate changes are signaled through a
     real multi-hop {!Path} (which may deny them); denials are retried;
-    grants take effect after a signaling round-trip.  It composes
-    {!Rcbr_core.Online}'s decision rule, {!Path}'s admission, and
-    {!Rcbr_core.Adaptation}-style failure handling into the complete
-    interactive-video data path. *)
+    grants take effect after a signaling round-trip.
+
+    With a {!faults} specification the same NIU runs over an unreliable
+    signalling plane: RM cells are dropped, duplicated, reordered and
+    delayed per the fault plan, and ports crash and recover.  The NIU
+    then behaves like a real transport endpoint — per-request timeouts,
+    bounded retransmissions with exponential backoff and jitter,
+    idempotent request ids so retransmitted or duplicated cells never
+    double-apply at a switch, periodic absolute-rate resyncs to repair
+    drift, and graceful degradation (ride out on buffer, settle for the
+    ER-field rate, or scale quality) when renegotiation persistently
+    fails. *)
+
+type degrade =
+  | Ride_out  (** keep the old rate, absorb the burst in the buffer *)
+  | Settle
+      (** fall back to the ER-field available rate (the reliable path's
+          behaviour, generalized) *)
+  | Scale of float
+      (** Settle, and additionally shed this fraction of each offered
+          frame at the source while starved — quality scaling with
+          bits-lost accounting in [bits_scaled] *)
+
+type faults = {
+  plan : Rcbr_fault.Plan.t;  (** what the network does to RM cells *)
+  timeout_slots : int;
+      (** slots without a response before retransmitting; must exceed
+          [delay_slots] so a healthy round-trip never times out *)
+  max_retransmits : int;  (** per request, before giving up *)
+  backoff : float;  (** timeout multiplier per retransmission (>= 1) *)
+  jitter_slots : int;  (** uniform extra [0..jitter] slots per timeout *)
+  resync_slots : int;  (** absolute-rate resync period; 0 disables *)
+  degrade : degrade;  (** policy when renegotiation persistently fails *)
+}
+
+val default_faults : Rcbr_fault.Plan.t -> faults
+(** timeout 8 slots, 6 retransmits max, backoff 2x with 2 slots of
+    jitter, resync every 120 slots (5 s at 24 fps), Settle. *)
 
 type params = {
   online : Rcbr_core.Online.params;  (** monitor thresholds and predictor *)
@@ -21,24 +55,51 @@ type params = {
   delay_slots : int;  (** signaling round-trip before a grant bites *)
   retry_slots : int option;  (** re-issue a denied request after this many
                                  slots ([None]: wait for the next trigger) *)
+  faults : faults option;
+      (** [None] runs the idealized zero-loss signalling plane and is
+          bit-identical to the historical behaviour; [Some] (even of a
+          null plan) runs the retransmitting state machine *)
 }
 
 val default_params : params
 (** Paper values: default online parameters, 300 kb buffer, no signaling
-    delay, retry after 1 s (24 slots). *)
+    delay, retry after 1 s (24 slots), no fault layer. *)
+
+type fault_report = {
+  retransmits : int;  (** cells re-sent after a timeout *)
+  timeouts : int;  (** request deadlines that expired *)
+  give_ups : int;  (** requests abandoned after [max_retransmits] *)
+  resyncs : int;  (** periodic absolute-rate repair cells sent *)
+  degraded_slots : int;  (** slots spent with an unsatisfied want *)
+  bits_scaled : float;  (** bits shed at the source by [Scale] *)
+  worst_retransmits : int;  (** most retransmissions any request needed *)
+  crashes : int;
+  recoveries : int;
+  cells : Rcbr_fault.Injector.totals;  (** faults actually injected *)
+  invariant_violations : int;
+      (** reservation-conservation violations detected on the path's
+          ports at the end of the run (0 unless there is a bug) *)
+  final_drift : float;
+      (** worst per-hop gap, in b/s, between a port's belief about this
+          VCI and the source's granted rate — leaked reservations not
+          yet repaired by resync *)
+}
 
 type outcome = {
   schedule : Rcbr_core.Schedule.t;  (** rates actually in force *)
   bits_offered : float;
-  bits_lost : float;
+  bits_lost : float;  (** buffer-overflow loss *)
   max_backlog : float;
   attempts : int;  (** renegotiation requests signaled *)
   failures : int;  (** requests the network denied *)
   mean_reserved : float;  (** time-average in-force rate, b/s *)
+  faults : fault_report option;  (** present iff [params.faults] was *)
 }
 
 val stream : params -> path:Path.t -> Rcbr_traffic.Trace.t -> outcome
 (** Stream a live source across the path.  The path must already hold a
     reservation (its current {!Path.rate} is the starting service rate);
     on return it holds the final renegotiated rate (the caller tears it
-    down).  Requires positive [buffer] and nonnegative [delay_slots]. *)
+    down).  Requires positive [buffer] and nonnegative [delay_slots];
+    with faults, requires the plan to cover exactly {!Path.hops} hops
+    and [timeout_slots > delay_slots]. *)

@@ -8,7 +8,14 @@
     Two bookkeeping modes demonstrate the delta-signaling tradeoff:
     [Stateless] tracks only the aggregate reservation (no per-VCI state;
     lost RM cells make the aggregate drift), while [Tracked] keeps a
-    per-VCI rate so [Resync] cells can repair drift. *)
+    per-VCI rate so [Resync] cells can repair drift.
+
+    For fault injection the port also models failure: it can {!crash}
+    (losing every reservation, like a real switch losing soft state)
+    and {!recover} empty, and it offers an {e idempotent} request
+    interface ({!process_request} / {!rollback_request}) so that
+    retransmitted or duplicated RM cells of the same request never
+    double-apply a delta. *)
 
 type mode = Stateless | Tracked
 
@@ -21,6 +28,8 @@ val capacity : t -> float
 val reserved : t -> float
 (** Aggregate reservation the controller believes is in force. *)
 
+val mode : t -> mode
+
 val vci_rate : t -> int -> float
 (** Believed rate of a VCI; 0 if unknown or in [Stateless] mode. *)
 
@@ -28,12 +37,41 @@ val process : t -> Rm_cell.t -> [ `Granted | `Denied ]
 (** Apply an RM cell: compute the implied rate change, grant it iff
     [reserved + change <= capacity] (decreases always succeed), and
     update the bookkeeping.  In [Stateless] mode a [Resync] cell cannot
-    be interpreted (no per-VCI memory) and is treated as [Delta 0]. *)
+    be interpreted (no per-VCI memory) and is treated as [Delta 0].
+    A crashed port denies everything. *)
+
+val process_request : t -> req_id:int -> Rm_cell.t -> [ `Granted | `Denied ]
+(** Idempotent {!process}: if this VCI's most recent request has the
+    same [req_id] and its change is still applied, acknowledge
+    [`Granted] without reapplying — so retransmissions and duplicated
+    cells are harmless.  A request whose change was rolled back (or
+    denied) is evaluated afresh. *)
+
+val rollback_request : t -> req_id:int -> Rm_cell.t -> unit
+(** Undo request [req_id] by applying [cell] (the reverse delta) — but
+    only if that request's change is currently applied here, making
+    duplicated rollback cells harmless too. *)
 
 val release : t -> vci:int -> rate:float -> unit
-(** Tear-down: return [rate] to the pool (and forget the VCI when
-    tracked). *)
+(** Tear-down: return the VCI's reservation to the pool (and forget the
+    VCI when tracked).  In [Tracked] mode the amount freed is what the
+    {e port} believes the VCI holds — exact even when signalling faults
+    have made the caller's view drift; [rate] is used only in
+    [Stateless] mode. *)
+
+val crash : t -> unit
+(** The port fails: it loses every reservation and all per-VCI state,
+    and denies/ignores all signalling until {!recover}. *)
+
+val recover : t -> unit
+(** The port comes back up, empty — connections re-admit from scratch
+    (typically via their periodic resync cells). *)
+
+val is_up : t -> bool
 
 val drift : t -> actual:float -> float
 (** [reserved -. actual]: the bookkeeping error against the true total
     source rate, the quantity periodic resync bounds. *)
+
+val view : t -> index:int -> Rcbr_fault.Invariant.port_view
+(** Snapshot for the conservation invariant checker. *)

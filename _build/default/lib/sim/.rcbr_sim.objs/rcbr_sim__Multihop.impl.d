@@ -1,1 +1,1 @@
-lib/sim/multihop.ml: Array Float List Mbac Rcbr_core Rcbr_queue Rcbr_util
+lib/sim/multihop.ml: Array Float List Mbac Rcbr_core Rcbr_fault Rcbr_queue Rcbr_util

@@ -4,6 +4,13 @@ module Rng = Rcbr_util.Rng
 module Stats = Rcbr_util.Stats
 module Controller = Rcbr_admission.Controller
 
+type faults = {
+  rm_drop : float;
+  rm_timeout : float;
+  rm_max_retransmits : int;
+  fault_seed : int;
+}
+
 type config = {
   schedule : Rcbr_core.Schedule.t;
   capacity : float;
@@ -14,6 +21,7 @@ type config = {
   min_windows : int;
   max_windows : int;
   relative_precision : float;
+  faults : faults option;
 }
 
 let default_config ~schedule ~capacity ~arrival_rate ~target ~seed =
@@ -27,6 +35,7 @@ let default_config ~schedule ~capacity ~arrival_rate ~target ~seed =
     min_windows = 10;
     max_windows = 200;
     relative_precision = 0.2;
+    faults = None;
   }
 
 let offered_load c =
@@ -42,6 +51,9 @@ type metrics = {
   denial_fraction : float;
   mean_calls_in_system : float;
   windows : int;
+  signalling_dropped : int;
+  signalling_retransmits : int;
+  signalling_abandoned : int;
 }
 
 (* The (duration_s, rate) pieces of a schedule started at a circular
@@ -99,7 +111,20 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
   assert (c.capacity > 0. && c.arrival_rate > 0.);
   assert (c.warmup_windows >= 0 && c.min_windows >= 1);
   assert (c.max_windows >= c.warmup_windows + c.min_windows);
+  (match c.faults with
+  | None -> ()
+  | Some f ->
+      assert (f.rm_drop >= 0. && f.rm_drop <= 1.);
+      assert (f.rm_timeout > 0. && f.rm_max_retransmits >= 0));
   let rng = Rng.create c.seed in
+  (* Fault randomness lives on its own stream: [faults = None] and
+     [Some { rm_drop = 0.; _ }] give bit-identical metrics. *)
+  let frng =
+    match c.faults with
+    | None -> None
+    | Some f -> Some (f, Rng.create f.fault_seed)
+  in
+  let sig_dropped = ref 0 and sig_retx = ref 0 and sig_abandoned = ref 0 in
   let engine = Events.create () in
   let window = Schedule.duration c.schedule in
   let link =
@@ -122,28 +147,65 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
   let calls_stats = Stats.Online.create () in
   let windows_done = ref 0 in
   let stop = ref false in
-  (* One call's life: walk its pieces, then depart. *)
-  let rec piece_event id pieces idx engine =
+  (* One call's life: walk its pieces, then depart.  [applied] is the
+     rate the link currently accounts for this call; with a reliable
+     signalling plane it always equals the previous piece's rate, but a
+     dropped rate-change cell leaves it behind until the retransmission
+     (or the give-up) lands.  [gen] is bumped per rate change and on
+     departure, so a newer change or the teardown cancels any pending
+     retransmission of a stale one. *)
+  let rec piece_event id applied gen pieces idx engine =
     let now = Events.now engine in
     advance link ~now;
     if idx >= Array.length pieces then begin
-      (* Departure: release the final rate. *)
-      let _, last_rate = pieces.(Array.length pieces - 1) in
-      link.demand <- link.demand -. last_rate;
+      (* Departure: release whatever rate the link believes.  A change
+         still in retransmission simply never applies. *)
+      link.demand <- link.demand -. !applied;
       link.n_calls <- link.n_calls - 1;
+      incr gen;
       Controller.on_depart controller ~now ~call:id
     end
     else begin
       let duration, rate = pieces.(idx) in
-      let old_rate = if idx = 0 then 0. else snd pieces.(idx - 1) in
-      let new_demand = link.demand -. old_rate +. rate in
-      if idx > 0 && rate > old_rate then begin
-        incr reneg_up;
-        if new_demand > link.capacity then incr reneg_denied
-      end;
-      link.demand <- new_demand;
-      if idx > 0 then Controller.on_renegotiate controller ~now ~call:id ~rate;
-      Events.schedule_after engine ~delay:duration (piece_event id pieces (idx + 1))
+      incr gen;
+      let g = !gen in
+      let apply ~now =
+        let new_demand = link.demand -. !applied +. rate in
+        if idx > 0 && rate > !applied then begin
+          incr reneg_up;
+          if new_demand > link.capacity then incr reneg_denied
+        end;
+        link.demand <- new_demand;
+        applied := rate;
+        if idx > 0 then Controller.on_renegotiate controller ~now ~call:id ~rate
+      in
+      let dropped (f, r) = f.rm_drop > 0. && Rng.float r < f.rm_drop in
+      let rec attempt retx engine =
+        let now = Events.now engine in
+        advance link ~now;
+        match frng with
+        (* Call setup (idx = 0) is signalled reliably: admission already
+           happened at the arrival event. *)
+        | Some ((f, _) as fr) when idx > 0 && dropped fr ->
+            incr sig_dropped;
+            if retx >= f.rm_max_retransmits then begin
+              (* Settle semantics: give up signalling and account the
+                 demanded rate anyway — the excess shows up as lost
+                 bits, exactly as for a denied increase. *)
+              incr sig_abandoned;
+              apply ~now
+            end
+            else
+              Events.schedule_after engine ~delay:f.rm_timeout (fun engine ->
+                  if !gen = g then begin
+                    incr sig_retx;
+                    attempt (retx + 1) engine
+                  end)
+        | _ -> apply ~now
+      in
+      attempt 0 engine;
+      Events.schedule_after engine ~delay:duration
+        (piece_event id applied gen pieces (idx + 1))
     end
   in
   let rec arrival_event engine =
@@ -156,7 +218,7 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
       let pieces = make_pieces rng in
       link.n_calls <- link.n_calls + 1;
       Controller.on_admit controller ~now ~call:id ~rate:(snd pieces.(0));
-      piece_event id pieces 0 engine
+      piece_event id (ref 0.) (ref 0) pieces 0 engine
     end
     else incr blocked;
     if not !stop then
@@ -218,6 +280,9 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
        else float_of_int !reneg_denied /. float_of_int !reneg_up);
     mean_calls_in_system = Stats.Online.mean calls_stats;
     windows = Stats.Online.count failure_stats;
+    signalling_dropped = !sig_dropped;
+    signalling_retransmits = !sig_retx;
+    signalling_abandoned = !sig_abandoned;
   }
 
 let run (c : config) ~controller =

@@ -19,6 +19,17 @@
     when the failure estimate is confidently below [target], or at
     [max_windows]. *)
 
+type faults = {
+  rm_drop : float;  (** loss probability per signalling (rate-change) cell *)
+  rm_timeout : float;  (** seconds before a lost cell is re-sent *)
+  rm_max_retransmits : int;
+      (** per rate change; after that the change is accounted anyway
+          (settle semantics, as for a denied increase) *)
+  fault_seed : int;
+      (** separate stream: [rm_drop = 0.] reproduces the fault-free run
+          bit for bit *)
+}
+
 type config = {
   schedule : Rcbr_core.Schedule.t;  (** reference call schedule *)
   capacity : float;  (** link capacity, b/s *)
@@ -29,6 +40,15 @@ type config = {
   min_windows : int;
   max_windows : int;
   relative_precision : float;
+  faults : faults option;
+      (** [None] (the default): reliable signalling, historical
+          behaviour.  [Some]: each renegotiation cell is dropped with
+          [rm_drop] and retransmitted after [rm_timeout]; a newer rate
+          change for the same call, or its departure, cancels the
+          pending retransmission, and a departing call releases the rate
+          the link actually believes — bandwidth stays conserved under
+          any loss pattern.  Call setup cells are not subjected to loss
+          (admission already happened). *)
 }
 
 val default_config :
@@ -53,6 +73,9 @@ type metrics = {
   denial_fraction : float;  (** renegotiation increases denied / issued *)
   mean_calls_in_system : float;
   windows : int;
+  signalling_dropped : int;  (** RM cells lost to the fault plan; 0 without faults *)
+  signalling_retransmits : int;
+  signalling_abandoned : int;  (** changes applied only after give-up *)
 }
 
 val run : config -> controller:Rcbr_admission.Controller.t -> metrics

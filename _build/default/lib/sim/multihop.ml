@@ -1,6 +1,7 @@
 module Schedule = Rcbr_core.Schedule
 module Events = Rcbr_queue.Events
 module Rng = Rcbr_util.Rng
+module Invariant = Rcbr_fault.Invariant
 
 type config = {
   schedule : Rcbr_core.Schedule.t;
@@ -18,6 +19,29 @@ type balanced_config = {
   balance : bool;  (** least-loaded route choice vs uniform random *)
 }
 
+type faults = {
+  rm_drop : float;  (** per-hop loss probability of a signalling cell *)
+  retx_timeout : float;  (** seconds before a lost request is re-sent *)
+  max_retransmits : int;  (** per rate change, before applying anyway *)
+  crashes : (int * float * float) list;
+      (** (hop, at, recover): during the window the hop (on every
+          route) is a signalling blackout — all increases through it
+          are denied *)
+  fault_seed : int;
+  check_invariants : bool;
+      (** audit demand = sum of call rates as the simulation runs *)
+}
+
+let no_faults =
+  {
+    rm_drop = 0.;
+    retx_timeout = 0.25;
+    max_retransmits = 4;
+    crashes = [];
+    fault_seed = 0;
+    check_invariants = false;
+  }
+
 type metrics = {
   transit_attempts : int;
   transit_denials : int;
@@ -26,21 +50,41 @@ type metrics = {
   mean_hop_utilization : float;
 }
 
+type fault_metrics = {
+  rm_lost : int;  (** signalling cells the fault plan swallowed *)
+  retransmits : int;
+  abandoned : int;  (** rate changes applied only after give-up *)
+  superseded : int;  (** retransmissions cancelled by a newer change *)
+  crash_denials : int;  (** denials caused purely by a crashed hop *)
+  invariant_failures : int;
+}
+
 let denial_fraction m =
   if m.transit_attempts = 0 then 0.
   else float_of_int m.transit_denials /. float_of_int m.transit_attempts
 
 (* A call's route is a list of (route index, hop index) links. *)
-type call = { links : (int * int) list; mutable rate : float; transit : bool }
+type call = {
+  links : (int * int) list;
+  mutable rate : float;
+  transit : bool;
+  mutable gen : int;  (* bumped per rate change; cancels stale retransmits *)
+}
 
-let run_balanced bc =
+let run_faulty bc fc =
   let c = bc.base in
   assert (c.hops >= 1 && c.capacity_per_hop > 0. && c.horizon > 0.);
   assert (c.transit_calls >= 1 && c.local_calls_per_hop >= 0);
   assert (bc.routes >= 1);
+  assert (fc.rm_drop >= 0. && fc.rm_drop <= 1.);
+  assert (fc.retx_timeout > 0. && fc.max_retransmits >= 0);
   let rng = Rng.create c.seed in
+  (* Fault randomness is a separate stream so that a null fault spec
+     reproduces the fault-free run bit for bit. *)
+  let frng = Rng.create fc.fault_seed in
   let engine = Events.create () in
   let demand = Array.init bc.routes (fun _ -> Array.make c.hops 0.) in
+  let calls = ref [] in
   let util_integral = ref 0. and last = ref 0. in
   let advance now =
     let dt = now -. !last in
@@ -56,17 +100,97 @@ let run_balanced bc =
   in
   let transit_attempts = ref 0 and transit_denials = ref 0 in
   let local_attempts = ref 0 and local_denials = ref 0 in
+  let rm_lost = ref 0 and retransmits = ref 0 in
+  let abandoned = ref 0 and superseded = ref 0 in
+  let crash_denials = ref 0 and invariant_failures = ref 0 in
+  let applies = ref 0 in
   let n_slots = Schedule.n_slots c.schedule in
-  let fits call new_rate =
+  let hop_down h now =
+    List.exists (fun (ch, a, r) -> ch = h && now >= a && now < r) fc.crashes
+  in
+  let fits call new_rate ~now =
     let delta = new_rate -. call.rate in
     List.for_all
-      (fun (r, h) -> demand.(r).(h) +. delta <= c.capacity_per_hop +. 1e-9)
+      (fun (r, h) ->
+        (not (hop_down h now))
+        && demand.(r).(h) +. delta <= c.capacity_per_hop +. 1e-9)
       call.links
   in
-  let apply call new_rate =
-    let delta = new_rate -. call.rate in
+  let crash_blocked call ~now =
+    List.exists (fun (_, h) -> hop_down h now) call.links
+  in
+  (* Audit: every link's demand must equal the sum of the rates of the
+     calls crossing it — conservation of (desired) bandwidth under any
+     interleaving of changes, retransmissions and give-ups. *)
+  let check_invariant () =
+    let expect = Array.init bc.routes (fun _ -> Array.make c.hops 0.) in
+    List.iter
+      (fun call ->
+        List.iter
+          (fun (r, h) -> expect.(r).(h) <- expect.(r).(h) +. call.rate)
+          call.links)
+      !calls;
+    let views =
+      Array.init (bc.routes * c.hops) (fun i ->
+          let r = i / c.hops and h = i mod c.hops in
+          {
+            Invariant.index = i;
+            capacity = c.capacity_per_hop;
+            reserved = demand.(r).(h);
+            (* One pseudo-VCI holding the recomputed expectation: the
+               checker then flags aggregate/sum mismatches for us. *)
+            vci_rates = Some [ (0, expect.(r).(h)) ];
+          })
+    in
+    invariant_failures :=
+      !invariant_failures
+      + List.length (Invariant.check ~check_capacity:false views)
+  in
+  let apply_change call rate ~now ~count =
+    if count && rate > call.rate then begin
+      if call.transit then incr transit_attempts else incr local_attempts;
+      if not (fits call rate ~now) then begin
+        if call.transit then incr transit_denials else incr local_denials;
+        if crash_blocked call ~now then incr crash_denials
+      end
+    end;
+    let delta = rate -. call.rate in
     List.iter (fun (r, h) -> demand.(r).(h) <- demand.(r).(h) +. delta) call.links;
-    call.rate <- new_rate
+    call.rate <- rate;
+    if fc.check_invariants then begin
+      incr applies;
+      if !applies mod 64 = 0 then check_invariant ()
+    end
+  in
+  (* One transmission attempt of the rate-change cell across the call's
+     links; a drop anywhere loses it and arms a retransmission, which a
+     newer change (next piece) supersedes. *)
+  let rec signal call rate gen ~retx engine =
+    let now = Events.now engine in
+    let lost =
+      fc.rm_drop > 0.
+      && List.exists (fun _ -> Rng.float frng < fc.rm_drop) call.links
+    in
+    if not lost then apply_change call rate ~now ~count:true
+    else begin
+      incr rm_lost;
+      if retx >= fc.max_retransmits then begin
+        (* Give up signalling and settle on the desired demand anyway:
+           the overload shows up in the utilization cap, as for a denied
+           increase. *)
+        incr abandoned;
+        apply_change call rate ~now ~count:true
+      end
+      else
+        Events.schedule_after engine ~delay:fc.retx_timeout (fun engine ->
+            let now = Events.now engine in
+            if call.gen <> gen then incr superseded
+            else if now <= c.horizon then begin
+              advance now;
+              incr retransmits;
+              signal call rate gen ~retx:(retx + 1) engine
+            end)
+    end
   in
   (* Each call loops over its shifted pieces for the whole horizon.
      Demand is the *desired* rate (settle semantics): a denied increase
@@ -78,12 +202,8 @@ let run_balanced bc =
       advance now;
       let idx = if idx >= Array.length pieces then 0 else idx in
       let duration, rate = pieces.(idx) in
-      if rate > call.rate then begin
-        if call.transit then incr transit_attempts else incr local_attempts;
-        if not (fits call rate) then
-          if call.transit then incr transit_denials else incr local_denials
-      end;
-      apply call rate;
+      call.gen <- call.gen + 1;
+      signal call rate call.gen ~retx:0 engine;
       Events.schedule_after engine ~delay:duration
         (piece_event call pieces (idx + 1))
     end
@@ -91,11 +211,13 @@ let run_balanced bc =
   let start_call ~links ~transit =
     let shift = Rng.int rng n_slots in
     let pieces = Mbac.shifted_pieces c.schedule ~shift in
-    let call = { links; rate = 0.; transit } in
+    let call = { links; rate = 0.; transit; gen = 0 } in
+    calls := call :: !calls;
     (* Reserve the setup rate immediately so later placement decisions
        (the load balancer) see it; the first piece event is then a
-       no-op rate-wise. *)
-    apply call (snd pieces.(0));
+       no-op rate-wise.  Call setup is signalled reliably and is not a
+       renegotiation attempt. *)
+    apply_change call (snd pieces.(0)) ~now:0. ~count:false;
     (* Desynchronize call starts within the first pieces. *)
     let offset = Rng.float rng in
     Events.schedule engine ~at:offset (piece_event call pieces 0)
@@ -128,12 +250,22 @@ let run_balanced bc =
   done;
   Events.run ~until:c.horizon engine;
   advance c.horizon;
-  {
-    transit_attempts = !transit_attempts;
-    transit_denials = !transit_denials;
-    local_attempts = !local_attempts;
-    local_denials = !local_denials;
-    mean_hop_utilization = !util_integral /. c.horizon;
-  }
+  if fc.check_invariants then check_invariant ();
+  ( {
+      transit_attempts = !transit_attempts;
+      transit_denials = !transit_denials;
+      local_attempts = !local_attempts;
+      local_denials = !local_denials;
+      mean_hop_utilization = !util_integral /. c.horizon;
+    },
+    {
+      rm_lost = !rm_lost;
+      retransmits = !retransmits;
+      abandoned = !abandoned;
+      superseded = !superseded;
+      crash_denials = !crash_denials;
+      invariant_failures = !invariant_failures;
+    } )
 
+let run_balanced bc = fst (run_faulty bc no_faults)
 let run c = run_balanced { base = c; routes = 1; balance = false }

@@ -26,12 +26,44 @@ type balanced_config = {
           "load balancing at the call level") vs uniformly at random *)
 }
 
+type faults = {
+  rm_drop : float;  (** per-hop loss probability of a signalling cell *)
+  retx_timeout : float;  (** seconds before a lost request is re-sent *)
+  max_retransmits : int;
+      (** per rate change; after that the change is applied anyway
+          (settle semantics — the overload shows up in the capped
+          utilization, as for a denied increase) *)
+  crashes : (int * float * float) list;
+      (** [(hop, at, recover)]: during the window the hop (on every
+          route) is a signalling blackout — every increase crossing it
+          is denied *)
+  fault_seed : int;
+      (** faults draw from their own stream, so any run with
+          [rm_drop = 0] and no crashes is bit-identical to {!run_balanced} *)
+  check_invariants : bool;
+      (** periodically audit that every link's demand equals the sum of
+          the rates of the calls crossing it *)
+}
+
+val no_faults : faults
+(** No loss, no crashes, no auditing: [run_faulty bc no_faults] gives
+    exactly [run_balanced bc]'s metrics. *)
+
 type metrics = {
   transit_attempts : int;  (** rate-increase requests by transit calls *)
   transit_denials : int;
   local_attempts : int;
   local_denials : int;
   mean_hop_utilization : float;  (** demand / capacity, time-averaged, capped at 1 *)
+}
+
+type fault_metrics = {
+  rm_lost : int;  (** signalling cells the fault plan swallowed *)
+  retransmits : int;
+  abandoned : int;  (** rate changes applied only after give-up *)
+  superseded : int;  (** retransmissions cancelled by a newer change *)
+  crash_denials : int;  (** denials caused purely by a crashed hop *)
+  invariant_failures : int;  (** 0 unless there is a bookkeeping bug *)
 }
 
 val denial_fraction : metrics -> float
@@ -50,3 +82,12 @@ val run_balanced : balanced_config -> metrics
     [run c] = [run_balanced { base = c; routes = 1; balance = false }].
     Tests the paper's conjecture that alternate routes plus call-level
     load balancing compensate for the per-hop failure growth. *)
+
+val run_faulty : balanced_config -> faults -> metrics * fault_metrics
+(** {!run_balanced} over an unreliable signalling plane: each rate-change
+    cell is lost with probability [rm_drop] per hop and retransmitted
+    after [retx_timeout] (a newer change for the same call supersedes the
+    pending retransmission); crashed hops deny every increase crossing
+    them while down.  Fault randomness comes from a separate
+    [fault_seed]ed stream, so [run_faulty bc no_faults =
+    (run_balanced bc, zeros)] bit for bit. *)

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Float List Rcbr_admission Rcbr_core Rcbr_fault Rcbr_signal Rcbr_sim Rcbr_traffic

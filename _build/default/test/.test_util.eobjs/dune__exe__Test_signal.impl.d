@@ -1,1 +1,1 @@
-test/test_signal.ml: Alcotest List Rcbr_core Rcbr_signal Rcbr_traffic
+test/test_signal.ml: Alcotest Array Float List QCheck QCheck_alcotest Rcbr_core Rcbr_fault Rcbr_signal Rcbr_traffic

@@ -409,7 +409,7 @@ let test_niu_uncontended_stream () =
   (* A three-hop path with plenty of capacity: the NIU tracks the source
      with no failures and bounded backlog. *)
   let ports = List.init 3 (fun _ -> Port.create ~capacity:10e6 ()) in
-  let path = Path.create ports ~vci:1 ~initial_rate:400_000. in
+  let path = Path.create_exn ports ~vci:1 ~initial_rate:400_000. in
   let r = Niu.stream Niu.default_params ~path trace in
   Alcotest.(check int) "no failures" 0 r.Niu.failures;
   Alcotest.(check bool) "renegotiated" true (r.Niu.attempts > 0);
@@ -427,8 +427,8 @@ let test_niu_contended_stream () =
   (* A bottleneck hop mostly occupied by cross traffic: denials happen,
      retries recover, bits may be lost but accounting stays consistent. *)
   let bottleneck = Port.create ~capacity:1_000_000. () in
-  let cross = Path.create [ bottleneck ] ~vci:2 ~initial_rate:450_000. in
-  let path = Path.create [ bottleneck ] ~vci:1 ~initial_rate:300_000. in
+  let cross = Path.create_exn [ bottleneck ] ~vci:2 ~initial_rate:450_000. in
+  let path = Path.create_exn [ bottleneck ] ~vci:1 ~initial_rate:300_000. in
   let r = Niu.stream Niu.default_params ~path trace in
   Alcotest.(check bool) "denials under contention" true (r.Niu.failures > 0);
   Alcotest.(check bool) "loss accounted" true
@@ -441,7 +441,7 @@ let test_niu_contended_stream () =
 
 let test_niu_delay_increases_backlog () =
   let make_path () =
-    Path.create [ Port.create ~capacity:10e6 () ] ~vci:1 ~initial_rate:400_000.
+    Path.create_exn [ Port.create ~capacity:10e6 () ] ~vci:1 ~initial_rate:400_000.
   in
   let backlog delay_slots =
     let r =
@@ -457,8 +457,8 @@ let test_niu_retry_beats_no_retry () =
      with retries the NIU reclaims bandwidth sooner. *)
   let run retry_slots =
     let bottleneck = Port.create ~capacity:1_200_000. () in
-    let cross = Path.create [ bottleneck ] ~vci:2 ~initial_rate:600_000. in
-    let path = Path.create [ bottleneck ] ~vci:1 ~initial_rate:300_000. in
+    let cross = Path.create_exn [ bottleneck ] ~vci:2 ~initial_rate:600_000. in
+    let path = Path.create_exn [ bottleneck ] ~vci:1 ~initial_rate:300_000. in
     (* Shrink the cross call after setup so capacity appears. *)
     ignore (Path.renegotiate cross 100_000.);
     let r =

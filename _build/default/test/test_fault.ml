@@ -1,0 +1,537 @@
+(* Fault-injection layer: plans, injectors, the conservation invariant,
+   the retransmitting NIU, and the faulty call-level simulators.
+
+   The two load-bearing guarantees tested here:
+   - under the null fault plan every faulty code path is bit-identical
+     to the historical fault-free behaviour, and
+   - under real faults (lossy RM cells, crashes) reserved bandwidth is
+     conserved at every port and retransmissions stay bounded. *)
+
+module Plan = Rcbr_fault.Plan
+module Injector = Rcbr_fault.Injector
+module Invariant = Rcbr_fault.Invariant
+module Rm_cell = Rcbr_signal.Rm_cell
+module Port = Rcbr_signal.Port
+module Path = Rcbr_signal.Path
+module Niu = Rcbr_signal.Niu
+module Online = Rcbr_core.Online
+module Schedule = Rcbr_core.Schedule
+module Trace = Rcbr_traffic.Trace
+module Multihop = Rcbr_sim.Multihop
+module Mbac = Rcbr_sim.Mbac
+module Controller = Rcbr_admission.Controller
+
+let check_close eps = Alcotest.(check (float eps))
+let trace = Rcbr_traffic.Synthetic.star_wars ~frames:6_000 ~seed:42 ()
+
+(* --- Plan and injector --- *)
+
+let test_plan_null () =
+  let p = Plan.null ~hops:4 in
+  Alcotest.(check bool) "null is null" true (Plan.is_null p);
+  Alcotest.(check bool) "lossy is not" false
+    (Plan.is_null (Plan.uniform ~drop:0.1 ~hops:4 ~seed:1 ()));
+  Alcotest.(check bool) "crash is not" false
+    (Plan.is_null
+       (Plan.uniform ~crashes:[ { Plan.hop = 0; at_slot = 1; recover_slot = 2 } ]
+          ~hops:4 ~seed:1 ()));
+  Plan.validate p
+
+let test_plan_validate_rejects () =
+  let bad f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "probability > 1" true
+    (bad (fun () -> Plan.validate (Plan.uniform ~drop:1.5 ~hops:1 ~seed:0 ())));
+  Alcotest.(check bool) "sum > 1" true
+    (bad (fun () ->
+         Plan.validate
+           (Plan.uniform ~drop:0.6 ~duplicate:0.6 ~hops:1 ~seed:0 ())));
+  Alcotest.(check bool) "empty crash window" true
+    (bad (fun () ->
+         Plan.validate
+           (Plan.uniform
+              ~crashes:[ { Plan.hop = 0; at_slot = 5; recover_slot = 5 } ]
+              ~hops:1 ~seed:0 ())));
+  Alcotest.(check bool) "crash beyond path" true
+    (bad (fun () ->
+         Plan.validate
+           (Plan.uniform
+              ~crashes:[ { Plan.hop = 3; at_slot = 0; recover_slot = 1 } ]
+              ~hops:2 ~seed:0 ())))
+
+let test_injector_null_delivers () =
+  let inj = Injector.create (Plan.null ~hops:3) in
+  for _ = 1 to 200 do
+    for hop = 0 to 2 do
+      Alcotest.(check bool) "deliver" true (Injector.fate inj ~hop = Deliver)
+    done
+  done;
+  let t = Injector.totals inj in
+  Alcotest.(check int) "sent" 600 t.Injector.sent;
+  Alcotest.(check int) "dropped" 0 t.Injector.dropped;
+  Alcotest.(check int) "duplicated" 0 t.Injector.duplicated;
+  Alcotest.(check int) "delayed" 0 t.Injector.delayed;
+  Alcotest.(check int) "jitter 0 free" 0 (Injector.jitter inj 0)
+
+let test_injector_deterministic () =
+  let plan =
+    Plan.uniform ~drop:0.2 ~duplicate:0.1 ~reorder:0.1 ~delay:0.1 ~hops:2
+      ~seed:99 ()
+  in
+  let a = Injector.create plan and b = Injector.create plan in
+  for _ = 1 to 500 do
+    for hop = 0 to 1 do
+      Alcotest.(check bool) "same fate stream" true
+        (Injector.fate a ~hop = Injector.fate b ~hop)
+    done
+  done;
+  let ta = Injector.totals a and tb = Injector.totals b in
+  Alcotest.(check int) "same drops" ta.Injector.dropped tb.Injector.dropped;
+  Alcotest.(check bool) "faults actually injected" true
+    (ta.Injector.dropped > 0 && ta.Injector.duplicated > 0)
+
+let test_injector_crash_window () =
+  let plan =
+    Plan.uniform ~crashes:[ { Plan.hop = 1; at_slot = 10; recover_slot = 20 } ]
+      ~hops:3 ~seed:0 ()
+  in
+  let inj = Injector.create plan in
+  Alcotest.(check bool) "up before" false (Injector.down inj ~hop:1 ~slot:9);
+  Alcotest.(check bool) "down at start" true (Injector.down inj ~hop:1 ~slot:10);
+  Alcotest.(check bool) "down inside" true (Injector.down inj ~hop:1 ~slot:19);
+  Alcotest.(check bool) "up at recovery" false (Injector.down inj ~hop:1 ~slot:20);
+  Alcotest.(check bool) "other hop unaffected" false
+    (Injector.down inj ~hop:0 ~slot:15)
+
+(* --- Invariant checker --- *)
+
+let test_invariant_flags_breakage () =
+  let ok =
+    { Invariant.index = 0; capacity = 100.; reserved = 60.;
+      vci_rates = Some [ (1, 25.); (2, 35.) ] }
+  in
+  Alcotest.(check int) "consistent port passes" 0
+    (List.length (Invariant.check [| ok |]));
+  let views =
+    [|
+      { ok with Invariant.reserved = -1.; vci_rates = None };
+      { ok with Invariant.index = 1; reserved = 150.; vci_rates = None };
+      { ok with Invariant.index = 2; vci_rates = Some [ (1, 60.) ] };
+      { ok with Invariant.index = 3; vci_rates = Some [ (1, 60.); (2, -1.) ] };
+    |]
+  in
+  Alcotest.(check bool) "negative, overflow, mismatch, negative vci" true
+    (List.length (Invariant.check views) >= 4);
+  (* Settle-style bookkeeping may legally exceed capacity. *)
+  Alcotest.(check int) "capacity check can be waived" 0
+    (List.length
+       (Invariant.check ~check_capacity:false
+          [| { ok with Invariant.reserved = 150.; vci_rates = Some [ (1, 150.) ] } |]))
+
+(* --- Idempotent port requests --- *)
+
+let test_port_request_idempotent () =
+  let p = Port.create ~capacity:100. () in
+  let cell = Rm_cell.delta ~vci:1 40. in
+  Alcotest.(check bool) "granted" true
+    (Port.process_request p ~req_id:1 cell = `Granted);
+  (* A retransmission (or duplicated cell) of the same request must not
+     double-apply. *)
+  Alcotest.(check bool) "duplicate acked" true
+    (Port.process_request p ~req_id:1 cell = `Granted);
+  check_close 1e-12 "applied once" 40. (Port.reserved p);
+  (* A fresh request applies again. *)
+  ignore (Port.process_request p ~req_id:2 cell);
+  check_close 1e-12 "applied twice" 80. (Port.reserved p)
+
+let test_port_rollback_idempotent () =
+  let p = Port.create ~capacity:100. () in
+  let cell = Rm_cell.delta ~vci:1 40. in
+  ignore (Port.process_request p ~req_id:1 cell);
+  let reverse = Rm_cell.delta ~vci:1 (-40.) in
+  Port.rollback_request p ~req_id:1 reverse;
+  check_close 1e-12 "rolled back" 0. (Port.reserved p);
+  (* A duplicated rollback cell is harmless. *)
+  Port.rollback_request p ~req_id:1 reverse;
+  check_close 1e-12 "rolled back once" 0. (Port.reserved p);
+  (* And the same request id can then be evaluated afresh (it is no
+     longer applied). *)
+  Alcotest.(check bool) "re-evaluated" true
+    (Port.process_request p ~req_id:1 cell = `Granted);
+  check_close 1e-12 "reapplied" 40. (Port.reserved p)
+
+let test_port_crash_recover () =
+  let p = Port.create ~capacity:100. () in
+  ignore (Port.process p (Rm_cell.delta ~vci:1 40.));
+  ignore (Port.process p (Rm_cell.delta ~vci:2 30.));
+  Port.crash p;
+  Alcotest.(check bool) "down" false (Port.is_up p);
+  check_close 1e-12 "reservations lost" 0. (Port.reserved p);
+  check_close 1e-12 "vci state lost" 0. (Port.vci_rate p 1);
+  Alcotest.(check bool) "denies while down" true
+    (Port.process p (Rm_cell.delta ~vci:3 1.) = `Denied);
+  Port.recover p;
+  Alcotest.(check bool) "up" true (Port.is_up p);
+  check_close 1e-12 "recovers empty" 0. (Port.reserved p);
+  (* A resync re-admits the connection from scratch. *)
+  ignore (Port.process p (Rm_cell.resync ~vci:1 40.));
+  check_close 1e-12 "rebuilt" 40. (Port.reserved p)
+
+(* --- NIU over the faulty plane --- *)
+
+let niu_ports ?(capacity = 10e6) hops =
+  List.init hops (fun _ -> Port.create ~capacity ())
+
+let test_niu_null_plan_bit_identical () =
+  (* The acceptance bar for the whole layer: running the retransmitting
+     state machine under the plan where nothing goes wrong reproduces
+     the idealized signalling run exactly. *)
+  let run faults =
+    let path =
+      Path.create_exn (niu_ports 3) ~vci:1 ~initial_rate:400_000.
+    in
+    Niu.stream { Niu.default_params with Niu.faults } ~path trace
+  in
+  let legacy = run None in
+  let null = run (Some (Niu.default_faults (Plan.null ~hops:3))) in
+  Alcotest.(check int) "attempts" legacy.Niu.attempts null.Niu.attempts;
+  Alcotest.(check int) "failures" legacy.Niu.failures null.Niu.failures;
+  check_close 1e-12 "bits lost" legacy.Niu.bits_lost null.Niu.bits_lost;
+  check_close 1e-12 "max backlog" legacy.Niu.max_backlog null.Niu.max_backlog;
+  check_close 1e-12 "mean reserved" legacy.Niu.mean_reserved
+    null.Niu.mean_reserved;
+  let ra = Schedule.to_rates legacy.Niu.schedule
+  and rb = Schedule.to_rates null.Niu.schedule in
+  Alcotest.(check int) "schedule length" (Array.length ra) (Array.length rb);
+  Array.iteri (fun i r -> check_close 1e-12 "slot rate" r rb.(i)) ra;
+  match null.Niu.faults with
+  | None -> Alcotest.fail "fault report expected"
+  | Some f ->
+      Alcotest.(check int) "no retransmits" 0 f.Niu.retransmits;
+      Alcotest.(check int) "no give-ups" 0 f.Niu.give_ups;
+      Alcotest.(check int) "no violations" 0 f.Niu.invariant_violations;
+      check_close 1e-12 "no drift" 0. f.Niu.final_drift;
+      Alcotest.(check int) "nothing dropped" 0 f.Niu.cells.Injector.dropped
+
+let test_niu_lossy_three_hop () =
+  (* The headline robustness scenario: 10% RM-cell drop on every link of
+     a 3-hop path.  The stream must complete with conserved reservations,
+     bounded retransmissions and a clean teardown. *)
+  let ports = niu_ports 3 in
+  let path = Path.create_exn ports ~vci:1 ~initial_rate:400_000. in
+  let plan = Plan.uniform ~drop:0.1 ~hops:3 ~seed:11 () in
+  let faults = Niu.default_faults plan in
+  let r =
+    Niu.stream { Niu.default_params with Niu.faults = Some faults } ~path trace
+  in
+  Alcotest.(check bool) "renegotiated" true (r.Niu.attempts > 0);
+  (match r.Niu.faults with
+  | None -> Alcotest.fail "fault report expected"
+  | Some f ->
+      Alcotest.(check bool) "cells were dropped" true
+        (f.Niu.cells.Injector.dropped > 0);
+      Alcotest.(check bool) "losses were retransmitted" true
+        (f.Niu.retransmits > 0);
+      Alcotest.(check bool) "retransmits bounded" true
+        (f.Niu.worst_retransmits <= faults.Niu.max_retransmits);
+      Alcotest.(check int) "reservation conservation" 0
+        f.Niu.invariant_violations;
+      Alcotest.(check bool) "degradation accounted" true
+        (f.Niu.degraded_slots >= 0 && f.Niu.bits_scaled >= 0.));
+  (* The path still agrees with the network about its own rate closely
+     enough for an exact teardown. *)
+  Path.teardown path;
+  List.iter
+    (fun p -> check_close 1e-6 "clean teardown" 0. (Port.reserved p))
+    ports
+
+let test_niu_crash_recovery_resync () =
+  let ports = niu_ports 2 in
+  let path = Path.create_exn ports ~vci:1 ~initial_rate:400_000. in
+  let plan =
+    Plan.uniform
+      ~crashes:[ { Plan.hop = 1; at_slot = 1_000; recover_slot = 1_200 } ]
+      ~hops:2 ~seed:3 ()
+  in
+  let r =
+    Niu.stream
+      { Niu.default_params with Niu.faults = Some (Niu.default_faults plan) }
+      ~path trace
+  in
+  (match r.Niu.faults with
+  | None -> Alcotest.fail "fault report expected"
+  | Some f ->
+      Alcotest.(check int) "one crash" 1 f.Niu.crashes;
+      Alcotest.(check int) "one recovery" 1 f.Niu.recoveries;
+      Alcotest.(check bool) "resyncs repaired the recovered port" true
+        (f.Niu.resyncs > 0);
+      Alcotest.(check int) "conservation after crash" 0
+        f.Niu.invariant_violations;
+      (* The periodic resync rebuilt the recovered port's belief. *)
+      check_close 1e-6 "drift repaired" 0. f.Niu.final_drift);
+  Path.teardown path;
+  List.iter
+    (fun p -> check_close 1e-6 "clean teardown" 0. (Port.reserved p))
+    ports
+
+let test_niu_degradation_policies () =
+  (* A contended bottleneck: Settle and Scale must mark degraded slots;
+     Scale additionally sheds source bits while starved. *)
+  let run degrade =
+    let bottleneck = Port.create ~capacity:1_000_000. () in
+    let cross = Path.create_exn [ bottleneck ] ~vci:2 ~initial_rate:450_000. in
+    let path = Path.create_exn [ bottleneck ] ~vci:1 ~initial_rate:300_000. in
+    let faults =
+      { (Niu.default_faults (Plan.null ~hops:1)) with Niu.degrade }
+    in
+    let r =
+      Niu.stream { Niu.default_params with Niu.faults = Some faults } ~path
+        trace
+    in
+    Path.teardown path;
+    Path.teardown cross;
+    match r.Niu.faults with
+    | Some f -> (r, f)
+    | None -> Alcotest.fail "fault report expected"
+  in
+  let _, ride = run Niu.Ride_out in
+  let settle_r, settle = run Niu.Settle in
+  let scale_r, scale = run (Niu.Scale 0.5) in
+  Alcotest.(check bool) "contention degrades" true
+    (settle.Niu.degraded_slots > 0);
+  check_close 1e-9 "ride_out sheds nothing" 0. ride.Niu.bits_scaled;
+  check_close 1e-9 "settle sheds nothing" 0. settle.Niu.bits_scaled;
+  Alcotest.(check bool) "scale sheds while starved" true
+    (scale.Niu.bits_scaled > 0.);
+  Alcotest.(check bool) "shedding cannot increase buffer loss" true
+    (scale_r.Niu.bits_lost <= settle_r.Niu.bits_lost +. 1e-6)
+
+(* --- Online ?buffer vs the uncontended NIU (unified semantics) --- *)
+
+let test_online_buffer_matches_niu () =
+  let o = Online.default_params in
+  let tau = Trace.slot_duration trace in
+  let first = Trace.frame trace 0 /. tau in
+  let g = o.Online.granularity in
+  let initial =
+    if first <= 0. then g else g *. Float.ceil (first /. g)
+  in
+  let buffer = 300_000. in
+  let path =
+    Path.create_exn [ Port.create ~capacity:1e9 () ] ~vci:1
+      ~initial_rate:initial
+  in
+  let niu =
+    Niu.stream
+      { Niu.default_params with Niu.buffer; delay_slots = 0 }
+      ~path trace
+  in
+  let online =
+    Online.run_custom ~buffer o
+      ~predictor:(fun ~initial ->
+        Rcbr_core.Predictor.ar1 ~eta:o.Online.ar_coefficient ~initial)
+      trace
+  in
+  (* With unbounded capacity nothing is ever denied, so the NIU is the
+     Online heuristic plus a buffer cap — which run_custom now shares. *)
+  Alcotest.(check int) "no denials" 0 niu.Niu.failures;
+  check_close 1e-9 "same loss" online.Online.bits_lost niu.Niu.bits_lost;
+  check_close 1e-9 "same peak backlog" online.Online.max_backlog
+    niu.Niu.max_backlog;
+  let ra = Schedule.to_rates online.Online.schedule
+  and rb = Schedule.to_rates niu.Niu.schedule in
+  Array.iteri (fun i r -> check_close 1e-9 "same schedule" r rb.(i)) ra;
+  Path.teardown path
+
+let test_online_unbounded_loses_nothing () =
+  let r = Online.run Online.default_params trace in
+  check_close 1e-12 "no cap, no loss" 0. r.Online.bits_lost
+
+(* --- Faulty call-level simulators --- *)
+
+let multihop_config hops =
+  {
+    Multihop.schedule =
+      Rcbr_core.Optimal.solve
+        (Rcbr_core.Optimal.default_params ~cost_ratio:3e5 trace)
+        trace;
+    hops;
+    capacity_per_hop = 8. *. Trace.mean_rate trace;
+    transit_calls = 3;
+    local_calls_per_hop = 4;
+    horizon = 600.;
+    seed = 5;
+  }
+
+let test_multihop_null_faults_identical () =
+  let bc = { Multihop.base = multihop_config 3; routes = 2; balance = true } in
+  let a = Multihop.run_balanced bc in
+  let m, f = Multihop.run_faulty bc Multihop.no_faults in
+  Alcotest.(check int) "attempts" a.Multihop.transit_attempts
+    m.Multihop.transit_attempts;
+  Alcotest.(check int) "denials" a.Multihop.transit_denials
+    m.Multihop.transit_denials;
+  Alcotest.(check int) "local denials" a.Multihop.local_denials
+    m.Multihop.local_denials;
+  check_close 1e-12 "utilization" a.Multihop.mean_hop_utilization
+    m.Multihop.mean_hop_utilization;
+  Alcotest.(check int) "nothing lost" 0 f.Multihop.rm_lost;
+  Alcotest.(check int) "nothing retransmitted" 0 f.Multihop.retransmits
+
+let test_multihop_lossy_signalling () =
+  let bc = { Multihop.base = multihop_config 3; routes = 1; balance = false } in
+  let fc =
+    {
+      Multihop.no_faults with
+      Multihop.rm_drop = 0.2;
+      fault_seed = 9;
+      check_invariants = true;
+    }
+  in
+  let _, f = Multihop.run_faulty bc fc in
+  Alcotest.(check bool) "cells lost" true (f.Multihop.rm_lost > 0);
+  Alcotest.(check bool) "retransmissions happened" true
+    (f.Multihop.retransmits > 0);
+  Alcotest.(check int) "demand stays conserved" 0
+    f.Multihop.invariant_failures
+
+let test_multihop_crash_denies () =
+  let bc = { Multihop.base = multihop_config 3; routes = 1; balance = false } in
+  let fc =
+    { Multihop.no_faults with Multihop.crashes = [ (1, 50., 300.) ] }
+  in
+  let m, f = Multihop.run_faulty bc fc in
+  Alcotest.(check bool) "blackout denies increases" true
+    (f.Multihop.crash_denials > 0);
+  Alcotest.(check bool) "denials include crash denials" true
+    (m.Multihop.transit_denials + m.Multihop.local_denials
+    >= f.Multihop.crash_denials)
+
+let mbac_config () =
+  let schedule =
+    Schedule.create ~fps:24. ~n_slots:480
+      [
+        { Schedule.start_slot = 0; rate = 300_000. };
+        { Schedule.start_slot = 120; rate = 600_000. };
+        { Schedule.start_slot = 240; rate = 200_000. };
+        { Schedule.start_slot = 360; rate = 400_000. };
+      ]
+  in
+  let capacity = 2e6 in
+  let arrival_rate =
+    capacity /. (Schedule.mean_rate schedule *. Schedule.duration schedule)
+  in
+  {
+    (Mbac.default_config ~schedule ~capacity ~arrival_rate ~target:1e-3
+       ~seed:77)
+    with
+    Mbac.min_windows = 5;
+    max_windows = 30;
+  }
+
+let test_mbac_null_faults_identical () =
+  let cfg = mbac_config () in
+  let run faults =
+    Mbac.run { cfg with Mbac.faults } ~controller:(Controller.always_admit ())
+  in
+  let a = run None in
+  let b =
+    run
+      (Some
+         {
+           Mbac.rm_drop = 0.;
+           rm_timeout = 0.25;
+           rm_max_retransmits = 4;
+           fault_seed = 1;
+         })
+  in
+  check_close 1e-12 "failure probability" a.Mbac.failure_probability
+    b.Mbac.failure_probability;
+  check_close 1e-12 "utilization" a.Mbac.utilization b.Mbac.utilization;
+  check_close 1e-12 "denial fraction" a.Mbac.denial_fraction
+    b.Mbac.denial_fraction;
+  Alcotest.(check int) "windows" a.Mbac.windows b.Mbac.windows;
+  Alcotest.(check int) "nothing dropped" 0 b.Mbac.signalling_dropped
+
+let test_mbac_lossy_signalling () =
+  let cfg = mbac_config () in
+  let m =
+    Mbac.run
+      {
+        cfg with
+        Mbac.faults =
+          Some
+            {
+              Mbac.rm_drop = 0.3;
+              rm_timeout = 0.1;
+              rm_max_retransmits = 3;
+              fault_seed = 13;
+            };
+      }
+      ~controller:(Controller.always_admit ())
+  in
+  Alcotest.(check bool) "cells dropped" true (m.Mbac.signalling_dropped > 0);
+  Alcotest.(check bool) "retransmissions happened" true
+    (m.Mbac.signalling_retransmits > 0);
+  Alcotest.(check bool) "failure probability still a fraction" true
+    (m.Mbac.failure_probability >= 0. && m.Mbac.failure_probability <= 1.)
+
+let () =
+  Alcotest.run "rcbr_fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "null plan" `Quick test_plan_null;
+          Alcotest.test_case "validation" `Quick test_plan_validate_rejects;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "null delivers" `Quick test_injector_null_delivers;
+          Alcotest.test_case "deterministic" `Quick test_injector_deterministic;
+          Alcotest.test_case "crash window" `Quick test_injector_crash_window;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "flags breakage" `Quick
+            test_invariant_flags_breakage;
+        ] );
+      ( "port",
+        [
+          Alcotest.test_case "idempotent requests" `Quick
+            test_port_request_idempotent;
+          Alcotest.test_case "idempotent rollback" `Quick
+            test_port_rollback_idempotent;
+          Alcotest.test_case "crash/recover" `Quick test_port_crash_recover;
+        ] );
+      ( "niu",
+        [
+          Alcotest.test_case "null plan bit-identical" `Quick
+            test_niu_null_plan_bit_identical;
+          Alcotest.test_case "lossy three-hop" `Quick test_niu_lossy_three_hop;
+          Alcotest.test_case "crash/recovery/resync" `Quick
+            test_niu_crash_recovery_resync;
+          Alcotest.test_case "degradation policies" `Quick
+            test_niu_degradation_policies;
+        ] );
+      ( "online-buffer",
+        [
+          Alcotest.test_case "matches uncontended NIU" `Quick
+            test_online_buffer_matches_niu;
+          Alcotest.test_case "unbounded loses nothing" `Quick
+            test_online_unbounded_loses_nothing;
+        ] );
+      ( "multihop",
+        [
+          Alcotest.test_case "null faults identical" `Quick
+            test_multihop_null_faults_identical;
+          Alcotest.test_case "lossy signalling" `Quick
+            test_multihop_lossy_signalling;
+          Alcotest.test_case "crash blackout" `Quick test_multihop_crash_denies;
+        ] );
+      ( "mbac",
+        [
+          Alcotest.test_case "null faults identical" `Quick
+            test_mbac_null_faults_identical;
+          Alcotest.test_case "lossy signalling" `Quick
+            test_mbac_lossy_signalling;
+        ] );
+    ]

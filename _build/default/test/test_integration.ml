@@ -108,7 +108,7 @@ let test_chernoff_consistent_with_simulation () =
 let test_schedule_through_port () =
   let peak = Schedule.peak_rate schedule in
   let port = Port.create ~capacity:peak () in
-  let path = Path.create [ port ] ~vci:1 ~initial_rate:(Schedule.rate_at schedule 0) in
+  let path = Path.create_exn [ port ] ~vci:1 ~initial_rate:(Schedule.rate_at schedule 0) in
   let denied = ref 0 in
   Array.iter
     (fun seg ->
@@ -128,8 +128,8 @@ let test_two_schedules_share_port () =
   let s2 = Schedule.shift schedule ~slots:(Schedule.n_slots schedule / 2) in
   let capacity = 1.5 *. Schedule.peak_rate schedule in
   let port = Port.create ~capacity () in
-  let p1 = Path.create [ port ] ~vci:1 ~initial_rate:(Schedule.rate_at s1 0) in
-  let p2 = Path.create [ port ] ~vci:2 ~initial_rate:(Schedule.rate_at s2 0) in
+  let p1 = Path.create_exn [ port ] ~vci:1 ~initial_rate:(Schedule.rate_at s1 0) in
+  let p2 = Path.create_exn [ port ] ~vci:2 ~initial_rate:(Schedule.rate_at s2 0) in
   (* Interleave renegotiations in slot order. *)
   let events =
     List.sort compare

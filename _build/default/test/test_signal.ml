@@ -78,7 +78,7 @@ let three_ports () =
 
 let test_path_setup_and_teardown () =
   let ports = three_ports () in
-  let path = Path.create ports ~vci:1 ~initial_rate:30. in
+  let path = Path.create_exn ports ~vci:1 ~initial_rate:30. in
   Alcotest.(check int) "hops" 3 (Path.hops path);
   check_close 1e-12 "rate" 30. (Path.rate path);
   List.iter (fun p -> check_close 1e-12 "reserved" 30. (Port.reserved p)) ports;
@@ -87,15 +87,23 @@ let test_path_setup_and_teardown () =
 
 let test_path_setup_fails_cleanly () =
   let ports = three_ports () in
-  Alcotest.(check bool) "too big" true
-    (try ignore (Path.create ports ~vci:1 ~initial_rate:70.); false
-     with Failure _ -> true);
+  (* Typed admission result: the middle hop (capacity 50) is the one
+     that cannot fit 70. *)
+  (match Path.create ports ~vci:1 ~initial_rate:70. with
+  | Error (`Denied_at 1) -> ()
+  | Error (`Denied_at i) -> Alcotest.failf "denied at unexpected hop %d" i
+  | Ok _ -> Alcotest.fail "setup should have been denied");
   (* Nothing may remain reserved after the failed setup. *)
-  List.iter (fun p -> check_close 1e-12 "rolled back" 0. (Port.reserved p)) ports
+  List.iter (fun p -> check_close 1e-12 "rolled back" 0. (Port.reserved p)) ports;
+  (* The raising convenience wrapper agrees. *)
+  Alcotest.(check bool) "create_exn raises" true
+    (try ignore (Path.create_exn ports ~vci:1 ~initial_rate:70.); false
+     with Failure _ -> true);
+  List.iter (fun p -> check_close 1e-12 "still clean" 0. (Port.reserved p)) ports
 
 let test_path_renegotiate () =
   let ports = three_ports () in
-  let path = Path.create ports ~vci:1 ~initial_rate:30. in
+  let path = Path.create_exn ports ~vci:1 ~initial_rate:30. in
   Alcotest.(check bool) "increase ok" true (Path.renegotiate path 45. = `Granted);
   check_close 1e-12 "new rate" 45. (Path.rate path);
   (* Middle hop (capacity 50) denies 60. *)
@@ -115,12 +123,54 @@ let test_path_contention () =
   (* Two connections on a shared middle hop: the second one's increase
      is limited by what the first left. *)
   let shared = Port.create ~capacity:100. () in
-  let a = Path.create [ shared ] ~vci:1 ~initial_rate:60. in
-  let b = Path.create [ shared ] ~vci:2 ~initial_rate:30. in
+  let a = Path.create_exn [ shared ] ~vci:1 ~initial_rate:60. in
+  let b = Path.create_exn [ shared ] ~vci:2 ~initial_rate:30. in
   Alcotest.(check bool) "b cannot take 50" true (Path.renegotiate b 50. <> `Granted);
   Alcotest.(check bool) "a releases" true (Path.renegotiate a 20. = `Granted);
   Alcotest.(check bool) "now b fits" true (Path.renegotiate b 50. = `Granted);
   check_close 1e-12 "shared reserved" 70. (Port.reserved shared)
+
+(* --- Property: renegotiation rollback conserves bandwidth --- *)
+
+module Invariant = Rcbr_fault.Invariant
+
+let prop_renegotiate_conserves =
+  (* Random interleavings of all-or-nothing renegotiations by two
+     connections sharing a 3-hop path (middle hop is the bottleneck).
+     After every operation — grant, denial with rollback, teardown —
+     each port's aggregate must equal its per-VCI sum, stay within
+     capacity, and agree with every other hop. *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 60) (pair (int_range 0 1) (float_range 0. 120.)))
+  in
+  QCheck.Test.make ~name:"renegotiate conserves reserved bandwidth" ~count:200
+    (QCheck.make gen) (fun ops ->
+      let ports = three_ports () in
+      let a = Path.create_exn ports ~vci:1 ~initial_rate:10. in
+      let b = Path.create_exn ports ~vci:2 ~initial_rate:10. in
+      let paths = [| a; b |] in
+      let ok = ref true in
+      let audit () =
+        let views = List.mapi (fun i p -> Port.view p ~index:i) ports in
+        if Invariant.check (Array.of_list views) <> [] then ok := false
+      in
+      List.iter
+        (fun (i, rate) ->
+          (match Path.renegotiate paths.(i) rate with
+          | `Granted | `Denied_at _ -> ());
+          audit ();
+          let r0 = Port.reserved (List.hd ports) in
+          List.iter
+            (fun p ->
+              if Float.abs (Port.reserved p -. r0) > 1e-6 then ok := false)
+            ports)
+        ops;
+      Path.teardown a;
+      Path.teardown b;
+      audit ();
+      List.iter (fun p -> if Port.reserved p > 1e-9 then ok := false) ports;
+      !ok)
 
 (* --- Latency --- *)
 
@@ -211,6 +261,7 @@ let () =
           Alcotest.test_case "setup failure" `Quick test_path_setup_fails_cleanly;
           Alcotest.test_case "renegotiate" `Quick test_path_renegotiate;
           Alcotest.test_case "contention" `Quick test_path_contention;
+          QCheck_alcotest.to_alcotest prop_renegotiate_conserves;
         ] );
       ( "latency",
         [

@@ -4,8 +4,21 @@
      dune exec bench/main.exe                 -- run everything (reduced size)
      dune exec bench/main.exe -- fig2 fig6    -- run selected experiments
      dune exec bench/main.exe -- all --full   -- full two-hour trace
+     dune exec bench/main.exe -- -j 4         -- sweep points on 4 domains
+     dune exec bench/main.exe -- --smoke --json  -- CI-sized run + BENCH files
 
    Experiments: tableA fig2 fig5 fig6 fig7 fig8 fig9 analysis micro
+
+   Flags:
+     -j N / --jobs N   run independent sweep points on a pool of N domains
+                       (default: Pool.default_jobs; 1 = sequential path).
+                       Sweeps compute all points first and print afterwards,
+                       so the rows are byte-identical for every N.
+     --json[=DIR]      write one BENCH_<experiment>.json per experiment
+                       (wall-clock, jobs, seed, per-experiment counters)
+                       into DIR (default: the current directory).
+     --smoke           CI-sized run: 3 000-frame trace, fewer sweep points,
+                       and a reduced default experiment set.
 
    Absolute numbers differ from the paper (synthetic trace, software
    substrate); each experiment prints the paper's reported values next
@@ -29,6 +42,8 @@ module Mbac = Rcbr_sim.Mbac
 module Controller = Rcbr_admission.Controller
 module Descriptor = Rcbr_admission.Descriptor
 module Rng = Rcbr_util.Rng
+module Pool = Rcbr_util.Pool
+module Json = Rcbr_util.Json
 
 let pf = Format.printf
 
@@ -45,15 +60,37 @@ type ctx = {
   mean : float;
   buffer : float;
   schedule : Schedule.t;  (** reference RCBR schedule, ~10 s interval *)
+  pool : Pool.t option;  (** [None] with [-j 1]: the sequential path *)
+  smoke : bool;  (** CI-sized run: fewer frames and sweep points *)
+  extras : (string * Json.t) list ref;
+      (** experiment-specific counters for the BENCH file, cleared by the
+          driver before each experiment *)
 }
 
-let make_ctx ~full =
-  let frames = if full then Synthetic.default_frames else 20_000 in
-  let trace = Synthetic.star_wars ~frames ~seed:42 () in
+let emit ctx key v = ctx.extras := (key, v) :: !(ctx.extras)
+let trace_seed = 42
+
+let make_ctx ~full ~smoke ~pool =
+  let frames =
+    if full then Synthetic.default_frames else if smoke then 3_000 else 20_000
+  in
+  let trace = Synthetic.star_wars ~frames ~seed:trace_seed () in
   let buffer = 300_000. in
   let params = Optimal.default_params ~buffer ~cost_ratio:3e5 trace in
-  let schedule, _ = Optimal.solve_with_stats ~frontier_cap:100 params trace in
-  { frames; trace; mean = Trace.mean_rate trace; buffer; schedule }
+  let schedule, stats =
+    Optimal.solve_with_stats ~frontier_cap:100 params trace
+  in
+  ( {
+      frames;
+      trace;
+      mean = Trace.mean_rate trace;
+      buffer;
+      schedule;
+      pool;
+      smoke;
+      extras = ref [];
+    },
+    stats )
 
 (* --- Table A: headline numbers (Sections I, IV-A, V-B) ------------- *)
 
@@ -92,27 +129,53 @@ let fig2 ctx =
   pf "       the AR(1) heuristic needs ~1/s for ~95%% (B=300 kb).@.@.";
   pf "OPT (sweep of the cost ratio alpha = K/c):@.";
   pf "%12s %10s %14s %12s@." "alpha" "renegs" "interval (s)" "efficiency";
+  (* Every cost-ratio point is an independent trellis solve: compute them
+     all on the pool, then print in input order. *)
+  let opt_rows =
+    Pool.map ?pool:ctx.pool
+      (fun alpha ->
+        let p =
+          Optimal.default_params ~buffer:ctx.buffer ~cost_ratio:alpha ctx.trace
+        in
+        let s, st = Optimal.solve_with_stats ~frontier_cap:100 p ctx.trace in
+        (alpha, s, st))
+      [ 1e4; 5e4; 2e5; 1e6; 5e6 ]
+  in
   List.iter
-    (fun alpha ->
-      let p = Optimal.default_params ~buffer:ctx.buffer ~cost_ratio:alpha ctx.trace in
-      let s, _ = Optimal.solve_with_stats ~frontier_cap:100 p ctx.trace in
+    (fun (alpha, s, _) ->
       pf "%12.0f %10d %14.2f %11.2f%%@." alpha (Schedule.n_renegotiations s)
         (Schedule.mean_renegotiation_interval s)
         (100. *. Schedule.bandwidth_efficiency s ~trace:ctx.trace))
-    [ 1e4; 5e4; 2e5; 1e6; 5e6 ];
+    opt_rows;
+  emit ctx "alpha_sweep"
+    (Json.List
+       (List.map
+          (fun (alpha, _, st) ->
+            Json.Obj
+              [
+                ("alpha", Json.Float alpha);
+                ("expanded_nodes", Json.Int st.Optimal.expanded);
+                ("max_frontier", Json.Int st.Optimal.max_frontier);
+              ])
+          opt_rows));
   pf "@.AR(1) heuristic (sweep of the granularity Delta; B_l=10 kb, B_h=150 kb, T=5):@.";
   pf "%12s %10s %14s %12s %14s@." "Delta" "renegs" "interval (s)" "efficiency"
     "backlog (kb)";
+  let online_rows =
+    Pool.map ?pool:ctx.pool
+      (fun delta ->
+        let p = { Online.default_params with Online.granularity = delta } in
+        (delta, Online.run p ctx.trace))
+      [ 25e3; 50e3; 100e3; 200e3; 400e3 ]
+  in
   List.iter
-    (fun delta ->
-      let p = { Online.default_params with Online.granularity = delta } in
-      let o = Online.run p ctx.trace in
+    (fun (delta, o) ->
       pf "%9.0f kb %10d %14.2f %11.2f%% %14.1f@." (delta /. 1e3)
         (Schedule.n_renegotiations o.Online.schedule)
         (Schedule.mean_renegotiation_interval o.Online.schedule)
         (100. *. Schedule.bandwidth_efficiency o.Online.schedule ~trace:ctx.trace)
         (o.Online.max_backlog /. 1e3))
-    [ 25e3; 50e3; 100e3; 200e3; 400e3 ]
+    online_rows
 
 (* --- Fig. 5: the (sigma, rho) curve -------------------------------- *)
 
@@ -145,31 +208,58 @@ let fig6 ctx =
   in
   let cbr = Smg.min_capacity_cbr cfg in
   pf "%6s %12s %12s %12s   (x mean rate)@." "n" "CBR" "shared" "RCBR";
-  List.iter
-    (fun n ->
-      let shared = Smg.min_capacity_shared cfg ~n in
-      let rcbr = Smg.min_capacity_rcbr cfg ~n in
+  let ns = if ctx.smoke then [ 1; 2; 5; 10; 20 ] else [ 1; 2; 5; 10; 20; 50; 100 ] in
+  (* Batched searches: the per-n binary searches (and the replications
+     inside each) fan out over the pool; results come back in [ns] order
+     with pool-independent values, so the printed rows are byte-identical
+     for every -j. *)
+  let shared = Smg.min_capacities_shared ?pool:ctx.pool cfg ~ns in
+  let rcbr = Smg.min_capacities_rcbr ?pool:ctx.pool cfg ~ns in
+  List.iter2
+    (fun n (shared, rcbr) ->
       pf "%6d %12.3f %12.3f %12.3f@." n (cbr /. ctx.mean) (shared /. ctx.mean)
         (rcbr /. ctx.mean))
-    [ 1; 2; 5; 10; 20; 50; 100 ];
+    ns
+    (List.combine shared rcbr);
   pf "@.RCBR asymptote (n -> inf): %.3f x mean (= 1/bandwidth-efficiency)@."
     (Smg.asymptotic_rcbr_capacity cfg /. ctx.mean)
 
 (* --- Figs. 7/8: memoryless MBAC ------------------------------------ *)
 
-let mbac_run ctx ~capacity ~load ~seed controller =
+let mbac_cfg ctx ~capacity ~load ~seed =
   let arrival_rate =
     load *. capacity
     /. (Schedule.mean_rate ctx.schedule *. Schedule.duration ctx.schedule)
   in
-  let cfg =
-    Mbac.default_config ~schedule:ctx.schedule ~capacity ~arrival_rate
-      ~target:1e-3 ~seed
-  in
-  Mbac.run cfg ~controller
+  Mbac.default_config ~schedule:ctx.schedule ~capacity ~arrival_rate
+    ~target:1e-3 ~seed
 
 let capacities = [ 8.; 16.; 32.; 64. ]
 let loads = [ 0.6; 1.0; 1.4; 2.0 ]
+
+(* The load x capacity grid in row-major order, one (config, controller
+   factory) entry per point.  Each point is an independent simulation
+   keyed by its own seed, so [Mbac.run_many] fans the grid out over the
+   pool and the printed rows do not depend on -j. *)
+let mbac_grid ctx ~seed make_controller =
+  Array.of_list
+    (List.concat_map
+       (fun load ->
+         List.map
+           (fun cap_mult ->
+             let capacity = cap_mult *. ctx.mean in
+             ( mbac_cfg ctx ~capacity ~load ~seed,
+               fun () -> make_controller ~capacity ))
+           capacities)
+       loads)
+
+let print_grid cell =
+  List.iteri
+    (fun i load ->
+      pf "%22.1f" load;
+      List.iteri (fun j _ -> cell (i * List.length capacities + j)) capacities;
+      pf "@.")
+    loads
 
 let fig7 ctx =
   section "Fig. 7 -- memoryless MBAC: renegotiation failure probability";
@@ -178,21 +268,16 @@ let fig7 ctx =
   pf "%22s" "load \\ capacity";
   List.iter (fun c -> pf " %11.0fx" c) capacities;
   pf "@.";
-  List.iter
-    (fun load ->
-      pf "%22.1f" load;
-      List.iter
-        (fun cap_mult ->
-          let capacity = cap_mult *. ctx.mean in
-          let m =
-            mbac_run ctx ~capacity ~load ~seed:17
-              (Controller.memoryless ~capacity ~target:1e-3)
-          in
-          pf " %12.2e" m.Mbac.failure_probability)
-        capacities;
-      pf "@.")
-    loads;
-  pf "(target: 1.0e-03)@."
+  let ms =
+    Mbac.run_many ?pool:ctx.pool
+      (mbac_grid ctx ~seed:17 (fun ~capacity ->
+           Controller.memoryless ~capacity ~target:1e-3))
+  in
+  print_grid (fun k -> pf " %12.2e" ms.(k).Mbac.failure_probability);
+  pf "(target: 1.0e-03)@.";
+  emit ctx "grid_points" (Json.Int (Array.length ms));
+  emit ctx "total_windows"
+    (Json.Int (Array.fold_left (fun acc m -> acc + m.Mbac.windows) 0 ms))
 
 let fig8 ctx =
   section "Fig. 8 -- memoryless MBAC: utilization normalized to perfect knowledge";
@@ -200,34 +285,22 @@ let fig8 ctx =
   pf "%22s" "load \\ capacity";
   List.iter (fun c -> pf " %11.0fx" c) capacities;
   pf "@.";
-  let perfect_util = Hashtbl.create 8 in
-  List.iter
-    (fun load ->
-      pf "%22.1f" load;
-      List.iter
-        (fun cap_mult ->
-          let capacity = cap_mult *. ctx.mean in
-          let perfect =
-            match Hashtbl.find_opt perfect_util (cap_mult, load) with
-            | Some u -> u
-            | None ->
-                let m =
-                  mbac_run ctx ~capacity ~load ~seed:23
-                    (Controller.perfect
-                       ~descriptor:(Descriptor.of_schedule ctx.schedule)
-                       ~capacity ~target:1e-3)
-                in
-                Hashtbl.replace perfect_util (cap_mult, load) m.Mbac.utilization;
-                m.Mbac.utilization
-          in
-          let m =
-            mbac_run ctx ~capacity ~load ~seed:23
-              (Controller.memoryless ~capacity ~target:1e-3)
-          in
-          pf " %12.3f" (m.Mbac.utilization /. perfect))
-        capacities;
-      pf "@.")
-    loads
+  let descriptor = Descriptor.of_schedule ctx.schedule in
+  let perfect_grid =
+    mbac_grid ctx ~seed:23 (fun ~capacity ->
+        Controller.perfect ~descriptor ~capacity ~target:1e-3)
+  in
+  let memoryless_grid =
+    mbac_grid ctx ~seed:23 (fun ~capacity ->
+        Controller.memoryless ~capacity ~target:1e-3)
+  in
+  (* One batch for both controllers: 2 x |grid| points in flight. *)
+  let ms =
+    Mbac.run_many ?pool:ctx.pool (Array.append perfect_grid memoryless_grid)
+  in
+  let n = Array.length perfect_grid in
+  print_grid (fun k ->
+      pf " %12.3f" (ms.(n + k).Mbac.utilization /. ms.(k).Mbac.utilization))
 
 (* --- Fig. 9/10: the memory-based scheme ----------------------------- *)
 
@@ -237,21 +310,30 @@ let fig9 ctx =
   pf "       modest utilization cost where the memoryless scheme misses it.@.@.";
   pf "%12s %16s %16s %14s %14s@." "capacity" "fail(memoryless)" "fail(memory)"
     "util(m-less)" "util(memory)";
-  List.iter
-    (fun cap_mult ->
-      let capacity = cap_mult *. ctx.mean in
-      let ml =
-        mbac_run ctx ~capacity ~load:1.4 ~seed:29
-          (Controller.memoryless ~capacity ~target:1e-3)
-      in
-      let mem =
-        mbac_run ctx ~capacity ~load:1.4 ~seed:29
-          (Controller.memory ~capacity ~target:1e-3)
-      in
+  let cap_mults = [ 8.; 16.; 32. ] in
+  let entry cap_mult make_controller =
+    let capacity = cap_mult *. ctx.mean in
+    ( mbac_cfg ctx ~capacity ~load:1.4 ~seed:29,
+      fun () -> make_controller ~capacity )
+  in
+  let entries =
+    Array.of_list
+      (List.concat_map
+         (fun c ->
+           [
+             entry c (fun ~capacity -> Controller.memoryless ~capacity ~target:1e-3);
+             entry c (fun ~capacity -> Controller.memory ~capacity ~target:1e-3);
+           ])
+         cap_mults)
+  in
+  let ms = Mbac.run_many ?pool:ctx.pool entries in
+  List.iteri
+    (fun i cap_mult ->
+      let ml = ms.(2 * i) and mem = ms.((2 * i) + 1) in
       pf "%11.0fx %16.2e %16.2e %14.3f %14.3f@." cap_mult
         ml.Mbac.failure_probability mem.Mbac.failure_probability
         ml.Mbac.utilization mem.Mbac.utilization)
-    [ 8.; 16.; 32. ]
+    cap_mults
 
 (* --- Analysis: Section V-A / Fig. 4 model --------------------------- *)
 
@@ -302,13 +384,14 @@ let analysis _ctx =
 
 (* --- Micro-benchmarks (Bechamel) ------------------------------------ *)
 
-let micro _ctx =
+let micro ctx =
   section "Micro-benchmarks (Bechamel) + trellis complexity (Section IV-A)";
   let trace = Synthetic.star_wars ~frames:2_000 ~seed:5 () in
   (* Complexity vs number of levels: the paper reports 20 min at M=20 and
      over a day at M=100 on an UltraSparc 1 for the full trace. *)
   pf "trellis cost vs number of rate levels (2 000-frame trace, alpha = 2e5):@.";
   pf "%8s %12s %14s %12s@." "levels" "nodes" "peak frontier" "time (s)";
+  let level_rows = ref [] in
   List.iter
     (fun m ->
       let needed =
@@ -329,9 +412,20 @@ let micro _ctx =
       in
       let t0 = Unix.gettimeofday () in
       let _, st = Optimal.solve_with_stats params trace in
+      let wall = Unix.gettimeofday () -. t0 in
+      level_rows :=
+        Json.Obj
+          [
+            ("levels", Json.Int m);
+            ("expanded_nodes", Json.Int st.Optimal.expanded);
+            ("max_frontier", Json.Int st.Optimal.max_frontier);
+            ("wall_s", Json.Float wall);
+          ]
+        :: !level_rows;
       pf "%8d %12d %14d %12.2f@." m st.Optimal.expanded st.Optimal.max_frontier
-        (Unix.gettimeofday () -. t0))
-    [ 5; 10; 20; 40 ];
+        wall)
+    (if ctx.smoke then [ 5; 10; 20 ] else [ 5; 10; 20; 40 ]);
+  emit ctx "levels_sweep" (Json.List (List.rev !level_rows));
   (* Lemma 1 ablation. *)
   pf "@.Lemma 1 cross-level pruning ablation (20 levels):@.";
   let params = Optimal.default_params ~cost_ratio:2e5 trace in
@@ -393,7 +487,10 @@ let micro _ctx =
       if Float.is_nan ns then pf "  %-32s (no estimate)@." name
       else if ns > 1e6 then pf "  %-32s %12.3f ms@." name (ns /. 1e6)
       else pf "  %-32s %12.1f us@." name (ns /. 1e3))
-    (List.sort compare rows)
+    (List.sort compare rows);
+  emit ctx "bechamel_run_ns"
+    (Json.Obj
+       (List.map (fun (name, ns) -> (name, Json.Float ns)) (List.sort compare rows)))
 
 (* --- Extension experiments ------------------------------------------ *)
 
@@ -545,9 +642,14 @@ let multihop ctx =
       seed = 5;
     }
   in
-  List.iter
-    (fun hops ->
-      let m = Rcbr_sim.Multihop.run (base hops) in
+  let hop_counts = [ 1; 2; 4; 8 ] in
+  (* Hop-sweep batch: every hop count is an independent seeded
+     simulation, fanned out over the pool. *)
+  let sweep =
+    Rcbr_sim.Multihop.run_many ?pool:ctx.pool (List.map base hop_counts)
+  in
+  List.iter2
+    (fun hops m ->
       let local =
         if m.Rcbr_sim.Multihop.local_attempts = 0 then 0.
         else
@@ -557,27 +659,30 @@ let multihop ctx =
       pf "%8d %18.4f %18.4f %14.3f@." hops
         (Rcbr_sim.Multihop.denial_fraction m)
         local m.Rcbr_sim.Multihop.mean_hop_utilization)
-    [ 1; 2; 4; 8 ];
+    hop_counts sweep;
   (* The paper's conjecture: alternate routes + call-level load
      balancing compensate.  Same 8-hop network, 4 parallel paths, 12
      transit calls spread across them. *)
   pf "@.8 hops, 4 alternate routes, 12 transit calls:@.";
-  List.iter
-    (fun balance ->
-      let m =
+  let balanced =
+    Pool.map ?pool:ctx.pool
+      (fun balance ->
         Rcbr_sim.Multihop.run_balanced
           {
             Rcbr_sim.Multihop.base =
               { (base 8) with Rcbr_sim.Multihop.transit_calls = 12 };
             routes = 4;
             balance;
-          }
-      in
+          })
+      [ false; true ]
+  in
+  List.iter2
+    (fun balance m ->
       pf "  %-22s transit denial %.4f, hop util %.3f@."
         (if balance then "least-loaded route:" else "random route:")
         (Rcbr_sim.Multihop.denial_fraction m)
         m.Rcbr_sim.Multihop.mean_hop_utilization)
-    [ false; true ]
+    [ false; true ] balanced
 
 (* Online renegotiation latency -- the result Section III-C says the
    paper does not yet have. *)
@@ -855,31 +960,113 @@ let experiments =
     ("micro", micro);
   ]
 
+(* The CI-sized default set: one experiment per subsystem that the
+   BENCH trajectory tracks (trellis, SMG sweep, MBAC grid, event
+   simulation, micro-kernels). *)
+let smoke_set = [ "tableA"; "fig2"; "fig6"; "fig7"; "multihop"; "micro" ]
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let full = List.mem "--full" args in
-  let named = List.filter (fun a -> a <> "--full" && a <> "all") args in
-  let chosen =
-    if named = [] then experiments
-    else
-      List.map
-        (fun name ->
-          match List.assoc_opt name experiments with
-          | Some f -> (name, f)
-          | None ->
-              Format.eprintf "unknown experiment %S; known: %s@." name
-                (String.concat ", " (List.map fst experiments));
-              exit 2)
-        named
+  let jobs = ref (Pool.default_jobs ()) in
+  let json_dir = ref None in
+  let full = ref false in
+  let smoke = ref false in
+  let named = ref [] in
+  let usage () =
+    Format.eprintf
+      "usage: main.exe [experiment...] [--full] [--smoke] [-j N] [--json[=DIR]]@.";
+    exit 2
   in
-  pf "RCBR reproduction harness -- %s trace (%s frames)@."
-    (if full then "full" else "reduced")
-    (if full then "171 000" else "20 000");
+  let rec parse = function
+    | [] -> ()
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            jobs := j;
+            parse rest
+        | _ ->
+            Format.eprintf "invalid job count %S@." n;
+            usage ())
+    | [ ("-j" | "--jobs") ] ->
+        Format.eprintf "missing job count@.";
+        usage ()
+    | "--json" :: rest ->
+        if !json_dir = None then json_dir := Some ".";
+        parse rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--json=" ->
+        json_dir := Some (String.sub arg 7 (String.length arg - 7));
+        parse rest
+    | "--full" :: rest ->
+        full := true;
+        parse rest
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "all" :: rest -> parse rest
+    | name :: rest ->
+        named := name :: !named;
+        parse rest
+  in
+  parse (Array.to_list Sys.argv |> List.tl);
+  let named = List.rev !named in
+  let lookup name =
+    match List.assoc_opt name experiments with
+    | Some f -> (name, f)
+    | None ->
+        Format.eprintf "unknown experiment %S; known: %s@." name
+          (String.concat ", " (List.map fst experiments));
+        exit 2
+  in
+  let chosen =
+    if named <> [] then List.map lookup named
+    else if !smoke then List.map lookup smoke_set
+    else experiments
+  in
+  let pool = if !jobs <= 1 then None else Some (Pool.create ~jobs:!jobs ()) in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
+  pf "RCBR reproduction harness -- %s trace (%d frames), %d job%s@."
+    (if !full then "full" else if !smoke then "smoke" else "reduced")
+    (if !full then Synthetic.default_frames else if !smoke then 3_000 else 20_000)
+    !jobs
+    (if !jobs = 1 then "" else "s");
   let t0 = Unix.gettimeofday () in
-  let ctx = make_ctx ~full in
+  let ctx, ctx_stats = make_ctx ~full:!full ~smoke:!smoke ~pool in
+  let ctx_wall = Unix.gettimeofday () -. t0 in
   pf "context ready in %.1f s (schedule: %d renegotiations, every %.1f s)@."
-    (Unix.gettimeofday () -. t0)
+    ctx_wall
     (Schedule.n_renegotiations ctx.schedule)
     (Schedule.mean_renegotiation_interval ctx.schedule);
-  List.iter (fun (_, f) -> f ctx) chosen;
+  let bench_file name fields =
+    match !json_dir with
+    | None -> ()
+    | Some dir ->
+        let common =
+          [
+            ("experiment", Json.String name);
+            ("jobs", Json.Int !jobs);
+            ("seed", Json.Int trace_seed);
+            ("frames", Json.Int ctx.frames);
+            ("smoke", Json.Bool !smoke);
+            ("full", Json.Bool !full);
+          ]
+        in
+        Json.save
+          (Json.Obj (common @ fields))
+          (Filename.concat dir ("BENCH_" ^ name ^ ".json"))
+  in
+  (* The context build is itself the trellis hot path (the reference
+     schedule solve), so it gets its own trajectory record. *)
+  bench_file "context"
+    [
+      ("wall_s", Json.Float ctx_wall);
+      ("expanded_nodes", Json.Int ctx_stats.Optimal.expanded);
+      ("max_frontier", Json.Int ctx_stats.Optimal.max_frontier);
+    ];
+  List.iter
+    (fun (name, f) ->
+      ctx.extras := [];
+      let t = Unix.gettimeofday () in
+      f ctx;
+      let wall = Unix.gettimeofday () -. t in
+      bench_file name (("wall_s", Json.Float wall) :: List.rev !(ctx.extras)))
+    chosen;
   pf "@.done in %.1f s@." (Unix.gettimeofday () -. t0)

@@ -10,7 +10,7 @@ module Optimal = Rcbr_core.Optimal
 module Schedule = Rcbr_core.Schedule
 module Smg = Rcbr_sim.Smg
 
-let run seed frames cost_ratio buffer target replications streams =
+let run seed frames cost_ratio buffer target replications streams jobs =
   let trace = Rcbr_traffic.Synthetic.star_wars ~frames ~seed () in
   let mean = Trace.mean_rate trace in
   Format.printf "trace: %d frames, mean %.0f kb/s@." frames (mean /. 1e3);
@@ -21,20 +21,34 @@ let run seed frames cost_ratio buffer target replications streams =
   let cfg =
     { Smg.trace; schedule; buffer; target_loss = target; replications; seed }
   in
+  Rcbr_util.Pool.with_pool ?jobs @@ fun pool ->
+  let pool = if Rcbr_util.Pool.jobs pool <= 1 then None else Some pool in
   let cbr = Smg.min_capacity_cbr cfg in
+  (* Compute the whole sweep before printing: the rows are then
+     byte-identical for every --jobs value. *)
+  let shared = Smg.min_capacities_shared ?pool cfg ~ns:streams in
+  let rcbr = Smg.min_capacities_rcbr ?pool cfg ~ns:streams in
   Format.printf "@.%6s  %10s  %10s  %10s  (capacity per stream / mean)@." "n"
     "CBR" "shared" "RCBR";
-  List.iter
-    (fun n ->
-      let shared = Smg.min_capacity_shared cfg ~n in
-      let rcbr = Smg.min_capacity_rcbr cfg ~n in
+  List.iter2
+    (fun n (shared, rcbr) ->
       Format.printf "%6d  %10.3f  %10.3f  %10.3f@." n (cbr /. mean)
         (shared /. mean) (rcbr /. mean))
-    streams;
+    streams
+    (List.combine shared rcbr);
   Format.printf "@.RCBR asymptote (n -> inf): %.3f x mean@."
     (Smg.asymptotic_rcbr_capacity cfg /. mean)
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the capacity searches (default: cores - 1; 1 = \
+           sequential).  Results are identical for every value.")
 
 let frames_arg =
   Arg.(value & opt int 20_000 & info [ "frames" ] ~docv:"N" ~doc:"Trace length.")
@@ -62,6 +76,6 @@ let () =
   let term =
     Term.(
       const run $ seed_arg $ frames_arg $ cost_ratio_arg $ buffer_arg
-      $ target_arg $ replications_arg $ streams_arg)
+      $ target_arg $ replications_arg $ streams_arg $ jobs_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

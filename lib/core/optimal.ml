@@ -1,4 +1,5 @@
 module Trace = Rcbr_traffic.Trace
+module Numeric = Rcbr_util.Numeric
 
 type constraint_ = Buffer_bound of float | Delay_bound of int
 
@@ -14,43 +15,70 @@ type stats = { slots : int; expanded : int; max_frontier : int }
 exception Infeasible of int
 
 (* Backpointer chain recording only the renegotiation instants, so the
-   per-slot frontiers stay small and path reconstruction is O(#changes). *)
+   per-slot frontiers stay small and path reconstruction is O(#changes).
+   This is the only boxed per-node state; everything else lives in
+   structure-of-arrays frontiers below. *)
 type change = { at : int; level : int; prev : change option }
 
-type node = {
-  buffer : float;
-  weight : float;
-  level : int;
-  changes : change option;
+(* Frontier: parallel arrays with strictly increasing buffer and
+   strictly decreasing weight.  [buf]/[wt] are unboxed float arrays and
+   the whole structure is reused across slots (grown to the running max,
+   never shrunk), so the per-slot work allocates nothing but the
+   [change] records of actual renegotiations. *)
+type frontier = {
+  mutable buf : float array;
+  mutable wt : float array;
+  mutable lvl : int array;
+  mutable chg : change option array;
+  mutable len : int;
 }
 
-(* Frontier: array of nodes with strictly increasing buffer and strictly
-   decreasing weight. *)
+let fr_make cap =
+  {
+    buf = Array.make cap 0.;
+    wt = Array.make cap 0.;
+    lvl = Array.make cap 0;
+    chg = Array.make cap None;
+    len = 0;
+  }
 
-let pareto_of_sorted candidates =
-  (* [candidates] sorted by buffer ascending; keep minima of weight. *)
-  let out = ref [] in
-  let min_w = ref infinity in
-  List.iter
-    (fun n ->
-      if n.weight < !min_w then begin
-        (match !out with
-        | top :: rest when top.buffer = n.buffer -> out := n :: rest
-        | _ -> out := n :: !out);
-        min_w := n.weight
-      end)
-    candidates;
-  Array.of_list (List.rev !out)
+let fr_ensure f n =
+  let cap = Array.length f.buf in
+  if n > cap then begin
+    let cap' = max n (2 * cap) in
+    let grow_f a = Array.append a (Array.make (cap' - cap) 0.) in
+    f.buf <- grow_f f.buf;
+    f.wt <- grow_f f.wt;
+    f.lvl <- Array.append f.lvl (Array.make (cap' - cap) 0);
+    f.chg <- Array.append f.chg (Array.make (cap' - cap) None)
+  end
 
-let merge_sorted a b =
-  (* Merge two buffer-ascending node lists. *)
-  let rec go a b acc =
-    match (a, b) with
-    | [], rest | rest, [] -> List.rev_append acc rest
-    | x :: xs, y :: ys ->
-        if x.buffer <= y.buffer then go xs b (x :: acc) else go a ys (y :: acc)
-  in
-  go a b []
+(* Buffer occupancies within one part in 10^9 are the same physical
+   state.  Raw float equality here (the seed's behaviour) let paths
+   differing only by rounding noise survive deduplication and bloat the
+   frontier; the epsilon mirrors the NIU's grid-level comparison. *)
+let same_buffer a b = Numeric.approx_equal ~eps:1e-9 a b
+
+(* Append (b, w, l, c) under the Pareto discipline: callers feed nodes
+   in buffer-ascending order and only when [w] beats the running weight
+   minimum; a node sharing the top's buffer replaces it (the later node
+   is the cheaper one). *)
+let fr_push f b w l c =
+  if f.len > 0 && same_buffer f.buf.(f.len - 1) b then begin
+    let i = f.len - 1 in
+    f.buf.(i) <- b;
+    f.wt.(i) <- w;
+    f.lvl.(i) <- l;
+    f.chg.(i) <- c
+  end
+  else begin
+    fr_ensure f (f.len + 1);
+    f.buf.(f.len) <- b;
+    f.wt.(f.len) <- w;
+    f.lvl.(f.len) <- l;
+    f.chg.(f.len) <- c;
+    f.len <- f.len + 1
+  end
 
 let bound_function constraint_ trace =
   match constraint_ with
@@ -62,11 +90,7 @@ let bound_function constraint_ trace =
       (* Formula (5) as a time-varying backlog bound: data entering at
          slot s leaves by the end of slot s+d iff
          Q(t) <= A(t) - A(t-d), the arrivals of the last d slots. *)
-      let n = Trace.length trace in
-      let prefix = Array.make (n + 1) 0. in
-      for i = 0 to n - 1 do
-        prefix.(i + 1) <- prefix.(i) +. Trace.frame trace i
-      done;
+      let prefix = Trace.prefix_sums trace in
       fun t -> prefix.(t + 1) -. prefix.(max 0 (t - d + 1))
 
 let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
@@ -84,151 +108,190 @@ let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
   let slot_cost = Array.map (fun d -> params.bandwidth_cost *. d) drain in
   let bound = bound_function params.constraint_ trace in
   let expanded = ref 0 and max_frontier = ref 0 in
+  let cur = ref (Array.init m (fun _ -> fr_make 8)) in
+  let nxt = ref (Array.init m (fun _ -> fr_make 8)) in
+  let g = fr_make 8 in
+  let same = fr_make 8 in
+  let via = fr_make 8 in
+  let heads = Array.make m 0 in
   (* Initial frontiers at slot 0: the first allocation is part of call
      setup and costs no renegotiation. *)
-  let init_frontier lvl =
-    let a0 = Trace.frame trace 0 in
-    let b = Float.max 0. (a0 -. drain.(lvl)) in
-    if b > bound 0 then [||]
-    else
-      [|
-        {
-          buffer = b;
-          weight = slot_cost.(lvl);
-          level = lvl;
-          changes = Some { at = 0; level = lvl; prev = None };
-        };
-      |]
-  in
-  let frontiers = ref (Array.init m init_frontier) in
+  let a0 = Trace.frame trace 0 in
+  let b_max0 = bound 0 in
+  Array.iteri
+    (fun l f ->
+      let b = Float.max 0. (a0 -. drain.(l)) in
+      if b <= b_max0 then
+        fr_push f b slot_cost.(l) l (Some { at = 0; level = l; prev = None }))
+    !cur;
   let check_feasible t fs =
-    if Array.for_all (fun f -> Array.length f = 0) fs then raise (Infeasible t)
+    if Array.for_all (fun f -> f.len = 0) fs then raise (Infeasible t)
   in
-  check_feasible 0 !frontiers;
-  let global_frontier fs =
-    (* Pareto over the union of all level frontiers (each sorted). *)
-    let merged =
-      Array.fold_left
-        (fun acc f -> merge_sorted acc (Array.to_list f))
-        [] fs
-    in
-    pareto_of_sorted merged
+  check_feasible 0 !cur;
+  (* Pareto over the union of all level frontiers (each sorted): an
+     m-way merge by ascending buffer (ties to the lowest level) with the
+     weight-minimum filter applied on the fly. *)
+  let global_frontier src dst =
+    dst.len <- 0;
+    Array.fill heads 0 m 0;
+    let min_w = ref infinity in
+    let continue_ = ref true in
+    while !continue_ do
+      let pick = ref (-1) in
+      for l = m - 1 downto 0 do
+        if
+          heads.(l) < src.(l).len
+          && (!pick < 0 || src.(l).buf.(heads.(l)) <= src.(!pick).buf.(heads.(!pick)))
+        then pick := l
+      done;
+      if !pick < 0 then continue_ := false
+      else begin
+        let f = src.(!pick) in
+        let i = heads.(!pick) in
+        heads.(!pick) <- i + 1;
+        if f.wt.(i) < !min_w then begin
+          fr_push dst f.buf.(i) f.wt.(i) f.lvl.(i) f.chg.(i);
+          min_w := f.wt.(i)
+        end
+      end
+    done
+  in
+  (* Map a frontier through slot t at the target level, clamping the
+     buffer at zero and discarding constraint violations.  The input
+     order (buffer ascending, weight descending) is preserved; clamped
+     entries share buffer 0 and the later (cheaper) one wins in
+     [fr_push]. *)
+  let shift_map ~t ~a ~b_max target_lvl extra src dst =
+    dst.len <- 0;
+    let d = drain.(target_lvl) in
+    let cost = slot_cost.(target_lvl) +. extra in
+    for i = 0 to src.len - 1 do
+      let b = Float.max 0. (src.buf.(i) +. a -. d) in
+      if b <= b_max then begin
+        (* Optional approximation: snap the occupancy up to a grid
+           point.  Rounding up keeps every kept path feasible while
+           collapsing near-identical nodes, bounding the frontier. *)
+        let b =
+          match buffer_quantum with
+          | None -> b
+          | Some q -> Float.min b_max (q *. Float.ceil (b /. q))
+        in
+        incr expanded;
+        let changes =
+          if src.lvl.(i) = target_lvl && extra = 0. then src.chg.(i)
+          else Some { at = t; level = target_lvl; prev = src.chg.(i) }
+        in
+        fr_push dst b (src.wt.(i) +. cost) target_lvl changes
+      end
+    done
+  in
+  (* Merge two buffer-ascending frontiers (ties favour the first) and
+     keep the Pareto minima of weight. *)
+  let merge_pareto a b dst =
+    dst.len <- 0;
+    let min_w = ref infinity in
+    let i = ref 0 and j = ref 0 in
+    while !i < a.len || !j < b.len do
+      let from_a =
+        !j >= b.len || (!i < a.len && a.buf.(!i) <= b.buf.(!j))
+      in
+      let f = if from_a then a else b in
+      let k = if from_a then !i else !j in
+      if from_a then incr i else incr j;
+      if f.wt.(k) < !min_w then begin
+        fr_push dst f.buf.(k) f.wt.(k) f.lvl.(k) f.chg.(k);
+        min_w := f.wt.(k)
+      end
+    done
   in
   for t = 1 to n - 1 do
     let a = Trace.frame trace t in
     let b_max = bound t in
-    let g = global_frontier !frontiers in
-    let shift_map target_lvl extra source =
-      (* Map a frontier through slot t at the target level, clamping the
-         buffer at zero and discarding constraint violations.  The input
-         order (buffer ascending, weight descending) is preserved. *)
-      let d = drain.(target_lvl) in
-      let cost = slot_cost.(target_lvl) +. extra in
-      let out = ref [] in
-      Array.iter
-        (fun node ->
-          let b = Float.max 0. (node.buffer +. a -. d) in
-          if b <= b_max then begin
-            (* Optional approximation: snap the occupancy up to a grid
-               point.  Rounding up keeps every kept path feasible while
-               collapsing near-identical nodes, bounding the frontier. *)
-            let b =
-              match buffer_quantum with
-              | None -> b
-              | Some q -> Float.min b_max (q *. Float.ceil (b /. q))
-            in
-            incr expanded;
-            let changes =
-              if node.level = target_lvl && extra = 0. then node.changes
-              else Some { at = t; level = target_lvl; prev = node.changes }
-            in
-            let n' =
-              {
-                buffer = b;
-                weight = node.weight +. cost;
-                level = target_lvl;
-                changes;
-              }
-            in
-            (* Clamped entries share buffer 0; keep the cheapest, which
-               comes later in the scan (weight is descending). *)
-            match !out with
-            | top :: rest when top.buffer = b -> out := n' :: rest
-            | _ -> out := n' :: !out
-          end)
-        source;
-      List.rev !out
-    in
-    let next =
-      Array.init m (fun lvl ->
-          let same = shift_map lvl 0. !frontiers.(lvl) in
-          let via_change = shift_map lvl k_cost g in
-          pareto_of_sorted (merge_sorted same via_change))
-    in
+    global_frontier !cur g;
+    let nxt_fs = !nxt in
+    for l = 0 to m - 1 do
+      shift_map ~t ~a ~b_max l 0. !cur.(l) same;
+      shift_map ~t ~a ~b_max l k_cost g via;
+      merge_pareto same via nxt_fs.(l)
+    done;
     (* Lemma 1 cross-level pruning: drop a node when some node (any
        level) has no larger buffer and weight + K not larger.  Scanning
        the global frontier gives, for each buffer, the best weight
-       available at or below it. *)
-    let g' = global_frontier next in
-    let prune_level _lvl f =
-      if (not lemma_pruning) || Array.length f = 0 || k_cost = 0. then f
-        (* With K = 0 the rule degenerates to plain Pareto dominance,
-           already enforced within [next]. *)
-      else begin
-        let keep = ref [] in
-        let gi = ref 0 in
-        let best = ref infinity in
-        Array.iter
-          (fun node ->
-            while
-              !gi < Array.length g' && g'.(!gi).buffer <= node.buffer
-            do
-              let cand = g'.(!gi) in
-              (* A node never beats itself: +K makes the comparison
-                 strict for same-level same-state entries. *)
-              if cand.weight < !best then best := cand.weight;
-              incr gi
+       available at or below it.  With K = 0 the rule degenerates to
+       plain Pareto dominance, already enforced within each level. *)
+    if lemma_pruning && k_cost > 0. then begin
+      global_frontier nxt_fs via;
+      (* [via] doubles as the post-step global frontier scratch. *)
+      let g' = via in
+      Array.iter
+        (fun f ->
+          if f.len > 0 then begin
+            let gi = ref 0 in
+            let best = ref infinity in
+            let out = ref 0 in
+            for i = 0 to f.len - 1 do
+              while !gi < g'.len && g'.buf.(!gi) <= f.buf.(i) do
+                (* A node never beats itself: +K makes the comparison
+                   strict for same-level same-state entries. *)
+                if g'.wt.(!gi) < !best then best := g'.wt.(!gi);
+                incr gi
+              done;
+              if not (!best +. k_cost <= f.wt.(i)) then begin
+                let o = !out in
+                f.buf.(o) <- f.buf.(i);
+                f.wt.(o) <- f.wt.(i);
+                f.lvl.(o) <- f.lvl.(i);
+                f.chg.(o) <- f.chg.(i);
+                incr out
+              end
             done;
-            if not (!best +. k_cost <= node.weight) then
-              keep := node :: !keep)
-          f;
-        Array.of_list (List.rev !keep)
-      end
-    in
-    let next = Array.mapi prune_level next in
+            f.len <- !out
+          end)
+        nxt_fs
+    end;
     (* Optional approximation: subsample oversized frontiers.  Retained
        nodes keep exact buffers and costs (feasibility is never
        compromised); only alternative paths are dropped, so the error
        does not compound across slots.  The lowest-buffer node (most
        future headroom) and lowest-weight node (cheapest so far) always
        survive. *)
-    let next =
-      match frontier_cap with
-      | None -> next
-      | Some cap ->
-          Array.map
-            (fun f ->
-              let len = Array.length f in
-              if len <= cap then f
-              else
-                Array.init cap (fun i ->
-                    f.(i * (len - 1) / (cap - 1))))
-            next
-    in
-    check_feasible t next;
-    let total = Array.fold_left (fun acc f -> acc + Array.length f) 0 next in
+    (match frontier_cap with
+    | None -> ()
+    | Some cap ->
+        Array.iter
+          (fun f ->
+            if f.len > cap then begin
+              for i = 0 to cap - 1 do
+                let idx = i * (f.len - 1) / (cap - 1) in
+                f.buf.(i) <- f.buf.(idx);
+                f.wt.(i) <- f.wt.(idx);
+                f.lvl.(i) <- f.lvl.(idx);
+                f.chg.(i) <- f.chg.(idx)
+              done;
+              f.len <- cap
+            end)
+          nxt_fs);
+    check_feasible t nxt_fs;
+    let total = Array.fold_left (fun acc f -> acc + f.len) 0 nxt_fs in
     if total > !max_frontier then max_frontier := total;
-    frontiers := next
+    (* Recycle the previous slot's frontiers as the next scratch. *)
+    let tmp = !cur in
+    cur := !nxt;
+    nxt := tmp
   done;
   (* Best full path: minimum weight over every surviving node. *)
-  let best = ref None in
+  let best_w = ref infinity and best_c = ref None and found = ref false in
   Array.iter
-    (Array.iter (fun node ->
-         match !best with
-         | Some b when b.weight <= node.weight -> ()
-         | _ -> best := Some node))
-    !frontiers;
-  let final = match !best with Some b -> b | None -> raise (Infeasible n) in
+    (fun f ->
+      for i = 0 to f.len - 1 do
+        if (not !found) || f.wt.(i) < !best_w then begin
+          found := true;
+          best_w := f.wt.(i);
+          best_c := f.chg.(i)
+        end
+      done)
+    !cur;
+  if not !found then raise (Infeasible n);
   let rec collect acc = function
     | None -> acc
     | Some { at; level; prev } ->
@@ -236,18 +299,45 @@ let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
           ({ Schedule.start_slot = at; rate = Rate_grid.rate grid level } :: acc)
           prev
   in
-  let segments = collect [] final.changes in
+  let segments = collect [] !best_c in
   let schedule = Schedule.create ~fps:(Trace.fps trace) ~n_slots:n segments in
   (schedule, { slots = n; expanded = !expanded; max_frontier = !max_frontier })
 
 let solve params trace = fst (solve_with_stats params trace)
 
+(* The zero-loss CBR rate depends only on (trace, buffer); the Fig. 2
+   cost-ratio sweep calls [default_params] once per alpha on the same
+   trace, so memoize the bisection.  Keyed by physical trace identity;
+   guarded by a mutex so pool workers can share the cache (a lost race
+   recomputes the same deterministic value, never a different one). *)
+let needed_rate_cache : (Trace.t * float * float) list ref = ref []
+let needed_rate_mutex = Mutex.create ()
+
+let needed_rate ~trace ~buffer =
+  let lookup () =
+    List.find_opt
+      (fun (t, b, _) -> t == trace && b = buffer)
+      !needed_rate_cache
+  in
+  Mutex.lock needed_rate_mutex;
+  let hit = lookup () in
+  Mutex.unlock needed_rate_mutex;
+  match hit with
+  | Some (_, _, r) -> r
+  | None ->
+      let r =
+        Rcbr_queue.Sigma_rho.min_rate ~trace ~buffer ~target_loss:0. ()
+      in
+      Mutex.lock needed_rate_mutex;
+      let keep = List.filteri (fun i _ -> i < 15) !needed_rate_cache in
+      needed_rate_cache := (trace, buffer, r) :: keep;
+      Mutex.unlock needed_rate_mutex;
+      r
+
 let default_params ?(levels = 20) ?(buffer = 300_000.) ~cost_ratio trace =
   (* The grid must be able to drain the worst burst within the buffer
      bound; the zero-loss CBR rate for this buffer is exactly that. *)
-  let needed =
-    Rcbr_queue.Sigma_rho.min_rate ~trace ~buffer ~target_loss:0. ()
-  in
+  let needed = needed_rate ~trace ~buffer in
   let base = Rate_grid.uniform ~lo:48_000. ~hi:2_400_000. ~levels in
   let grid = Rate_grid.covering base ~peak:(needed *. 1.0001) in
   {

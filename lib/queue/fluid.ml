@@ -53,12 +53,31 @@ let run_per_slot ~capacity ~slots ~arrival ~drain_per_slot =
     final_backlog = !backlog;
   }
 
+(* Constant drain over a flat array, without the per-slot closure calls
+   of [run_per_slot]: this is the inner kernel of every sigma-rho and
+   SMG bisection, executed ~30 times per search point. *)
+let run_constant_array ~capacity ~per_slot frames =
+  let backlog = ref 0. in
+  let offered = ref 0. and lost = ref 0. and peak = ref 0. in
+  for i = 0 to Array.length frames - 1 do
+    let bits = frames.(i) in
+    offered := !offered +. bits;
+    let net = !backlog +. bits -. per_slot in
+    backlog := min capacity (max 0. net);
+    lost := !lost +. max 0. (net -. capacity);
+    if !backlog > !peak then peak := !backlog
+  done;
+  {
+    bits_offered = !offered;
+    bits_lost = !lost;
+    max_backlog = !peak;
+    final_backlog = !backlog;
+  }
+
 let run_constant ~capacity ~rate trace =
   assert (rate >= 0.);
   let per_slot = rate /. Trace.fps trace in
-  run_per_slot ~capacity ~slots:(Trace.length trace)
-    ~arrival:(fun i -> Trace.frame trace i)
-    ~drain_per_slot:(fun _ -> per_slot)
+  run_constant_array ~capacity ~per_slot (Trace.raw_frames trace)
 
 let run_schedule ~capacity ~rate_per_slot trace =
   let dt = Trace.slot_duration trace in
@@ -72,6 +91,9 @@ let run_aggregate ~capacity ~rate ~fps sources =
   let n = Array.length sources.(0) in
   Array.iter (fun s -> assert (Array.length s = n)) sources;
   let per_slot = rate /. fps in
-  run_per_slot ~capacity ~slots:n
-    ~arrival:(fun i -> Array.fold_left (fun acc s -> acc +. s.(i)) 0. sources)
-    ~drain_per_slot:(fun _ -> per_slot)
+  if Array.length sources = 1 then
+    run_constant_array ~capacity ~per_slot sources.(0)
+  else
+    run_per_slot ~capacity ~slots:n
+      ~arrival:(fun i -> Array.fold_left (fun acc s -> acc +. s.(i)) 0. sources)
+      ~drain_per_slot:(fun _ -> per_slot)

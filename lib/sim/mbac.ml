@@ -291,3 +291,12 @@ let run (c : config) ~controller =
     shifted_pieces c.schedule ~shift:(Rng.int rng n_slots)
   in
   run_with_pieces c ~make_pieces ~controller
+
+(* Each grid point of the Figs. 7-10 load x capacity sweeps is an
+   independent simulation driven entirely by its own config seed, so a
+   batch fans out over the pool.  Controllers are stateful and must be
+   constructed inside the task, hence the factory. *)
+let run_many ?pool entries =
+  Rcbr_util.Pool.map_array ?pool
+    (fun (c, make_controller) -> run c ~controller:(make_controller ()))
+    entries

@@ -80,6 +80,16 @@ type metrics = {
 
 val run : config -> controller:Rcbr_admission.Controller.t -> metrics
 
+val run_many :
+  ?pool:Rcbr_util.Pool.t ->
+  (config * (unit -> Rcbr_admission.Controller.t)) array ->
+  metrics array
+(** One {!run} per entry, in input order, fanned out over the pool (the
+    load x capacity grids of Figs. 7-10).  Each entry's controller is
+    built inside its task by the factory — controllers are stateful and
+    must not be shared.  Every run is a function of its config seed
+    alone, so results are identical for any pool size. *)
+
 val run_with_pieces :
   config ->
   make_pieces:(Rcbr_util.Rng.t -> (float * float) array) ->

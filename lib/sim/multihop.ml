@@ -269,3 +269,6 @@ let run_faulty bc fc =
 
 let run_balanced bc = fst (run_faulty bc no_faults)
 let run c = run_balanced { base = c; routes = 1; balance = false }
+
+(* Hop-sweep batch: each config is an independent seeded simulation. *)
+let run_many ?pool configs = Rcbr_util.Pool.map ?pool run configs

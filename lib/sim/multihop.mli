@@ -75,6 +75,11 @@ val run : config -> metrics
     positive hops, capacity and horizon, and nonnegative call counts
     with at least one transit call. *)
 
+val run_many : ?pool:Rcbr_util.Pool.t -> config list -> metrics list
+(** One {!run} per config, in order, fanned out over the pool (the
+    Section III-C hop sweep).  Results are identical for any pool
+    size. *)
+
 val run_balanced : balanced_config -> metrics
 (** The same with [routes] parallel paths; [base.transit_calls] transit
     calls are spread across them (least-loaded or random) and each path

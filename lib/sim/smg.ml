@@ -4,6 +4,7 @@ module Fluid = Rcbr_queue.Fluid
 module Sigma_rho = Rcbr_queue.Sigma_rho
 module Rng = Rcbr_util.Rng
 module Numeric = Rcbr_util.Numeric
+module Pool = Rcbr_util.Pool
 
 type config = {
   trace : Rcbr_traffic.Trace.t;
@@ -33,46 +34,59 @@ let min_capacity_cbr c =
 let phases rng ~n ~slots =
   Array.init n (fun i -> if i = 0 then 0 else Rng.int rng slots)
 
-let shared_aggregates c ~n =
-  let rng = Rng.create c.seed in
+(* Replications are independent given their generator, so each gets a
+   sequentially pre-split child stream and the replication bodies run on
+   the pool: the result is bit-identical for every jobs count. *)
+let split_rngs ~seed ~replications =
+  let master = Rng.create seed in
+  Array.init replications (fun _ -> Rng.split master)
+
+let shared_aggregates ?pool c ~n =
   let slots = Trace.length c.trace in
-  List.init c.replications (fun _ ->
+  let frames = Trace.raw_frames c.trace in
+  let rngs = split_rngs ~seed:c.seed ~replications:c.replications in
+  Pool.map_array ?pool
+    (fun rng ->
       let ph = phases rng ~n ~slots in
       let agg = Array.make slots 0. in
       Array.iter
         (fun shift ->
           for i = 0 to slots - 1 do
-            agg.(i) <- agg.(i) +. Trace.frame c.trace ((i + shift) mod slots)
+            agg.(i) <- agg.(i) +. frames.((i + shift) mod slots)
           done)
         ph;
       agg)
+    rngs
 
 let shared_loss_of_aggregates c ~n aggregates capacity_per_stream =
   let fn = float_of_int n in
   let fps = Trace.fps c.trace in
-  let losses =
-    List.map
-      (fun agg ->
+  let total =
+    Array.fold_left
+      (fun acc agg ->
         let r =
           Fluid.run_aggregate ~capacity:(fn *. c.buffer)
             ~rate:(fn *. capacity_per_stream) ~fps [| agg |]
         in
         (* Same convention as Sigma_rho: bits still buffered at the end
            of the session were never delivered. *)
+        acc
+        +.
         if r.Fluid.bits_offered = 0. then 0.
         else
           (r.Fluid.bits_lost +. r.Fluid.final_backlog) /. r.Fluid.bits_offered)
-      aggregates
+      0. aggregates
   in
-  List.fold_left ( +. ) 0. losses /. float_of_int (List.length losses)
+  total /. float_of_int (Array.length aggregates)
 
-let shared_loss c ~n ~capacity_per_stream =
+let shared_loss ?pool c ~n ~capacity_per_stream =
   validate c;
-  shared_loss_of_aggregates c ~n (shared_aggregates c ~n) capacity_per_stream
+  shared_loss_of_aggregates c ~n (shared_aggregates ?pool c ~n)
+    capacity_per_stream
 
-let min_capacity_shared c ~n =
+let min_capacity_shared ?pool c ~n =
   validate c;
-  let aggregates = shared_aggregates c ~n in
+  let aggregates = shared_aggregates ?pool c ~n in
   let hi = min_capacity_cbr c in
   let lo = Trace.mean_rate c.trace in
   let pred cap = shared_loss_of_aggregates c ~n aggregates cap <= c.target_loss in
@@ -109,11 +123,12 @@ let profile_loss p link_rate =
     max 0. excess /. p.total
   end
 
-let rcbr_profiles c ~n =
-  let rng = Rng.create (c.seed + 1) in
+let rcbr_profiles ?pool c ~n =
   let slots = Schedule.n_slots c.schedule in
   let base = Schedule.to_rates c.schedule in
-  List.init c.replications (fun _ ->
+  let rngs = split_rngs ~seed:(c.seed + 1) ~replications:c.replications in
+  Pool.map_array ?pool
+    (fun rng ->
       let ph = phases rng ~n ~slots in
       let demand = Array.make slots 0. in
       Array.iter
@@ -123,23 +138,37 @@ let rcbr_profiles c ~n =
           done)
         ph;
       profile_of_demand demand)
+    rngs
 
 let rcbr_loss_of_profiles ~n profiles capacity_per_stream =
   let link = float_of_int n *. capacity_per_stream in
-  let losses = List.map (fun p -> profile_loss p link) profiles in
-  List.fold_left ( +. ) 0. losses /. float_of_int (List.length losses)
+  let total =
+    Array.fold_left (fun acc p -> acc +. profile_loss p link) 0. profiles
+  in
+  total /. float_of_int (Array.length profiles)
 
-let rcbr_loss c ~n ~capacity_per_stream =
+let rcbr_loss ?pool c ~n ~capacity_per_stream =
   validate c;
-  rcbr_loss_of_profiles ~n (rcbr_profiles c ~n) capacity_per_stream
+  rcbr_loss_of_profiles ~n (rcbr_profiles ?pool c ~n) capacity_per_stream
 
-let min_capacity_rcbr c ~n =
+let min_capacity_rcbr ?pool c ~n =
   validate c;
-  let profiles = rcbr_profiles c ~n in
+  let profiles = rcbr_profiles ?pool c ~n in
   let lo = Trace.mean_rate c.trace in
   let hi = Schedule.peak_rate c.schedule in
   let pred cap = rcbr_loss_of_profiles ~n profiles cap <= c.target_loss in
   if pred lo then lo else Numeric.find_min_such_that ~tol:1e-4 ~pred lo hi
+
+(* Batched per-N searches for the Fig. 6 sweep: the points are
+   independent, so they fan out over the pool (nested with the
+   per-replication parallelism above, which the pool supports). *)
+let min_capacities_shared ?pool c ~ns =
+  validate c;
+  Pool.map ?pool (fun n -> min_capacity_shared ?pool c ~n) ns
+
+let min_capacities_rcbr ?pool c ~ns =
+  validate c;
+  Pool.map ?pool (fun n -> min_capacity_rcbr ?pool c ~n) ns
 
 let asymptotic_rcbr_capacity c =
   validate c;

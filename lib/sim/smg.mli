@@ -17,7 +17,14 @@
 
     For each scenario, [min_capacity_*] binary-searches the smallest
     per-stream [c] meeting a bit-loss-fraction target, averaging over
-    [replications] random phasings. *)
+    [replications] random phasings.
+
+    Every function taking [?pool] distributes its independent
+    replications (and, for the batched [min_capacities_*], its
+    per-stream-count searches) over the given {!Rcbr_util.Pool}.  The
+    per-replication generators are pre-split sequentially from the
+    config seed, so results are bit-identical for any pool size,
+    including no pool at all. *)
 
 type config = {
   trace : Rcbr_traffic.Trace.t;
@@ -33,14 +40,25 @@ val validate : config -> unit
 val min_capacity_cbr : config -> float
 (** Per-stream rate of the static CBR scenario (independent of [n]). *)
 
-val min_capacity_shared : config -> n:int -> float
-val min_capacity_rcbr : config -> n:int -> float
+val min_capacity_shared : ?pool:Rcbr_util.Pool.t -> config -> n:int -> float
+val min_capacity_rcbr : ?pool:Rcbr_util.Pool.t -> config -> n:int -> float
 
-val rcbr_loss : config -> n:int -> capacity_per_stream:float -> float
+val min_capacities_shared :
+  ?pool:Rcbr_util.Pool.t -> config -> ns:int list -> float list
+(** Per-stream-count batch of {!min_capacity_shared}, one result per
+    element of [ns] in order; the searches run concurrently on the
+    pool. *)
+
+val min_capacities_rcbr :
+  ?pool:Rcbr_util.Pool.t -> config -> ns:int list -> float list
+
+val rcbr_loss :
+  ?pool:Rcbr_util.Pool.t -> config -> n:int -> capacity_per_stream:float -> float
 (** Average bit-loss fraction of the RCBR scenario at a given capacity
     (exposed for tests and admission experiments). *)
 
-val shared_loss : config -> n:int -> capacity_per_stream:float -> float
+val shared_loss :
+  ?pool:Rcbr_util.Pool.t -> config -> n:int -> capacity_per_stream:float -> float
 
 val asymptotic_rcbr_capacity : config -> float
 (** The [n -> infinity] limit of the RCBR per-stream capacity: the mean

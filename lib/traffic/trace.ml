@@ -1,51 +1,61 @@
-type t = { fps : float; frames : float array }
+type t = { fps : float; frames : float array; prefix : float array }
+(* [prefix.(i)] is the total bits of frames [0 .. i-1].  Computed once at
+   construction: every consumer of cumulative arrivals (the trellis
+   delay bound, sigma-rho searches, SMG sweeps) reads this array instead
+   of re-summing the trace, and sharing it eagerly keeps the record
+   immutable — safe to read from any domain of the work pool. *)
+
+let prefix_of frames =
+  let n = Array.length frames in
+  let prefix = Array.make (n + 1) 0. in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) +. frames.(i)
+  done;
+  prefix
+
+let of_owned_frames ~fps frames = { fps; frames; prefix = prefix_of frames }
 
 let create ~fps frames =
   assert (fps > 0.);
   assert (Array.length frames > 0);
   Array.iter (fun x -> assert (x >= 0.)) frames;
-  { fps; frames = Array.copy frames }
+  of_owned_frames ~fps (Array.copy frames)
 
 let fps t = t.fps
 let length t = Array.length t.frames
 let frame t i = t.frames.(i)
 let frames t = Array.copy t.frames
+let raw_frames t = t.frames
+let prefix_sums t = t.prefix
 let slot_duration t = 1. /. t.fps
 let duration t = float_of_int (length t) /. t.fps
-let total_bits t = Array.fold_left ( +. ) 0. t.frames
+let total_bits t = t.prefix.(length t)
 let mean_rate t = total_bits t /. duration t
 let peak_rate t = Array.fold_left max 0. t.frames *. t.fps
 
 let window_max_bits t w =
   let n = length t in
   assert (w >= 1 && w <= n);
-  let sum = ref 0. in
-  for i = 0 to w - 1 do
-    sum := !sum +. t.frames.(i)
-  done;
-  let best = ref !sum in
-  for i = w to n - 1 do
-    sum := !sum +. t.frames.(i) -. t.frames.(i - w);
-    if !sum > !best then best := !sum
+  let best = ref neg_infinity in
+  for i = w to n do
+    let sum = t.prefix.(i) -. t.prefix.(i - w) in
+    if sum > !best then best := sum
   done;
   !best
 
 let rate_in_window t ~lo ~hi =
   assert (lo >= 0 && hi < length t && lo <= hi);
-  let bits = ref 0. in
-  for i = lo to hi do
-    bits := !bits +. t.frames.(i)
-  done;
-  !bits *. t.fps /. float_of_int (hi - lo + 1)
+  (t.prefix.(hi + 1) -. t.prefix.(lo)) *. t.fps /. float_of_int (hi - lo + 1)
 
 let shift t k =
   let n = length t in
   let k = ((k mod n) + n) mod n in
-  { t with frames = Array.init n (fun i -> t.frames.((i + k) mod n)) }
+  of_owned_frames ~fps:t.fps
+    (Array.init n (fun i -> t.frames.((i + k) mod n)))
 
 let sub t ~pos ~len =
   assert (pos >= 0 && len > 0 && pos + len <= length t);
-  { t with frames = Array.sub t.frames pos len }
+  of_owned_frames ~fps:t.fps (Array.sub t.frames pos len)
 
 let sustained_peak t ~threshold =
   let per_frame = threshold /. t.fps in

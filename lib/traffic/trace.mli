@@ -18,6 +18,17 @@ val frame : t -> int -> float
 val frames : t -> float array
 (** A fresh copy of the frame-size array. *)
 
+val raw_frames : t -> float array
+(** The trace's own frame array, {e not} a copy — read-only access for
+    hot loops (the fluid-queue kernel) that cannot afford the copy of
+    {!frames}.  Mutating it is undefined behaviour. *)
+
+val prefix_sums : t -> float array
+(** Cumulative arrivals: element [i] is the total bits of frames
+    [0 .. i-1] (so the array has [length t + 1] entries and element 0 is
+    0).  Computed once at construction and shared — do {e not} mutate.
+    [prefix.(j) -. prefix.(i)] is the bits of frames [i .. j-1]. *)
+
 val slot_duration : t -> float
 (** Seconds per frame, [1 /. fps]. *)
 

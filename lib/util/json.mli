@@ -1,0 +1,20 @@
+(** Minimal JSON emitter for the benchmark trajectory files.
+
+    Write-only on purpose: the repository has no JSON dependency and the
+    [BENCH_*.json] records only need serialization.  Floats use the
+    shortest decimal representation that round-trips; NaN and infinities
+    (which JSON cannot express) become [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val save : t -> string -> unit
+(** [save v path] writes [to_string v] plus a trailing newline. *)

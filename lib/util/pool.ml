@@ -1,0 +1,126 @@
+(* Fixed-size work pool over OCaml 5 domains.
+
+   The pool owns [jobs - 1] worker domains draining a single
+   Mutex/Condition task queue; the submitting thread of a [map] call
+   helps execute queued tasks while it waits, so the effective
+   parallelism is [jobs] and a map submitted from inside a pool task
+   (nested parallelism) can never deadlock: the inner submitter makes
+   progress on whatever is queued until its own tasks are done.
+
+   Determinism: results are written by input index, so the output order
+   never depends on the execution interleaving.  Any per-task randomness
+   must be pre-split sequentially before submission (see {!Rng.split});
+   [map ~jobs:k] is then bit-identical to the sequential map for every
+   [k]. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* a task was queued, or the pool is shutting down *)
+  finished : Condition.t;  (* some task completed *)
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let jobs t = t.jobs
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  let rec take () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.closed then None
+    else begin
+      Condition.wait t.work t.mutex;
+      take ()
+    end
+  in
+  match take () with
+  | None -> Mutex.unlock t.mutex
+  | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      worker t
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    t.closed <- true;
+    Condition.broadcast t.work
+  end;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Parallel ordered init: the workhorse behind [map] / [map_array]. *)
+let run_indexed t n (f : int -> unit) =
+  if n > 0 then begin
+    let pending = ref n in
+    let first_exn = ref None in
+    let task i () =
+      (try f i
+       with e ->
+         Mutex.lock t.mutex;
+         if !first_exn = None then first_exn := Some e;
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      decr pending;
+      Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (task i) t.queue
+    done;
+    Condition.broadcast t.work;
+    (* Help while waiting: execute anything queued (ours or a nested
+       call's) rather than blocking a whole domain on the join. *)
+    while !pending > 0 do
+      if not (Queue.is_empty t.queue) then begin
+        let task = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex
+      end
+      else Condition.wait t.finished t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    match !first_exn with Some e -> raise e | None -> ()
+  end
+
+let init ?pool n f =
+  match pool with
+  | None -> Array.init n f
+  | Some t when t.jobs <= 1 || n <= 1 -> Array.init n f
+  | Some t ->
+      let results = Array.make n None in
+      run_indexed t n (fun i -> results.(i) <- Some (f i));
+      Array.map (function Some v -> v | None -> assert false) results
+
+let map_array ?pool f xs = init ?pool (Array.length xs) (fun i -> f xs.(i))
+
+let map ?pool f xs =
+  Array.to_list (map_array ?pool f (Array.of_list xs))

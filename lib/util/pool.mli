@@ -1,0 +1,43 @@
+(** Fixed-size domain pool with order-preserving parallel maps.
+
+    A pool of [jobs - 1] worker domains plus the submitting thread drain
+    a shared Mutex/Condition task queue.  [map]/[map_array]/[init]
+    preserve input order exactly — results land at their input index —
+    so for deterministic task functions the parallel result is
+    bit-identical to the sequential one regardless of [jobs] or
+    scheduling.  Randomized tasks stay deterministic when their
+    generators are pre-split sequentially (one {!Rng.split} per task)
+    before submission, which is how every caller in [lib/sim] uses it.
+
+    Nested submissions are safe: a task may itself call [map] on the
+    same pool; the inner join helps execute queued tasks instead of
+    blocking its domain. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs >= 1]).
+    [jobs = 1] spawns none and every map runs sequentially in the
+    caller.  Default: {!default_jobs}. *)
+
+val default_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one
+    hardware thread to the submitting domain. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Waits for queued tasks to finish and joins the workers.
+    Idempotent. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool, shutting it down on the
+    way out (also on exceptions). *)
+
+val init : ?pool:t -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init].  Without [?pool] (or with a 1-job pool) this
+    is exactly [Array.init].  The first task exception (if any) is
+    re-raised after all tasks settle. *)
+
+val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list

@@ -444,6 +444,110 @@ let prop_optimal_schedule_feasible =
           r.Fluid.bits_lost = 0.
       | exception Optimal.Infeasible _ -> true)
 
+(* --- Optimal: approximation knobs ----------------------------------- *)
+
+(* Both knobs must always return a feasible schedule whose cost is never
+   below the exact optimum.  Their upper bounds differ:
+
+   - [frontier_cap] keeps exact buffers and costs for the retained
+     paths, so the error does not compound; on these small traces even
+     cap = 2 stays within 2x the exact cost (empirically it is almost
+     always 1x).
+   - [buffer_quantum = q] snaps occupancies up by < q per slot and the
+     overestimate accumulates, so after n slots a schedule's quantized
+     trajectory exceeds its true one by < n*q.  Hence every schedule
+     that is exactly feasible for a buffer of B - n*q survives the
+     quantized pruning, giving the provable bound
+     quantized_cost(B) <= exact_cost(B - n*q). *)
+
+let approx_gen =
+  QCheck.Gen.(
+    let* n = int_range 3 10 in
+    let* frames = array_size (return n) (float_range 0. 25.) in
+    let* k = int_range 1 15 in
+    return (frames, float_of_int k))
+
+let approx_print (frames, k) =
+  Printf.sprintf "frames=[|%s|] reneg=%g"
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%.17g") frames)))
+    k
+
+let approx_buffer = 30.
+
+let approx_params reneg_cost =
+  {
+    Optimal.grid = Rate_grid.of_rates [| 5.; 12.; 25. |];
+    reneg_cost;
+    bandwidth_cost = 1.;
+    constraint_ = Optimal.Buffer_bound approx_buffer;
+  }
+
+let schedule_cost ~reneg_cost s =
+  Schedule.cost s ~reneg_cost ~bandwidth_cost:1.
+
+(* Shared harness: [knob params trace] runs the approximate solver;
+   [upper params trace] returns the bound its cost must stay under
+   (None: the bound's reference problem is itself infeasible, so only
+   feasibility and cost >= exact are required). *)
+let check_knob ~name ~knob ~upper =
+  QCheck.Test.make ~name ~count:150 (QCheck.make ~print:approx_print approx_gen)
+    (fun (frames, reneg_cost) ->
+      let trace = Trace.create ~fps:1. frames in
+      let params = approx_params reneg_cost in
+      match Optimal.solve params trace with
+      | exception Optimal.Infeasible _ -> true
+      | exact_s -> (
+          let exact = schedule_cost ~reneg_cost exact_s in
+          match knob params trace with
+          | exception Optimal.Infeasible _ ->
+              (* Allowed only when the bound's reference problem is
+                 infeasible too. *)
+              upper params trace = None
+          | s, _ ->
+              let r =
+                Schedule.simulate_buffer s ~trace ~capacity:approx_buffer
+              in
+              let cost = schedule_cost ~reneg_cost s in
+              r.Fluid.bits_lost = 0.
+              && cost >= exact -. 1e-9
+              &&
+              (match upper params trace with
+              | None -> true
+              | Some bound -> cost <= bound +. 1e-9)))
+
+let prop_frontier_cap_feasible_bounded =
+  check_knob ~name:"frontier_cap=2: feasible, exact <= cost <= 2x exact"
+    ~knob:(Optimal.solve_with_stats ~frontier_cap:2)
+    ~upper:(fun params trace ->
+      match Optimal.solve params trace with
+      | s -> Some (2. *. schedule_cost ~reneg_cost:params.Optimal.reneg_cost s)
+      | exception Optimal.Infeasible _ -> None)
+
+let prop_buffer_quantum_feasible_bounded =
+  (* q = B/(2n): the compounded overestimate stays under B/2, so the
+     exact optimum at buffer B/2 bounds the quantized cost. *)
+  let quantum trace = approx_buffer /. float_of_int (2 * Trace.length trace) in
+  check_knob ~name:"buffer_quantum=B/2n: feasible, exact <= cost <= exact(B/2)"
+    ~knob:(fun params trace ->
+      Optimal.solve_with_stats ~buffer_quantum:(quantum trace) params trace)
+    ~upper:(fun params trace ->
+      let tightened =
+        { params with Optimal.constraint_ = Optimal.Buffer_bound (approx_buffer /. 2.) }
+      in
+      match Optimal.solve tightened trace with
+      | s -> Some (schedule_cost ~reneg_cost:params.Optimal.reneg_cost s)
+      | exception Optimal.Infeasible _ -> None)
+
+let test_frontier_cap_large_is_exact () =
+  (* A cap bigger than any frontier must not change the solution. *)
+  let trace = Rcbr_traffic.Synthetic.star_wars ~frames:800 ~seed:11 () in
+  let params = Optimal.default_params ~cost_ratio:1e5 trace in
+  let exact = Optimal.solve params trace in
+  let capped, _ = Optimal.solve_with_stats ~frontier_cap:100_000 params trace in
+  Alcotest.(check bool) "identical schedules" true
+    (Schedule.to_rates exact = Schedule.to_rates capped)
+
 (* --- Online heuristic --- *)
 
 let test_online_constant_traffic () =
@@ -587,6 +691,11 @@ let () =
           Alcotest.test_case "predictions length" `Quick
             test_online_predictions_length;
         ] );
+      ( "approximation knobs",
+        [
+          Alcotest.test_case "loose cap is exact" `Quick
+            test_frontier_cap_large_is_exact;
+        ] );
       ( "properties",
         q
           [
@@ -594,5 +703,7 @@ let () =
             prop_optimal_delay_matches_brute_force;
             prop_shift_marginal_invariant;
             prop_optimal_schedule_feasible;
+            prop_frontier_cap_feasible_bounded;
+            prop_buffer_quantum_feasible_bounded;
           ] );
     ]

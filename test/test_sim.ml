@@ -216,6 +216,77 @@ let test_mbac_utilization_grows_with_load () =
   Alcotest.(check bool) "heavier load, higher utilization" true
     (util 1.5 > util 0.3)
 
+(* --- Pool determinism: every sweep is bit-identical for any -j ------ *)
+
+module Pool = Rcbr_util.Pool
+
+let with_jobs jobs f =
+  if jobs <= 1 then f None else Pool.with_pool ~jobs (fun p -> f (Some p))
+
+let test_smg_jobs_invariant () =
+  let c = config () in
+  let sweep pool =
+    ( Smg.min_capacity_rcbr ?pool c ~n:8,
+      Smg.min_capacity_shared ?pool c ~n:8,
+      Smg.rcbr_loss ?pool c ~n:8
+        ~capacity_per_stream:(1.2 *. Trace.mean_rate trace),
+      Smg.min_capacities_rcbr ?pool c ~ns:[ 1; 4; 8 ] )
+  in
+  let seq = with_jobs 1 sweep and par = with_jobs 4 sweep in
+  (* Bit-identical, not approximately equal: the pool only reorders
+     execution, never the pre-split rng streams or the reduction. *)
+  Alcotest.(check bool) "rcbr/shared/loss/batch identical" true (seq = par)
+
+let test_smg_batch_matches_pointwise () =
+  let c = config () in
+  let ns = [ 1; 4; 8 ] in
+  with_jobs 4 @@ fun pool ->
+  Alcotest.(check bool) "batched = pointwise" true
+    (Smg.min_capacities_rcbr ?pool c ~ns
+     = List.map (fun n -> Smg.min_capacity_rcbr ?pool c ~n) ns)
+
+let test_mbac_run_many_jobs_invariant () =
+  let capacity = 16. *. Trace.mean_rate trace in
+  let entries () =
+    Array.of_list
+      (List.concat_map
+         (fun load ->
+           [
+             ( mbac_config ~capacity ~load 17,
+               fun () -> Controller.memoryless ~capacity ~target:1e-3 );
+             ( mbac_config ~capacity ~load 17,
+               fun () -> Controller.memory ~capacity ~target:1e-3 );
+           ])
+         [ 0.8; 1.4 ])
+  in
+  let seq = with_jobs 1 (fun pool -> Mbac.run_many ?pool (entries ())) in
+  let par = with_jobs 4 (fun pool -> Mbac.run_many ?pool (entries ())) in
+  Alcotest.(check bool) "grid identical across -j" true (seq = par);
+  (* And run_many at -j 1 is exactly the sequential Mbac.run loop. *)
+  let direct =
+    Array.map (fun (c, make) -> Mbac.run c ~controller:(make ())) (entries ())
+  in
+  Alcotest.(check bool) "run_many = run" true (seq = direct)
+
+let test_multihop_run_many_jobs_invariant () =
+  let base hops =
+    {
+      Rcbr_sim.Multihop.schedule;
+      hops;
+      capacity_per_hop = 10. *. Trace.mean_rate trace;
+      transit_calls = 3;
+      local_calls_per_hop = 4;
+      horizon = 2. *. Schedule.duration schedule;
+      seed = 5;
+    }
+  in
+  let configs = List.map base [ 1; 2; 4 ] in
+  let seq = with_jobs 1 (fun pool -> Rcbr_sim.Multihop.run_many ?pool configs) in
+  let par = with_jobs 4 (fun pool -> Rcbr_sim.Multihop.run_many ?pool configs) in
+  Alcotest.(check bool) "hop sweep identical across -j" true (seq = par);
+  Alcotest.(check bool) "run_many = run" true
+    (seq = List.map Rcbr_sim.Multihop.run configs)
+
 let () =
   Alcotest.run "rcbr_sim"
     [
@@ -248,5 +319,15 @@ let () =
           Alcotest.test_case "metric ranges" `Quick test_mbac_metrics_ranges;
           Alcotest.test_case "utilization vs load" `Quick
             test_mbac_utilization_grows_with_load;
+        ] );
+      ( "pool determinism",
+        [
+          Alcotest.test_case "smg jobs-invariant" `Quick test_smg_jobs_invariant;
+          Alcotest.test_case "smg batch = pointwise" `Quick
+            test_smg_batch_matches_pointwise;
+          Alcotest.test_case "mbac grid jobs-invariant" `Quick
+            test_mbac_run_many_jobs_invariant;
+          Alcotest.test_case "multihop sweep jobs-invariant" `Quick
+            test_multihop_run_many_jobs_invariant;
         ] );
     ]

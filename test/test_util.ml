@@ -6,6 +6,8 @@ module Histogram = Rcbr_util.Histogram
 module Numeric = Rcbr_util.Numeric
 module Matrix = Rcbr_util.Matrix
 module Heap = Rcbr_util.Heap
+module Pool = Rcbr_util.Pool
+module Json = Rcbr_util.Json
 
 let check_float = Alcotest.(check (float 1e-9))
 let check_close eps = Alcotest.(check (float eps))
@@ -342,6 +344,109 @@ let test_heap_peek_clear () =
   Heap.clear h;
   Alcotest.(check int) "cleared" 0 (Heap.length h)
 
+(* --- Pool --- *)
+
+let test_pool_map_order () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "order preserved" (List.map (fun x -> x * x) xs)
+    (Pool.map ~pool (fun x -> x * x) xs);
+  Alcotest.(check (array int))
+    "init matches" (Array.init 37 (fun i -> 3 * i))
+    (Pool.init ~pool 37 (fun i -> 3 * i))
+
+let test_pool_empty_and_singleton () =
+  Pool.with_pool ~jobs:3 @@ fun pool ->
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~pool Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Pool.map ~pool Fun.id [ 7 ])
+
+let test_pool_exception () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  Alcotest.check_raises "first task exception re-raised"
+    (Failure "task 5") (fun () ->
+      ignore
+        (Pool.init ~pool 32 (fun i ->
+             if i = 5 then failwith "task 5" else i)));
+  (* The pool must still be usable after a failed batch. *)
+  Alcotest.(check (list int))
+    "pool survives" [ 0; 2; 4 ]
+    (Pool.map ~pool (fun x -> 2 * x) [ 0; 1; 2 ])
+
+let test_pool_nested () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  (* Tasks submitting to their own pool must not deadlock: the joining
+     task helps drain the queue. *)
+  let rows =
+    Pool.map ~pool
+      (fun i -> Pool.map ~pool (fun j -> (10 * i) + j) [ 0; 1; 2 ])
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested maps"
+    [ [ 0; 1; 2 ]; [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ] ]
+    rows
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:2 () in
+  Alcotest.(check int) "jobs" 2 (Pool.jobs pool);
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
+let prop_pool_map_equals_sequential =
+  QCheck.Test.make ~name:"Pool.map ~jobs:4 = List.map" ~count:50
+    QCheck.(list (float_range (-1e6) 1e6))
+    (fun xs ->
+      let f x = (x *. 1.7) -. (x /. 3.) in
+      Pool.with_pool ~jobs:4 (fun pool -> Pool.map ~pool f xs) = List.map f xs)
+
+(* Pre-split generators make randomized parallel tasks bit-identical to
+   the sequential run — the pattern every lib/sim sweep relies on. *)
+let prop_pool_presplit_rng_deterministic =
+  QCheck.Test.make ~name:"pre-split rng tasks are jobs-invariant" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let task rng = Array.init 50 (fun _ -> Rng.float rng) in
+      let run jobs =
+        let master = Rng.create seed in
+        let rngs = Array.init 8 (fun _ -> Rng.split master) in
+        Pool.with_pool ~jobs (fun pool -> Pool.map_array ~pool task rngs)
+      in
+      run 1 = run 4)
+
+(* --- Json --- *)
+
+let test_json_to_string () =
+  Alcotest.(check string)
+    "object"
+    {|{"a": 1, "b": [true, null, "x\n"], "c": 1.5}|}
+    (Json.to_string
+       (Json.Obj
+          [
+            ("a", Json.Int 1);
+            ("b", Json.List [ Json.Bool true; Json.Null; Json.String "x\n" ]);
+            ("c", Json.Float 1.5);
+          ]))
+
+let test_json_float_repr () =
+  Alcotest.(check string) "round-trip repr" "0.1" (Json.to_string (Json.Float 0.1));
+  Alcotest.(check string)
+    "17 digits when needed" "1.0000000000000002"
+    (Json.to_string (Json.Float 1.0000000000000002));
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string)
+    "infinity is null" "null"
+    (Json.to_string (Json.Float Float.infinity))
+
+let test_json_save () =
+  let path = Filename.temp_file "rcbr_json" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Json.save (Json.Obj [ ("k", Json.Int 3) ]) path;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "saved line" {|{"k": 3}|} line
+
 (* --- Properties --- *)
 
 let prop_heap_sorts =
@@ -448,6 +553,21 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "peek/clear" `Quick test_heap_peek_clear;
         ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "empty/singleton" `Quick test_pool_empty_and_singleton;
+          Alcotest.test_case "exception" `Quick test_pool_exception;
+          Alcotest.test_case "nested" `Quick test_pool_nested;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "to_string" `Quick test_json_to_string;
+          Alcotest.test_case "float repr" `Quick test_json_float_repr;
+          Alcotest.test_case "save" `Quick test_json_save;
+        ] );
       ( "properties",
         q
           [
@@ -455,5 +575,7 @@ let () =
             prop_quantile_bounds;
             prop_log_sum_exp_ge_max;
             prop_solve_inverts;
+            prop_pool_map_equals_sequential;
+            prop_pool_presplit_rng_deterministic;
           ] );
     ]

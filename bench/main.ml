@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- -j 4         -- sweep points on 4 domains
      dune exec bench/main.exe -- --smoke --json  -- CI-sized run + BENCH files
 
-   Experiments: tableA fig2 fig5 fig6 fig7 fig8 fig9 analysis micro
+   Experiments: tableA fig2 fig5 fig6 fig7 fig8 fig9 mbac-admit
+   chernoff-sweep analysis micro (and the extension experiments below)
 
    Flags:
      -j N / --jobs N   run independent sweep points on a pool of N domains
@@ -277,7 +278,13 @@ let fig7 ctx =
   pf "(target: 1.0e-03)@.";
   emit ctx "grid_points" (Json.Int (Array.length ms));
   emit ctx "total_windows"
-    (Json.Int (Array.fold_left (fun acc m -> acc + m.Mbac.windows) 0 ms))
+    (Json.Int (Array.fold_left (fun acc m -> acc + m.Mbac.windows) 0 ms));
+  emit ctx "decision_hashes"
+    (Json.List
+       (Array.to_list
+          (Array.map
+             (fun m -> Json.Int m.Mbac.admission.Controller.decision_hash)
+             ms)))
 
 let fig8 ctx =
   section "Fig. 8 -- memoryless MBAC: utilization normalized to perfect knowledge";
@@ -335,6 +342,155 @@ let fig9 ctx =
         ml.Mbac.utilization mem.Mbac.utilization)
     cap_mults
 
+(* --- Admission kernel: fast path vs legacy rebuild ------------------- *)
+
+(* The memory-scheme load x capacity grid run twice in one process:
+   once on the incremental O(levels) kernel and once on the seed's
+   per-decision rebuild ([Controller.Legacy]).  Timing both sides here
+   makes the speedup machine-independent, and the per-point decision
+   hashes prove the two paths answer identically on the shipped
+   configs. *)
+let mbac_admit ctx =
+  section "MBAC admission kernel -- incremental fast path vs legacy rebuild";
+  pf "Memory-scheme MBAC over the full load x capacity grid, twice: the@.";
+  pf "incremental aggregate + warm-started solver, then the seed's@.";
+  pf "from-scratch rebuild with cold Chernoff searches.@.@.";
+  let grid mode =
+    Array.map
+      (fun (cfg, make) ->
+        ( cfg,
+          fun () ->
+            let c : Controller.t = make () in
+            Controller.set_mode c mode;
+            c ))
+      (mbac_grid ctx ~seed:43 (fun ~capacity ->
+           Controller.memory ~capacity ~target:1e-3))
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let fast, fast_wall =
+    time (fun () -> Mbac.run_many ?pool:ctx.pool (grid Controller.Fast))
+  in
+  let legacy, legacy_wall =
+    time (fun () -> Mbac.run_many ?pool:ctx.pool (grid Controller.Legacy))
+  in
+  let hash m = m.Mbac.admission.Controller.decision_hash in
+  let identical =
+    Array.for_all2 (fun a b -> hash a = hash b) fast legacy
+  in
+  let decisions =
+    Array.fold_left
+      (fun acc m -> acc + m.Mbac.admission.Controller.decisions)
+      0 fast
+  in
+  let solver_total f =
+    Array.fold_left
+      (fun acc m -> acc + f m.Mbac.admission.Controller.solver)
+      0 fast
+  in
+  let mgf_evals = solver_total (fun s -> s.Chernoff.Solver.mgf_evals) in
+  let fits_evals = solver_total (fun s -> s.Chernoff.Solver.fits_evals) in
+  pf "grid: %d points, %d admission decisions@." (Array.length fast) decisions;
+  pf "fast path:   %.3f s  (%d log-MGF evals, %d fit probes)@." fast_wall
+    mgf_evals fits_evals;
+  pf "legacy path: %.3f s@." legacy_wall;
+  pf "speedup:     %.2fx@." (legacy_wall /. fast_wall);
+  pf "decision sequences identical on all %d points: %b@." (Array.length fast)
+    identical;
+  emit ctx "grid_points" (Json.Int (Array.length fast));
+  emit ctx "decisions" (Json.Int decisions);
+  emit ctx "decisions_identical" (Json.Bool identical);
+  emit ctx "decision_hashes"
+    (Json.List (Array.to_list (Array.map (fun m -> Json.Int (hash m)) fast)));
+  emit ctx "fast_wall_s" (Json.Float fast_wall);
+  emit ctx "legacy_wall_s" (Json.Float legacy_wall);
+  emit ctx "speedup" (Json.Float (legacy_wall /. fast_wall));
+  emit ctx "solver_mgf_evals" (Json.Int mgf_evals);
+  emit ctx "solver_fits_evals" (Json.Int fits_evals)
+
+(* --- Chernoff sweep: shared warm-started solver vs cold queries ------ *)
+
+(* The fig2/fig6-style usage pattern: many max_calls /
+   capacity_for_target queries against one fixed marginal (sweeping n,
+   target and capacity, repeated per replication).  The cold path
+   rebuilds its scratch state inside every query; the solver keeps one
+   log-MGF table and warm-starts each search from the previous answer.
+   The answers are required to be bit-identical. *)
+let chernoff_sweep ctx =
+  section "Chernoff sweep -- shared warm-started solver vs cold per-query path";
+  let marginal = Schedule.marginal ctx.schedule in
+  let mean = Chernoff.mean marginal in
+  let ns = [ 2; 5; 10; 20; 50; 100; 200; 500 ] in
+  let targets = [ 1e-2; 1e-3; 1e-4 ] in
+  let cap_mults = [ 4.; 8.; 16.; 32.; 64.; 128. ] in
+  let reps = if ctx.smoke then 30 else 150 in
+  let sweep ~capacity_for_target ~max_calls =
+    let acc = ref [] in
+    for _ = 1 to reps do
+      List.iter
+        (fun target ->
+          List.iter
+            (fun n -> acc := capacity_for_target ~n ~target :: !acc)
+            ns;
+          List.iter
+            (fun m ->
+              acc :=
+                float_of_int (max_calls ~capacity:(m *. mean) ~target) :: !acc)
+            cap_mults)
+        targets
+    done;
+    !acc
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let cold, cold_wall =
+    time (fun () ->
+        sweep
+          ~capacity_for_target:(fun ~n ~target ->
+            Chernoff.capacity_for_target marginal ~n ~target)
+          ~max_calls:(fun ~capacity ~target ->
+            Chernoff.max_calls marginal ~capacity ~target))
+  in
+  let solver = Chernoff.Solver.of_marginal marginal in
+  let warm, warm_wall =
+    time (fun () ->
+        sweep
+          ~capacity_for_target:(fun ~n ~target ->
+            Chernoff.Solver.capacity_for_target solver ~n ~target)
+          ~max_calls:(fun ~capacity ~target ->
+            Chernoff.Solver.max_calls solver ~capacity ~target))
+  in
+  let queries = List.length cold in
+  let identical = List.for_all2 (fun a b -> compare a b = 0) cold warm in
+  let checksum =
+    List.fold_left
+      (fun h x ->
+        ((h * 1_000_003) + Int64.to_int (Int64.bits_of_float x)) land max_int)
+      0 warm
+  in
+  let st = Chernoff.Solver.stats solver in
+  pf "marginal: %d levels; %d queries (%d reps of n/target/capacity sweeps)@."
+    (Array.length marginal) queries reps;
+  pf "cold path: %.3f s@." cold_wall;
+  pf "warm solver: %.3f s  (%d log-MGF evals, %d fit probes)@." warm_wall
+    st.Chernoff.Solver.mgf_evals st.Chernoff.Solver.fits_evals;
+  pf "speedup:   %.2fx@." (cold_wall /. warm_wall);
+  pf "all %d results bit-identical: %b@." queries identical;
+  emit ctx "queries" (Json.Int queries);
+  emit ctx "results_identical" (Json.Bool identical);
+  emit ctx "result_checksum" (Json.Int checksum);
+  emit ctx "cold_wall_s" (Json.Float cold_wall);
+  emit ctx "warm_wall_s" (Json.Float warm_wall);
+  emit ctx "speedup" (Json.Float (cold_wall /. warm_wall));
+  emit ctx "solver_mgf_evals" (Json.Int st.Chernoff.Solver.mgf_evals);
+  emit ctx "solver_fits_evals" (Json.Int st.Chernoff.Solver.fits_evals)
+
 (* --- Analysis: Section V-A / Fig. 4 model --------------------------- *)
 
 let analysis _ctx =
@@ -373,10 +529,14 @@ let analysis _ctx =
   let marginal_eb = Array.init (Array.length per) (fun k -> (occ.(k), per.(k))) in
   pf "@.capacity per stream for overflow target %.0e (Chernoff):@." target;
   pf "%8s %16s %16s %12s@." "n" "shared (eq.10)" "RCBR (eq.11)" "ratio";
+  (* One warm-started solver per marginal, reused across the n sweep
+     (bit-identical to the cold per-query path). *)
+  let solver_means = Chernoff.Solver.of_marginal marginal_means in
+  let solver_eb = Chernoff.Solver.of_marginal marginal_eb in
   List.iter
     (fun n ->
-      let cs = Chernoff.capacity_for_target marginal_means ~n ~target in
-      let cr = Chernoff.capacity_for_target marginal_eb ~n ~target in
+      let cs = Chernoff.Solver.capacity_for_target solver_means ~n ~target in
+      let cr = Chernoff.Solver.capacity_for_target solver_eb ~n ~target in
       pf "%8d %16.3f %16.3f %12.3f@." n cs cr (cr /. cs))
     [ 10; 100; 1000 ];
   pf "@.paper: RCBR gives up only the fast time-scale component of the gain;@.";
@@ -460,6 +620,11 @@ let micro ctx =
         Test.make ~name:"chernoff-max-calls"
           (Staged.stage (fun () ->
                ignore (Chernoff.max_calls marginal ~capacity:6e6 ~target:1e-3)));
+        (let solver = Chernoff.Solver.of_marginal marginal in
+         Test.make ~name:"chernoff-max-calls-warm"
+           (Staged.stage (fun () ->
+                ignore
+                  (Chernoff.Solver.max_calls solver ~capacity:6e6 ~target:1e-3))));
         Test.make ~name:"equivalent-bandwidth"
           (Staged.stage (fun () ->
                ignore
@@ -945,6 +1110,8 @@ let experiments =
     ("fig7", fig7);
     ("fig8", fig8);
     ("fig9", fig9);
+    ("mbac-admit", mbac_admit);
+    ("chernoff-sweep", chernoff_sweep);
     ("analysis", analysis);
     ("predictors", predictors);
     ("latency", latency);
@@ -963,7 +1130,17 @@ let experiments =
 (* The CI-sized default set: one experiment per subsystem that the
    BENCH trajectory tracks (trellis, SMG sweep, MBAC grid, event
    simulation, micro-kernels). *)
-let smoke_set = [ "tableA"; "fig2"; "fig6"; "fig7"; "multihop"; "micro" ]
+let smoke_set =
+  [
+    "tableA";
+    "fig2";
+    "fig6";
+    "fig7";
+    "mbac-admit";
+    "chernoff-sweep";
+    "multihop";
+    "micro";
+  ]
 
 let () =
   let jobs = ref (Pool.default_jobs ()) in

@@ -12,7 +12,7 @@ module Controller = Rcbr_admission.Controller
 module Descriptor = Rcbr_admission.Descriptor
 
 let run seed frames cost_ratio capacity_mult load target controller_name
-    rm_drop rm_timeout rm_max_retx =
+    admission_name admission_stats rm_drop rm_timeout rm_max_retx =
   let trace = Rcbr_traffic.Synthetic.star_wars ~frames ~seed () in
   let mean = Trace.mean_rate trace in
   let schedule =
@@ -50,6 +50,11 @@ let run seed frames cost_ratio capacity_mult load target controller_name
     | "always" -> Controller.always_admit ()
     | other -> Fmt.failwith "unknown controller %S" other
   in
+  (match admission_name with
+  | "fast" -> ()
+  | "legacy" -> Controller.set_mode controller Controller.Legacy
+  | "check" -> Controller.set_mode controller Controller.Check
+  | other -> Fmt.failwith "unknown admission mode %S" other);
   Format.printf
     "link %.0f kb/s (%.0fx mean), offered load %.2f, target %.1e, controller %s@."
     (capacity /. 1e3) capacity_mult (Mbac.offered_load cfg) target
@@ -71,7 +76,21 @@ let run seed frames cost_ratio capacity_mult load target controller_name
        retransmissions:     %d@,\
        abandoned changes:   %d@]@."
       m.Mbac.signalling_dropped m.Mbac.signalling_retransmits
-      m.Mbac.signalling_abandoned
+      m.Mbac.signalling_abandoned;
+  let a = m.Mbac.admission in
+  if admission_name = "check" && a.Controller.mismatches > 0 then
+    Format.printf "WARNING: %d fast/legacy decision mismatches@."
+      a.Controller.mismatches;
+  if admission_stats then
+    Format.printf
+      "@[<v>admission decisions: %d (%d admitted), hash %x@,\
+       legacy rebuilds:     %d (mismatches %d)@,\
+       solver work:         %d log-MGF evals, %d fit probes, %d queries@]@."
+      a.Controller.decisions a.Controller.admits a.Controller.decision_hash
+      a.Controller.legacy_evals a.Controller.mismatches
+      a.Controller.solver.Rcbr_effbw.Chernoff.Solver.mgf_evals
+      a.Controller.solver.Rcbr_effbw.Chernoff.Solver.fits_evals
+      a.Controller.solver.Rcbr_effbw.Chernoff.Solver.queries
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED")
 let frames_arg = Arg.(value & opt int 20_000 & info [ "frames" ] ~docv:"N")
@@ -95,6 +114,21 @@ let controller_arg =
     value & opt string "memoryless"
     & info [ "controller" ] ~docv:"NAME"
         ~doc:"One of: perfect, memoryless, memory, always.")
+
+let admission_arg =
+  Arg.(
+    value & opt string "fast"
+    & info [ "admission" ] ~docv:"MODE"
+        ~doc:
+          "Admission decision path: $(b,fast) (incremental kernel), \
+           $(b,legacy) (per-decision rebuild, as the original code), or \
+           $(b,check) (run both and report disagreements).")
+
+let admission_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "admission-stats" ]
+        ~doc:"Print decision/solver counters after the run.")
 
 let rm_drop_arg =
   Arg.(
@@ -122,7 +156,7 @@ let () =
   let term =
     Term.(
       const run $ seed_arg $ frames_arg $ cost_ratio_arg $ capacity_arg
-      $ load_arg $ target_arg $ controller_arg $ rm_drop_arg $ rm_timeout_arg
-      $ rm_max_retx_arg)
+      $ load_arg $ target_arg $ controller_arg $ admission_arg
+      $ admission_stats_arg $ rm_drop_arg $ rm_timeout_arg $ rm_max_retx_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -9,8 +9,10 @@ module Trace = Rcbr_traffic.Trace
 module Optimal = Rcbr_core.Optimal
 module Schedule = Rcbr_core.Schedule
 module Smg = Rcbr_sim.Smg
+module Chernoff = Rcbr_effbw.Chernoff
 
-let run seed frames cost_ratio buffer target replications streams jobs =
+let run seed frames cost_ratio buffer target replications streams jobs chernoff
+    =
   let trace = Rcbr_traffic.Synthetic.star_wars ~frames ~seed () in
   let mean = Trace.mean_rate trace in
   Format.printf "trace: %d frames, mean %.0f kb/s@." frames (mean /. 1e3);
@@ -37,7 +39,33 @@ let run seed frames cost_ratio buffer target replications streams jobs =
     streams
     (List.combine shared rcbr);
   Format.printf "@.RCBR asymptote (n -> inf): %.3f x mean@."
-    (Smg.asymptotic_rcbr_capacity cfg /. mean)
+    (Smg.asymptotic_rcbr_capacity cfg /. mean);
+  if chernoff then begin
+    (* Chernoff counterpart of the sweep (formula (11)): one
+       warm-started solver over the schedule marginal serves every n,
+       instead of a cold search per row. *)
+    let solver = Chernoff.Solver.of_marginal (Schedule.marginal schedule) in
+    Format.printf
+      "@.Chernoff estimate over the schedule marginal (target %.0e):@." target;
+    Format.printf "%6s  %14s  %22s@." "n" "capacity/mean"
+      "admissible on sim link";
+    List.iter2
+      (fun n rcbr_capacity ->
+        let c = Chernoff.Solver.capacity_for_target solver ~n ~target in
+        (* How many calls the Chernoff rule would admit on the link the
+           simulated sweep sized for n streams. *)
+        let calls =
+          Chernoff.Solver.max_calls solver
+            ~capacity:(rcbr_capacity *. float_of_int n)
+            ~target
+        in
+        Format.printf "%6d  %14.3f  %22d@." n (c /. mean) calls)
+      streams rcbr;
+    let st = Chernoff.Solver.stats solver in
+    Format.printf "(solver: %d log-MGF evals, %d fit probes, %d queries)@."
+      st.Chernoff.Solver.mgf_evals st.Chernoff.Solver.fits_evals
+      st.Chernoff.Solver.queries
+  end
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED")
 
@@ -68,6 +96,14 @@ let streams_arg =
     & opt (list int) [ 1; 2; 5; 10; 20; 50; 100 ]
     & info [ "streams" ] ~docv:"N1,N2,..." ~doc:"Stream counts to evaluate.")
 
+let chernoff_arg =
+  Arg.(
+    value & flag
+    & info [ "chernoff" ]
+        ~doc:
+          "Also print the Chernoff capacity-per-stream table over the \
+           schedule marginal, computed with one shared warm-started solver.")
+
 let () =
   let info =
     Cmd.info "rcbr_smg" ~version:"1.0"
@@ -76,6 +112,6 @@ let () =
   let term =
     Term.(
       const run $ seed_arg $ frames_arg $ cost_ratio_arg $ buffer_arg
-      $ target_arg $ replications_arg $ streams_arg $ jobs_arg)
+      $ target_arg $ replications_arg $ streams_arg $ jobs_arg $ chernoff_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,9 +1,44 @@
 module Chernoff = Rcbr_effbw.Chernoff
+module Histogram = Rcbr_util.Histogram
+
+(* The admission fast path (DESIGN.md §7).
+
+   The measurement-based schemes describe "a typical call" by a weighted
+   bandwidth-level distribution; the paper's observation that the
+   aggregate is the running sum of per-call histograms makes that state
+   incrementally maintainable.  Rates are interned into a dense level
+   table (exact float match, as the seed's hashtable keys were), and the
+   controller maintains, per level index
+
+     hist       — finalized history seconds of all calls in the system
+     cur_count  — number of calls currently reserving this level
+     since_sum  — sum of those calls' segment start times
+
+   so that the time-weighted aggregate at time [now] is, per level,
+
+     hist + cur_count * now - since_sum
+
+   i.e. every arrival / renegotiation / departure costs O(1) histogram
+   updates and a decision materializes the marginal in O(levels) with no
+   allocation, instead of rebuilding a per-call weight list in
+   O(calls x levels).  Decisions then go through a warm-started
+   [Chernoff.Solver] owned by the controller.
+
+   The seed's from-scratch path is kept as [Legacy] (and as the [Check]
+   cross-check): rebuild the [(rate, weight)] list from the per-call
+   records and run the cold [Chernoff.max_calls].  Per-call finalized
+   weights are bit-identical between the two paths (same additions in
+   the same order); the aggregate differs from a rebuild only by
+   float-summation order, which the deviation probe below bounds. *)
+
+type mode = Fast | Legacy | Check
 
 type call_state = {
+  mutable level : int;
   mutable rate : float;
   mutable since : float;
-  history : (float, float) Hashtbl.t;  (* rate -> accumulated seconds *)
+  history : Histogram.t;  (* finalized seconds per level, this call *)
+  mutable segments : int;  (* finalized history segments (weight > 0) *)
 }
 
 type kind =
@@ -12,26 +47,174 @@ type kind =
   | Memory of { capacity : float; target : float }
   | Always
 
-type t = { name : string; kind : kind; calls : (int, call_state) Hashtbl.t }
+type stats = {
+  decisions : int;
+  admits : int;
+  decision_hash : int;
+  legacy_evals : int;
+  mismatches : int;
+  solver : Chernoff.Solver.stats;
+}
+
+type t = {
+  name : string;
+  kind : kind;
+  mutable mode : mode;
+  calls : (int, call_state) Hashtbl.t;
+  (* Level table: rate values interned in first-seen order. *)
+  mutable values : float array;
+  mutable n_levels : int;
+  level_of : (float, int) Hashtbl.t;
+  (* Incremental aggregates (level-indexed). *)
+  hist : Histogram.t;
+  cur_count : Histogram.t;
+  since_sum : Histogram.t;
+  mutable hist_segments : int;  (* total finalized segments in [hist] *)
+  solver : Chernoff.Solver.t;
+  (* Instrumentation. *)
+  mutable decisions : int;
+  mutable admits : int;
+  mutable decision_hash : int;
+  mutable legacy_evals : int;
+  mutable mismatches : int;
+}
 
 let name t = t.name
 let n_in_system t = Hashtbl.length t.calls
+let mode t = t.mode
+let set_mode t mode = t.mode <- mode
 
-let accumulate state ~now =
+let stats t =
+  {
+    decisions = t.decisions;
+    admits = t.admits;
+    decision_hash = t.decision_hash;
+    legacy_evals = t.legacy_evals;
+    mismatches = t.mismatches;
+    solver = Chernoff.Solver.stats t.solver;
+  }
+
+let level_of t rate =
+  match Hashtbl.find_opt t.level_of rate with
+  | Some l -> l
+  | None ->
+      let l = t.n_levels in
+      if l >= Array.length t.values then begin
+        let values = Array.make (2 * Array.length t.values) 0. in
+        Array.blit t.values 0 values 0 l;
+        t.values <- values
+      end;
+      t.values.(l) <- rate;
+      Hashtbl.add t.level_of rate l;
+      t.n_levels <- l + 1;
+      l
+
+(* --- state maintenance ---------------------------------------------- *)
+
+let accumulate t state ~now =
   let elapsed = now -. state.since in
   if elapsed > 0. then begin
-    let prev = try Hashtbl.find state.history state.rate with Not_found -> 0. in
-    Hashtbl.replace state.history state.rate (prev +. elapsed)
+    Histogram.add state.history state.level elapsed;
+    Histogram.add t.hist state.level elapsed;
+    state.segments <- state.segments + 1;
+    t.hist_segments <- t.hist_segments + 1
   end;
   state.since <- now
+
+let on_admit t ~now ~call ~rate =
+  assert (not (Hashtbl.mem t.calls call));
+  let level = level_of t rate in
+  let state =
+    {
+      level;
+      rate;
+      since = now;
+      history = Histogram.create ~levels:(max 1 t.n_levels);
+      segments = 0;
+    }
+  in
+  Hashtbl.replace t.calls call state;
+  Histogram.add t.cur_count level 1.;
+  Histogram.add t.since_sum level now
+
+let on_renegotiate t ~now ~call ~rate =
+  match Hashtbl.find_opt t.calls call with
+  | None -> ()
+  | Some st ->
+      (* Close the ongoing segment at the old level... *)
+      Histogram.sub t.cur_count st.level 1.;
+      Histogram.sub t.since_sum st.level st.since;
+      accumulate t st ~now;
+      (* ...and open one at the new. *)
+      let level = level_of t rate in
+      st.level <- level;
+      st.rate <- rate;
+      Histogram.add t.cur_count level 1.;
+      Histogram.add t.since_sum level now
+
+let on_depart t ~now ~call =
+  ignore now;
+  match Hashtbl.find_opt t.calls call with
+  | None -> ()
+  | Some st ->
+      Hashtbl.remove t.calls call;
+      (* The departing call takes its history with it, exactly as the
+         seed's per-call table did: the ongoing tail is dropped, not
+         finalized. *)
+      Histogram.sub t.cur_count st.level 1.;
+      Histogram.sub t.since_sum st.level st.since;
+      Histogram.iter_support st.history (fun l w -> Histogram.sub t.hist l w);
+      t.hist_segments <- t.hist_segments - st.segments
+
+(* --- fast decision path --------------------------------------------- *)
+
+let load_instantaneous t =
+  Chernoff.Solver.reset t.solver;
+  Histogram.iter_support t.cur_count (fun l w ->
+      Chernoff.Solver.push t.solver ~level:t.values.(l) ~weight:w)
+
+let load_history t ~now =
+  Chernoff.Solver.reset t.solver;
+  for l = 0 to t.n_levels - 1 do
+    let ongoing =
+      (Histogram.weight t.cur_count l *. now) -. Histogram.weight t.since_sum l
+    in
+    let w = Histogram.weight t.hist l +. ongoing in
+    Chernoff.Solver.push t.solver ~level:t.values.(l) ~weight:w
+  done
+
+(* The seed fell back to instantaneous rates when every history weight
+   was <= 0, which — since finalized segments always carry positive
+   seconds — happens exactly when no segment was ever finalized and no
+   call has been in the system for positive time.  Testing it this way
+   keeps the branch exact (no epsilon against float cancellation in the
+   aggregate); the O(calls) scan only runs while the controller has no
+   finalized history at all. *)
+let all_fresh t ~now =
+  t.hist_segments = 0
+  && Hashtbl.fold (fun _ st acc -> acc && now -. st.since <= 0.) t.calls true
+
+let solver_admit t ~capacity ~target ~n =
+  if Chernoff.Solver.n_levels t.solver = 0 then true
+  else begin
+    Chernoff.Solver.commit_weighted t.solver;
+    n + 1 <= Chernoff.Solver.max_calls t.solver ~capacity ~target
+  end
+
+let fast_admit t ~now ~capacity ~target =
+  let n = n_in_system t in
+  (match t.kind with
+  | Memory _ when not (all_fresh t ~now) -> load_history t ~now
+  | _ -> load_instantaneous t);
+  solver_admit t ~capacity ~target ~n
+
+(* --- legacy (seed) decision path ------------------------------------ *)
 
 let marginal_of_weights weights =
   (* [(rate, weight)] list with positive total -> normalized marginal. *)
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weights in
   assert (total > 0.);
-  let arr =
-    Array.of_list (List.map (fun (r, w) -> (w /. total, r)) weights)
-  in
+  let arr = Array.of_list (List.map (fun (r, w) -> (w /. total, r)) weights) in
   Array.sort (fun (_, a) (_, b) -> compare a b) arr;
   arr
 
@@ -41,11 +224,11 @@ let instantaneous_weights t =
 let history_weights t ~now =
   Hashtbl.fold
     (fun _ st acc ->
-      let acc =
-        Hashtbl.fold (fun rate secs acc -> (rate, secs) :: acc) st.history acc
-      in
+      let acc = ref acc in
+      Histogram.iter_support st.history (fun l secs ->
+          acc := (t.values.(l), secs) :: !acc);
       let ongoing = now -. st.since in
-      if ongoing > 0. then (st.rate, ongoing) :: acc else acc)
+      if ongoing > 0. then (st.rate, ongoing) :: !acc else !acc)
     t.calls []
 
 let chernoff_admit ~capacity ~target ~n weights =
@@ -55,14 +238,13 @@ let chernoff_admit ~capacity ~target ~n weights =
       let m = marginal_of_weights weights in
       n + 1 <= Chernoff.max_calls m ~capacity ~target
 
-let admit t ~now =
+let legacy_admit t ~now ~capacity ~target =
+  t.legacy_evals <- t.legacy_evals + 1;
   let n = n_in_system t in
   match t.kind with
-  | Always -> true
-  | Perfect { max_calls } -> n + 1 <= max_calls
-  | Memoryless { capacity; target } ->
-      chernoff_admit ~capacity ~target ~n (instantaneous_weights t)
-  | Memory { capacity; target } ->
+  | Always | Perfect _ -> assert false
+  | Memoryless _ -> chernoff_admit ~capacity ~target ~n (instantaneous_weights t)
+  | Memory _ ->
       let weights = history_weights t ~now in
       let weights =
         (* All-fresh calls have no elapsed time yet; fall back to their
@@ -73,39 +255,85 @@ let admit t ~now =
       in
       chernoff_admit ~capacity ~target ~n weights
 
-let on_admit t ~now ~call ~rate =
-  assert (not (Hashtbl.mem t.calls call));
-  Hashtbl.replace t.calls call
-    { rate; since = now; history = Hashtbl.create 8 }
+(* --- decisions ------------------------------------------------------ *)
 
-let on_renegotiate t ~now ~call ~rate =
-  match Hashtbl.find_opt t.calls call with
-  | None -> ()
-  | Some st ->
-      accumulate st ~now;
-      st.rate <- rate
+let record t verdict =
+  t.decisions <- t.decisions + 1;
+  if verdict then t.admits <- t.admits + 1;
+  (* Order-sensitive running hash of the admit/deny sequence, for
+     cheap cross-run and cross-[-j] identity checks. *)
+  t.decision_hash <-
+    ((t.decision_hash * 1_000_003) + (if verdict then 1 else 2)) land max_int;
+  verdict
 
-let on_depart t ~now ~call =
-  ignore now;
-  Hashtbl.remove t.calls call
+let admit t ~now =
+  match t.kind with
+  | Always -> record t true
+  | Perfect { max_calls } -> record t (n_in_system t + 1 <= max_calls)
+  | Memoryless { capacity; target } | Memory { capacity; target } -> (
+      match t.mode with
+      | Fast -> record t (fast_admit t ~now ~capacity ~target)
+      | Legacy -> record t (legacy_admit t ~now ~capacity ~target)
+      | Check ->
+          let fast = fast_admit t ~now ~capacity ~target in
+          let legacy = legacy_admit t ~now ~capacity ~target in
+          if fast <> legacy then t.mismatches <- t.mismatches + 1;
+          record t fast)
+
+(* --- debug: incremental aggregate vs from-scratch rebuild ----------- *)
+
+let debug_aggregate_deviation t ~now =
+  let rebuilt = Array.make (max 1 t.n_levels) 0. in
+  Hashtbl.iter
+    (fun _ st ->
+      Histogram.iter_support st.history (fun l w ->
+          rebuilt.(l) <- rebuilt.(l) +. w);
+      let ongoing = now -. st.since in
+      if ongoing > 0. then rebuilt.(st.level) <- rebuilt.(st.level) +. ongoing)
+    t.calls;
+  let dev = ref 0. in
+  for l = 0 to t.n_levels - 1 do
+    let incremental =
+      Histogram.weight t.hist l
+      +. (Histogram.weight t.cur_count l *. now)
+      -. Histogram.weight t.since_sum l
+    in
+    let scale = Float.max 1. (Float.max (Float.abs rebuilt.(l)) now) in
+    dev := Float.max !dev (Float.abs (incremental -. rebuilt.(l)) /. scale)
+  done;
+  !dev
+
+(* --- constructors --------------------------------------------------- *)
+
+let make ~name ~kind () =
+  {
+    name;
+    kind;
+    mode = Fast;
+    calls = Hashtbl.create 64;
+    values = Array.make 16 0.;
+    n_levels = 0;
+    level_of = Hashtbl.create 32;
+    hist = Histogram.create ~levels:16;
+    cur_count = Histogram.create ~levels:16;
+    since_sum = Histogram.create ~levels:16;
+    hist_segments = 0;
+    solver = Chernoff.Solver.create ();
+    decisions = 0;
+    admits = 0;
+    decision_hash = 0;
+    legacy_evals = 0;
+    mismatches = 0;
+  }
 
 let perfect ~descriptor ~capacity ~target =
   let max_calls = Descriptor.max_admissible descriptor ~capacity ~target in
-  { name = "perfect"; kind = Perfect { max_calls }; calls = Hashtbl.create 64 }
+  make ~name:"perfect" ~kind:(Perfect { max_calls }) ()
 
 let memoryless ~capacity ~target =
-  {
-    name = "memoryless";
-    kind = Memoryless { capacity; target };
-    calls = Hashtbl.create 64;
-  }
+  make ~name:"memoryless" ~kind:(Memoryless { capacity; target }) ()
 
 let memory ~capacity ~target =
-  {
-    name = "memory";
-    kind = Memory { capacity; target };
-    calls = Hashtbl.create 64;
-  }
+  make ~name:"memory" ~kind:(Memory { capacity; target }) ()
 
-let always_admit () =
-  { name = "always-admit"; kind = Always; calls = Hashtbl.create 64 }
+let always_admit () = make ~name:"always-admit" ~kind:Always ()

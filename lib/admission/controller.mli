@@ -15,16 +15,43 @@
       the system (the certainty-equivalent scheme shown not robust);
     - {!memory}: time-weighted histograms over the {e entire history} of
       every call currently in the system;
-    - {!always_admit}: no control, for baselines. *)
+    - {!always_admit}: no control, for baselines.
+
+    {1 The admission fast path (DESIGN.md §7)}
+
+    The measurement-based estimates are maintained incrementally: rates
+    are interned into a dense level table, and the controller keeps the
+    finalized-history histogram plus the count and summed segment start
+    time of the calls currently at each level, so that the time-weighted
+    aggregate at time [now] is [hist + cur_count*now - since_sum] per
+    level.  Arrival, renegotiation and departure each cost O(1)
+    histogram updates; a decision materializes the marginal in O(levels)
+    without allocation and runs it through a warm-started
+    {!Rcbr_effbw.Chernoff.Solver} owned by the controller.
+
+    The seed's from-scratch path — rebuild a per-call [(rate, weight)]
+    list and call the cold [Chernoff.max_calls] — is retained behind
+    {!mode} for cross-checking and benchmarking. *)
 
 type t
+
+type mode =
+  | Fast  (** incremental aggregates + warm-started solver (default) *)
+  | Legacy  (** from-scratch rebuild on every decision, as the seed did *)
+  | Check
+      (** run both, count disagreements in {!stats}, answer with [Fast] *)
+
+val mode : t -> mode
+val set_mode : t -> mode -> unit
+(** Controllers start in [Fast]; switch before feeding events. *)
 
 val name : t -> string
 
 val admit : t -> now:float -> bool
 (** Decision for a call arriving at [now], given the controller's
-    current knowledge.  Does not mutate state; the simulator follows up
-    with {!on_admit} only when the call is actually placed. *)
+    current knowledge.  Does not mutate admission state (only decision
+    counters); the simulator follows up with {!on_admit} only when the
+    call is actually placed. *)
 
 val on_admit : t -> now:float -> call:int -> rate:float -> unit
 val on_renegotiate : t -> now:float -> call:int -> rate:float -> unit
@@ -33,6 +60,26 @@ val on_renegotiate : t -> now:float -> call:int -> rate:float -> unit
 val on_depart : t -> now:float -> call:int -> unit
 
 val n_in_system : t -> int
+
+type stats = {
+  decisions : int;  (** {!admit} calls *)
+  admits : int;  (** of which answered [true] *)
+  decision_hash : int;
+      (** order-sensitive hash of the admit/deny sequence; equal hashes
+          across runs mean identical decision sequences *)
+  legacy_evals : int;  (** from-scratch rebuilds ([Legacy]/[Check]) *)
+  mismatches : int;  (** [Check]-mode fast/legacy disagreements *)
+  solver : Rcbr_effbw.Chernoff.Solver.stats;
+}
+
+val stats : t -> stats
+
+val debug_aggregate_deviation : t -> now:float -> float
+(** Maximum relative deviation, over levels, between the incremental
+    time-weighted aggregate and a from-scratch rebuild from the per-call
+    records at time [now].  Exact bookkeeping would give 0; float
+    summation order bounds it near machine epsilon.  O(calls x levels) —
+    debugging and property tests only. *)
 
 val perfect : descriptor:Descriptor.t -> capacity:float -> target:float -> t
 val memoryless : capacity:float -> target:float -> t

@@ -45,3 +45,74 @@ val max_calls : marginal -> capacity:float -> target:float -> int
 (** Formula (12) turned into an admission rule: the largest [n] such that
     [overflow_estimate ~n ~capacity_per_call:(capacity /. n) <= target].
     0 when even one call misses the target. *)
+
+(** Reusable warm-started solver — the admission fast path.
+
+    A solver owns a quantized log-MGF table (per-level bandwidth and
+    cached log-probability in flat arrays, refilled in place), an
+    allocation-free {!Solver.log_mgf}, and warm-start state for the
+    theta* bracket and the {!Solver.max_calls} integer search.
+
+    Numerical contract: for the same marginal, every solver query
+    returns the {e exact} float (and hence the exact admit/deny
+    decision) of the corresponding cold module-level function above.
+    The warm starts only change which intermediate points are probed:
+    the theta bracket walks to the same minimal power of two the cold
+    doubling scan finds (the set of decreasing-objective powers of two
+    is upward closed for a concave objective), and the integer search
+    gallops out from the previous answer before bisecting the same
+    monotone predicate.  When a hint is wrong the search degrades to the
+    cold scan, never to a different answer.
+
+    Typical uses: an admission controller loads the current aggregate
+    histogram into its solver before every decision (see
+    [Rcbr_admission.Controller]); a capacity sweep builds one solver per
+    marginal and reuses it across all [n] / capacity / target queries. *)
+module Solver : sig
+  type t
+
+  val create : unit -> t
+  (** Empty solver; load a distribution before querying. *)
+
+  val of_marginal : marginal -> t
+  val set_marginal : t -> marginal -> unit
+  (** Refill the table from a validated marginal (entries with [p = 0]
+      are skipped), keeping warm-start state and scratch storage. *)
+
+  val reset : t -> unit
+  (** Begin an incremental weighted load: {!reset}, then {!push} each
+      (level, weight) pair, then {!commit_weighted}. *)
+
+  val push : t -> level:float -> weight:float -> unit
+  (** Append a level with a raw nonnegative weight; zero-weight levels
+      are skipped.  Only valid between {!reset} and {!commit_weighted}. *)
+
+  val commit_weighted : t -> unit
+  (** Normalize the pushed weights into probabilities (requires positive
+      total weight) and finish the load. *)
+
+  val n_levels : t -> int
+  val mean : t -> float
+  val max_level : t -> float
+
+  val log_mgf : t -> theta:float -> float
+  (** Bit-identical to {!val:log_mgf} on the loaded distribution;
+      allocation-free. *)
+
+  val rate_function : t -> float -> float
+  val overflow_estimate : t -> n:int -> capacity_per_call:float -> float
+  val capacity_for_target : ?tol:float -> t -> n:int -> target:float -> float
+
+  val max_calls : t -> capacity:float -> target:float -> int
+  (** Warm-started admission limit; equal to {!val:max_calls} on the
+      loaded distribution for every (capacity, target). *)
+
+  type stats = {
+    mgf_evals : int;  (** log-MGF evaluations (the innermost kernel) *)
+    fits_evals : int;  (** admission-predicate probes across searches *)
+    queries : int;  (** rate-function queries *)
+  }
+
+  val stats : t -> stats
+  (** Cumulative counters since {!create}; cheap to read. *)
+end

@@ -54,6 +54,7 @@ type metrics = {
   signalling_dropped : int;
   signalling_retransmits : int;
   signalling_abandoned : int;
+  admission : Controller.stats;
 }
 
 (* The (duration_s, rate) pieces of a schedule started at a circular
@@ -283,6 +284,7 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
     signalling_dropped = !sig_dropped;
     signalling_retransmits = !sig_retx;
     signalling_abandoned = !sig_abandoned;
+    admission = Controller.stats controller;
   }
 
 let run (c : config) ~controller =

@@ -76,6 +76,12 @@ type metrics = {
   signalling_dropped : int;  (** RM cells lost to the fault plan; 0 without faults *)
   signalling_retransmits : int;
   signalling_abandoned : int;  (** changes applied only after give-up *)
+  admission : Rcbr_admission.Controller.stats;
+      (** the controller's decision and solver counters at the end of
+          the run — in particular [decision_hash], an order-sensitive
+          hash of the admit/deny sequence used to check that runs are
+          bit-identical across [-j] and across the fast/legacy admission
+          paths *)
 }
 
 val run : config -> controller:Rcbr_admission.Controller.t -> metrics

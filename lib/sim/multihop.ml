@@ -105,8 +105,52 @@ let run_faulty bc fc =
   let crash_denials = ref 0 and invariant_failures = ref 0 in
   let applies = ref 0 in
   let n_slots = Schedule.n_slots c.schedule in
+  (* The fault plan is fixed for the whole run, so compile the crash
+     list into per-hop start-sorted arrays of merged [at, recover)
+     blackout windows once: the per-renegotiation liveness check is
+     then a binary search over that hop's windows instead of a scan of
+     the whole plan on every hop of every attempt.  Merging overlapping
+     windows keeps the membership test equal to the original
+     [List.exists]. *)
+  let crash_table =
+    let tbl = Array.make c.hops [||] in
+    if fc.crashes <> [] then begin
+      let per_hop = Array.make c.hops [] in
+      List.iter
+        (fun (h, a, r) ->
+          if h >= 0 && h < c.hops && r > a then
+            per_hop.(h) <- (a, r) :: per_hop.(h))
+        fc.crashes;
+      Array.iteri
+        (fun h windows ->
+          let windows = List.sort compare windows in
+          let merged =
+            List.fold_left
+              (fun acc (a, r) ->
+                match acc with
+                | (a0, r0) :: rest when a <= r0 ->
+                    (a0, Float.max r0 r) :: rest
+                | _ -> (a, r) :: acc)
+              [] windows
+          in
+          tbl.(h) <- Array.of_list (List.rev merged))
+        per_hop
+    end;
+    tbl
+  in
   let hop_down h now =
-    List.exists (fun (ch, a, r) -> ch = h && now >= a && now < r) fc.crashes
+    let windows = crash_table.(h) in
+    let n = Array.length windows in
+    n > 0
+    && begin
+         (* Rightmost window starting at or before [now]. *)
+         let lo = ref 0 and hi = ref n in
+         while !lo < !hi do
+           let mid = (!lo + !hi) / 2 in
+           if fst windows.(mid) <= now then lo := mid + 1 else hi := mid
+         done;
+         !lo > 0 && now < snd windows.(!lo - 1)
+       end
   in
   let fits call new_rate ~now =
     let delta = new_rate -. call.rate in

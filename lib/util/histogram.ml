@@ -1,51 +1,101 @@
-type t = { w : float array }
+type t = { mutable w : float array; mutable levels : int }
 
 let create ~levels =
   assert (levels > 0);
-  { w = Array.make levels 0. }
+  { w = Array.make levels 0.; levels }
 
-let levels t = Array.length t.w
+let levels t = t.levels
+
+let ensure t ~levels =
+  assert (levels >= 0);
+  if levels > t.levels then begin
+    if levels > Array.length t.w then begin
+      let cap = max levels (2 * Array.length t.w) in
+      let w = Array.make cap 0. in
+      Array.blit t.w 0 w 0 t.levels;
+      t.w <- w
+    end;
+    (* Slots between the old and new level count may hold stale values
+       from a previous [ensure]-shrink cycle; they do not, because the
+       array only ever grows and new cells start at 0. *)
+    t.levels <- levels
+  end
 
 let add t level x =
   assert (x >= 0.);
+  ensure t ~levels:(level + 1);
   t.w.(level) <- t.w.(level) +. x
 
-let weight t level = t.w.(level)
-let total t = Array.fold_left ( +. ) 0. t.w
+let sub t level x =
+  assert (x >= 0. && level < t.levels);
+  t.w.(level) <- t.w.(level) -. x
+
+let set t level x =
+  ensure t ~levels:(level + 1);
+  t.w.(level) <- x
+
+let weight t level = if level < t.levels then t.w.(level) else 0.
+
+let total t =
+  let acc = ref 0. in
+  for i = 0 to t.levels - 1 do
+    acc := !acc +. t.w.(i)
+  done;
+  !acc
+
+let clear t =
+  for i = 0 to t.levels - 1 do
+    t.w.(i) <- 0.
+  done
 
 let merge a b =
   assert (levels a = levels b);
-  { w = Array.mapi (fun i x -> x +. b.w.(i)) a.w }
+  { w = Array.init a.levels (fun i -> a.w.(i) +. b.w.(i)); levels = a.levels }
+
+let add_weighted ~into ?(scale = 1.) src =
+  assert (scale >= 0.);
+  ensure into ~levels:src.levels;
+  for i = 0 to src.levels - 1 do
+    into.w.(i) <- into.w.(i) +. (scale *. src.w.(i))
+  done
 
 let scale t k =
   assert (k >= 0.);
-  { w = Array.map (fun x -> x *. k) t.w }
+  { w = Array.init t.levels (fun i -> t.w.(i) *. k); levels = t.levels }
 
 let to_distribution t =
   let s = total t in
   assert (s > 0.);
-  Array.map (fun x -> x /. s) t.w
+  Array.init t.levels (fun i -> t.w.(i) /. s)
 
 let of_distribution p =
   Array.iter (fun x -> assert (x >= 0.)) p;
-  { w = Array.copy p }
+  { w = Array.copy p; levels = Array.length p }
 
 let mean_level_value t ~values =
-  let p = to_distribution t in
+  let s = total t in
+  assert (s > 0.);
   let acc = ref 0. in
-  Array.iteri (fun i pi -> acc := !acc +. (pi *. values.(i))) p;
+  for i = 0 to t.levels - 1 do
+    acc := !acc +. (t.w.(i) /. s *. values.(i))
+  done;
   !acc
+
+let iter_support t f =
+  for i = 0 to t.levels - 1 do
+    if t.w.(i) > 0. then f i t.w.(i)
+  done
 
 let support t =
   let rec collect i acc =
     if i < 0 then acc
     else collect (i - 1) (if t.w.(i) > 0. then i :: acc else acc)
   in
-  collect (Array.length t.w - 1) []
+  collect (t.levels - 1) []
 
 let pp fmt t =
   Format.fprintf fmt "@[<h>[";
-  Array.iteri
-    (fun i x -> if x > 0. then Format.fprintf fmt " %d:%.4g" i x)
-    t.w;
+  for i = 0 to t.levels - 1 do
+    if t.w.(i) > 0. then Format.fprintf fmt " %d:%.4g" i t.w.(i)
+  done;
   Format.fprintf fmt " ]@]"

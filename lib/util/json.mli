@@ -1,9 +1,10 @@
-(** Minimal JSON emitter for the benchmark trajectory files.
+(** Minimal JSON emitter and parser for the benchmark trajectory files.
 
-    Write-only on purpose: the repository has no JSON dependency and the
-    [BENCH_*.json] records only need serialization.  Floats use the
-    shortest decimal representation that round-trips; NaN and infinities
-    (which JSON cannot express) become [null]. *)
+    The repository has no JSON dependency: the [BENCH_*.json] records
+    only need serialization plus enough parsing for the regression
+    comparator ([bench/compare.ml]) to read committed baselines back.
+    Floats use the shortest decimal representation that round-trips; NaN
+    and infinities (which JSON cannot express) become [null]. *)
 
 type t =
   | Null
@@ -18,3 +19,18 @@ val to_string : t -> string
 
 val save : t -> string -> unit
 (** [save v path] writes [to_string v] plus a trailing newline. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse one JSON value (the whole string).  Numbers without fraction
+    or exponent become [Int], others [Float]; [\u] escapes are decoded
+    in the Latin-1 range (all the emitter produces).  Raises
+    {!Parse_error} on malformed input. *)
+
+val load : string -> t
+(** {!parse} the contents of a file. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key]; [None] on
+    missing keys and non-objects. *)

@@ -150,6 +150,106 @@ let test_departure_bookkeeping () =
   Controller.on_renegotiate ctl ~now:2. ~call:99 ~rate:50.;
   Alcotest.(check int) "still one" 1 (Controller.n_in_system ctl)
 
+(* --- Fast path: modes, stats, and incremental-vs-rebuild identity --- *)
+
+let test_mode_switch () =
+  let ctl = Controller.memory ~capacity:100. ~target:1e-3 in
+  Alcotest.(check bool) "starts fast" true (Controller.mode ctl = Controller.Fast);
+  Controller.set_mode ctl Controller.Legacy;
+  Alcotest.(check bool) "switched" true (Controller.mode ctl = Controller.Legacy)
+
+let test_stats_counting () =
+  let ctl = Controller.memoryless ~capacity:100. ~target:1e-3 in
+  let h0 = (Controller.stats ctl).Controller.decision_hash in
+  ignore (Controller.admit ctl ~now:0.);
+  Controller.on_admit ctl ~now:0. ~call:1 ~rate:10.;
+  ignore (Controller.admit ctl ~now:1.);
+  let st = Controller.stats ctl in
+  Alcotest.(check int) "decisions" 2 st.Controller.decisions;
+  Alcotest.(check int) "admits" 2 st.Controller.admits;
+  Alcotest.(check bool) "hash moved" true (st.Controller.decision_hash <> h0);
+  Alcotest.(check int) "no legacy evals in fast mode" 0
+    st.Controller.legacy_evals;
+  Alcotest.(check bool) "solver worked" true
+    (st.Controller.solver.Chernoff.Solver.fits_evals > 0)
+
+(* A deterministic interpreter for abstract event scripts, so the same
+   script can drive several controllers and qcheck can shrink it.  Each
+   step advances time and either admits a new call, renegotiates or
+   departs a random live call, or just asks for a decision. *)
+let rates = [| 10.; 20.; 40.; 80. |]
+
+let apply_script ctl script =
+  let next = ref 0 and active = ref [] and now = ref 0. in
+  List.iter
+    (fun (op, a) ->
+      now := !now +. 0.25 +. (0.5 *. float_of_int (a mod 7));
+      match op with
+      | 0 ->
+          if Controller.admit ctl ~now:!now then begin
+            incr next;
+            Controller.on_admit ctl ~now:!now ~call:!next ~rate:rates.(a mod 4);
+            active := !next :: !active
+          end
+      | 1 -> (
+          match !active with
+          | [] -> ()
+          | calls ->
+              let call = List.nth calls (a mod List.length calls) in
+              Controller.on_renegotiate ctl ~now:!now ~call ~rate:rates.(a mod 4))
+      | 2 -> (
+          match !active with
+          | [] -> ()
+          | calls ->
+              let call = List.nth calls (a mod List.length calls) in
+              Controller.on_depart ctl ~now:!now ~call;
+              active := List.filter (fun c -> c <> call) !active)
+      | _ -> ignore (Controller.admit ctl ~now:!now))
+    script;
+  !now
+
+let script_gen =
+  QCheck.Gen.(
+    list_size (int_range 5 80) (pair (int_range 0 3) (int_range 0 1000)))
+
+let prop_incremental_equals_rebuild =
+  (* Property (a): after any event sequence, the incrementally
+     maintained time-weighted aggregate matches a from-scratch rebuild
+     from the per-call records to within float roundoff. *)
+  QCheck.Test.make ~name:"incremental aggregate equals rebuild" ~count:200
+    (QCheck.make script_gen) (fun script ->
+      let ctl = Controller.memory ~capacity:150. ~target:1e-3 in
+      let now = apply_script ctl script in
+      Controller.debug_aggregate_deviation ctl ~now <= 1e-9)
+
+let prop_fast_equals_legacy =
+  (* The fast path must reproduce the seed's decision sequence bit for
+     bit: same script, same admit/deny hash, for both measurement-based
+     schemes. *)
+  let scheme =
+    QCheck.Gen.(oneofl [ Controller.memory; Controller.memoryless ])
+  in
+  QCheck.Test.make ~name:"fast and legacy decisions identical" ~count:150
+    (QCheck.make QCheck.Gen.(pair scheme script_gen)) (fun (make, script) ->
+      let fast = make ~capacity:150. ~target:1e-3 in
+      let legacy = make ~capacity:150. ~target:1e-3 in
+      Controller.set_mode legacy Controller.Legacy;
+      ignore (apply_script fast script);
+      ignore (apply_script legacy script);
+      let sf = Controller.stats fast and sl = Controller.stats legacy in
+      sf.Controller.decisions = sl.Controller.decisions
+      && sf.Controller.decision_hash = sl.Controller.decision_hash)
+
+let prop_check_mode_no_mismatch =
+  QCheck.Test.make ~name:"check mode finds no mismatches" ~count:150
+    (QCheck.make script_gen) (fun script ->
+      let ctl = Controller.memory ~capacity:150. ~target:1e-3 in
+      Controller.set_mode ctl Controller.Check;
+      ignore (apply_script ctl script);
+      let st = Controller.stats ctl in
+      st.Controller.mismatches = 0
+      && st.Controller.legacy_evals = st.Controller.decisions)
+
 let () =
   Alcotest.run "rcbr_admission"
     [
@@ -176,4 +276,16 @@ let () =
           Alcotest.test_case "departure bookkeeping" `Quick
             test_departure_bookkeeping;
         ] );
+      ( "fast path",
+        [
+          Alcotest.test_case "mode switch" `Quick test_mode_switch;
+          Alcotest.test_case "stats counting" `Quick test_stats_counting;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_incremental_equals_rebuild;
+            prop_fast_equals_legacy;
+            prop_check_mode_no_mismatch;
+          ] );
     ]

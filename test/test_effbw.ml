@@ -242,6 +242,82 @@ let test_max_calls_zero_capacity () =
   Alcotest.(check int) "no capacity, no calls" 0
     (Chernoff.max_calls m ~capacity:0.5 ~target:1e-3)
 
+(* --- Chernoff.Solver: warm-started fast path --- *)
+
+module Solver = Chernoff.Solver
+
+let test_solver_matches_cold () =
+  (* Every solver query must return the exact float of the cold
+     module-level function — this is the numerical contract the
+     admission fast path relies on. *)
+  let m = simple_marginal () in
+  let s = Solver.of_marginal m in
+  Alcotest.(check int) "levels" 2 (Solver.n_levels s);
+  check_close 0. "mean" (Chernoff.mean m) (Solver.mean s);
+  check_close 0. "max level" (Chernoff.max_level m) (Solver.max_level s);
+  List.iter
+    (fun theta ->
+      check_close 0. "log mgf bit-identical" (Chernoff.log_mgf m ~theta)
+        (Solver.log_mgf s ~theta))
+    [ 0.; 0.3; 1.; 2. ];
+  List.iter
+    (fun c ->
+      check_close 0. "rate function bit-identical"
+        (Chernoff.rate_function m c) (Solver.rate_function s c))
+    [ 1.5; 2.5; 4.; 5. ];
+  check_close 0. "overflow bit-identical"
+    (Chernoff.overflow_estimate m ~n:20 ~capacity_per_call:4.)
+    (Solver.overflow_estimate s ~n:20 ~capacity_per_call:4.);
+  check_close 0. "capacity bit-identical"
+    (Chernoff.capacity_for_target m ~n:50 ~target:1e-6)
+    (Solver.capacity_for_target s ~n:50 ~target:1e-6)
+
+let test_solver_max_calls_warm () =
+  (* Repeated queries exercise the warm-started integer search; each
+     answer must equal the cold bisection. *)
+  let m = simple_marginal () in
+  let s = Solver.of_marginal m in
+  List.iter
+    (fun (capacity, target) ->
+      Alcotest.(check int)
+        (Printf.sprintf "capacity %.0f target %g" capacity target)
+        (Chernoff.max_calls m ~capacity ~target)
+        (Solver.max_calls s ~capacity ~target))
+    [
+      (100., 1e-3); (100., 1e-3); (101., 1e-3); (99., 1e-3); (200., 1e-3);
+      (50., 1e-3); (100., 1e-6); (100., 1e-2); (0.5, 1e-3); (1000., 1e-4);
+    ]
+
+let test_solver_weighted_load () =
+  (* reset/push/commit_weighted must normalize raw weights into the same
+     distribution as the cold marginal. *)
+  let s = Solver.create () in
+  Solver.reset s;
+  Solver.push s ~level:1. ~weight:7.;
+  Solver.push s ~level:3. ~weight:0.;
+  (* zero weight skipped *)
+  Solver.push s ~level:5. ~weight:3.;
+  Solver.commit_weighted s;
+  Alcotest.(check int) "zero-weight level skipped" 2 (Solver.n_levels s);
+  let m = simple_marginal () in
+  check_close 0. "normalized mean" (Chernoff.mean m) (Solver.mean s);
+  Alcotest.(check int) "same admission limit"
+    (Chernoff.max_calls m ~capacity:100. ~target:1e-3)
+    (Solver.max_calls s ~capacity:100. ~target:1e-3)
+
+let test_solver_set_marginal_reuse () =
+  (* Reloading a solver must not leak state from the previous marginal. *)
+  let s = Solver.of_marginal [| (0.5, 1.); (0.5, 9.) |] in
+  ignore (Solver.max_calls s ~capacity:80. ~target:1e-4);
+  let m = simple_marginal () in
+  Solver.set_marginal s m;
+  Alcotest.(check int) "fresh answer after reload"
+    (Chernoff.max_calls m ~capacity:80. ~target:1e-4)
+    (Solver.max_calls s ~capacity:80. ~target:1e-4);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "counters accumulate" true
+    (st.Solver.mgf_evals > 0 && st.Solver.fits_evals > 0)
+
 (* --- Properties --- *)
 
 let marginal_gen =
@@ -269,6 +345,29 @@ let prop_overflow_decreasing_in_c =
       let c2 = mu +. (0.6 *. (top -. mu)) in
       Chernoff.overflow_estimate m ~n:20 ~capacity_per_call:c2
       <= Chernoff.overflow_estimate m ~n:20 ~capacity_per_call:c1 +. 1e-12)
+
+let prop_solver_decisions_equal_cold =
+  (* Property (b) of the admission fast path: a single warm solver
+     answering a random query sequence gives the same admission limits
+     as the cold bisection for every query — warm starts change probe
+     points, never answers. *)
+  let gen =
+    QCheck.Gen.(
+      let* m = marginal_gen in
+      let* queries =
+        list_size (int_range 1 20)
+          (pair (float_range 0.5 500.) (oneofl [ 1e-2; 1e-3; 1e-4; 1e-6 ]))
+      in
+      return (m, queries))
+  in
+  QCheck.Test.make ~name:"warm solver equals cold max_calls" ~count:100
+    (QCheck.make gen) (fun (m, queries) ->
+      let s = Chernoff.Solver.of_marginal m in
+      List.for_all
+        (fun (capacity, target) ->
+          Chernoff.Solver.max_calls s ~capacity ~target
+          = Chernoff.max_calls m ~capacity ~target)
+        queries)
 
 let prop_eb_between_mean_and_peak =
   QCheck.Test.make ~name:"effective bandwidth in [mean, peak]" ~count:100
@@ -327,11 +426,20 @@ let () =
           Alcotest.test_case "max calls zero capacity" `Quick
             test_max_calls_zero_capacity;
         ] );
+      ( "solver",
+        [
+          Alcotest.test_case "matches cold" `Quick test_solver_matches_cold;
+          Alcotest.test_case "warm max calls" `Quick test_solver_max_calls_warm;
+          Alcotest.test_case "weighted load" `Quick test_solver_weighted_load;
+          Alcotest.test_case "set_marginal reuse" `Quick
+            test_solver_set_marginal_reuse;
+        ] );
       ( "properties",
         q
           [
             prop_rate_function_nonneg;
             prop_overflow_decreasing_in_c;
             prop_eb_between_mean_and_peak;
+            prop_solver_decisions_equal_cold;
           ] );
     ]

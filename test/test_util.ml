@@ -229,6 +229,57 @@ let test_histogram_mean_value () =
   let h = Histogram.of_distribution [| 0.5; 0.5 |] in
   check_float "mean value" 15. (Histogram.mean_level_value h ~values:[| 10.; 20. |])
 
+let test_histogram_grow_in_place () =
+  let h = Histogram.create ~levels:1 in
+  Histogram.ensure h ~levels:3;
+  Alcotest.(check int) "ensured" 3 (Histogram.levels h);
+  Histogram.ensure h ~levels:2;
+  Alcotest.(check int) "never shrinks" 3 (Histogram.levels h);
+  (* add/set beyond the current size grow on demand. *)
+  Histogram.add h 5 2.;
+  Alcotest.(check bool) "grown by add" true (Histogram.levels h >= 6);
+  check_float "added" 2. (Histogram.weight h 5);
+  Histogram.set h 7 4.;
+  check_float "set grew" 4. (Histogram.weight h 7);
+  Histogram.set h 5 1.;
+  check_float "set overwrites" 1. (Histogram.weight h 5);
+  check_float "out of range is 0" 0. (Histogram.weight h 100)
+
+let test_histogram_sub_clear () =
+  let h = Histogram.of_distribution [| 3.; 1. |] in
+  Histogram.sub h 0 2.;
+  check_float "subtracted" 1. (Histogram.weight h 0);
+  Histogram.clear h;
+  check_float "cleared total" 0. (Histogram.total h);
+  Alcotest.(check int) "storage kept" 2 (Histogram.levels h)
+
+let test_histogram_add_weighted () =
+  let into = Histogram.of_distribution [| 1.; 2. |] in
+  let src = Histogram.of_distribution [| 10.; 0.; 5. |] in
+  Histogram.add_weighted ~into ~scale:0.5 src;
+  check_float "scaled into 0" 6. (Histogram.weight into 0);
+  check_float "untouched level" 2. (Histogram.weight into 1);
+  check_float "into grew" 2.5 (Histogram.weight into 2);
+  (* Default scale is 1 and must match merge. *)
+  let a = Histogram.of_distribution [| 1.; 2. |] in
+  let b = Histogram.of_distribution [| 3.; 4. |] in
+  let m = Histogram.merge a b in
+  Histogram.add_weighted ~into:a b;
+  check_float "matches merge 0" (Histogram.weight m 0) (Histogram.weight a 0);
+  check_float "matches merge 1" (Histogram.weight m 1) (Histogram.weight a 1)
+
+let test_histogram_iter_support () =
+  let h = Histogram.of_distribution [| 0.; 2.; 0.; 1. |] in
+  let seen = ref [] in
+  Histogram.iter_support h (fun level w -> seen := (level, w) :: !seen);
+  Alcotest.(check (list (pair int (float 1e-12))))
+    "positive levels ascending"
+    [ (1, 2.); (3, 1.) ]
+    (List.rev !seen);
+  (* iter_support agrees with support on the visited set. *)
+  Alcotest.(check (list int)) "same as support" (Histogram.support h)
+    (List.rev_map fst !seen)
+
 (* --- Numeric --- *)
 
 let test_bisect_sqrt () =
@@ -526,6 +577,10 @@ let () =
           Alcotest.test_case "distribution" `Quick test_histogram_distribution;
           Alcotest.test_case "merge/scale" `Quick test_histogram_merge_scale;
           Alcotest.test_case "mean value" `Quick test_histogram_mean_value;
+          Alcotest.test_case "grow in place" `Quick test_histogram_grow_in_place;
+          Alcotest.test_case "sub/clear" `Quick test_histogram_sub_clear;
+          Alcotest.test_case "add_weighted" `Quick test_histogram_add_weighted;
+          Alcotest.test_case "iter_support" `Quick test_histogram_iter_support;
         ] );
       ( "numeric",
         [

@@ -45,6 +45,7 @@ module Descriptor = Rcbr_admission.Descriptor
 module Rng = Rcbr_util.Rng
 module Pool = Rcbr_util.Pool
 module Json = Rcbr_util.Json
+module Tables = Rcbr_util.Tables
 
 let pf = Format.printf
 
@@ -640,22 +641,21 @@ let micro ctx =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   pf "@.kernel timings (OLS estimate of one run):@.";
   let rows =
-    Hashtbl.fold
-      (fun name est acc ->
-        match Analyze.OLS.estimates est with
-        | Some [ ns ] -> (name, ns) :: acc
-        | _ -> (name, nan) :: acc)
-      results []
+    (* Name-sorted traversal; same order the old fold-then-sort gave. *)
+    Tables.sorted_bindings results
+    |> List.map (fun (name, est) ->
+           match Analyze.OLS.estimates est with
+           | Some [ ns ] -> (name, ns)
+           | _ -> (name, nan))
   in
   List.iter
     (fun (name, ns) ->
       if Float.is_nan ns then pf "  %-32s (no estimate)@." name
       else if ns > 1e6 then pf "  %-32s %12.3f ms@." name (ns /. 1e6)
       else pf "  %-32s %12.1f us@." name (ns /. 1e3))
-    (List.sort compare rows);
+    rows;
   emit ctx "bechamel_run_ns"
-    (Json.Obj
-       (List.map (fun (name, ns) -> (name, Json.Float ns)) (List.sort compare rows)))
+    (Json.Obj (List.map (fun (name, ns) -> (name, Json.Float ns)) rows))
 
 (* --- Extension experiments ------------------------------------------ *)
 
@@ -1060,10 +1060,9 @@ let mixture ctx =
     in
     fold 0.5 (Schedule.marginal ctx.schedule);
     fold 0.5 (Schedule.marginal news_sched);
-    let entries = Hashtbl.fold (fun r p acc -> (p, r) :: acc) table [] in
-    let arr = Array.of_list entries in
-    Array.sort (fun (_, a) (_, b) -> compare a b) arr;
-    arr
+    Tables.sorted_bindings ~compare:Float.compare table
+    |> List.map (fun (r, p) -> (p, r))
+    |> Array.of_list
   in
   let capacity = 16. *. ctx.mean in
   let mix_mean = Chernoff.mean mixture_marginal in

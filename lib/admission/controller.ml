@@ -192,6 +192,7 @@ let load_history t ~now =
    finalized history at all. *)
 let all_fresh t ~now =
   t.hist_segments = 0
+  (* lint: allow D002 — conjunction over all calls, order-independent *)
   && Hashtbl.fold (fun _ st acc -> acc && now -. st.since <= 0.) t.calls true
 
 let solver_admit t ~capacity ~target ~n =
@@ -215,13 +216,16 @@ let marginal_of_weights weights =
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weights in
   assert (total > 0.);
   let arr = Array.of_list (List.map (fun (r, w) -> (w /. total, r)) weights) in
-  Array.sort (fun (_, a) (_, b) -> compare a b) arr;
+  Array.sort (fun (_, a) (_, b) -> Float.compare a b) arr;
   arr
 
 let instantaneous_weights t =
+  (* lint: allow D002 — seed-exact bucket order; sorting would drift the
+     Legacy baseline's float-summation order *)
   Hashtbl.fold (fun _ st acc -> (st.rate, 1.) :: acc) t.calls []
 
 let history_weights t ~now =
+  (* lint: allow D002 — seed-exact bucket order, as above *)
   Hashtbl.fold
     (fun _ st acc ->
       let acc = ref acc in
@@ -284,7 +288,10 @@ let admit t ~now =
 
 let debug_aggregate_deviation t ~now =
   let rebuilt = Array.make (max 1 t.n_levels) 0. in
-  Hashtbl.iter
+  (* Iterate calls in sorted-id order so the rebuilt aggregate — a float
+     sum — is a pure function of the controller state, not of the
+     hashtable's bucket history. *)
+  Rcbr_util.Tables.iter_sorted
     (fun _ st ->
       Histogram.iter_support st.history (fun l w ->
           rebuilt.(l) <- rebuilt.(l) +. w);

@@ -17,7 +17,7 @@ type stats = {
 
 (* A generator produces the next cell arrival time of one source, or
    None when the source is done. *)
-type generator = { mutable next : (unit -> float option) }
+type generator = { next : unit -> float option }
 
 let paced_generator schedule ~offset ~duration =
   let segs = Schedule.segments schedule in
@@ -170,8 +170,7 @@ let simulate ~port_rate ?buffer_cells ~sources ~duration () =
   let p99 =
     if accepted = 0 then 0
     else begin
-      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) histogram [] in
-      let keys = List.sort compare keys in
+      let keys = Rcbr_util.Tables.sorted_keys histogram in
       let threshold = 0.99 *. float_of_int accepted in
       let rec scan acc = function
         | [] -> 0

@@ -91,7 +91,7 @@ let simulate ~policy ~grant ~buffer ~trace schedule =
   {
     bits_offered = !offered;
     bits_lost = !lost;
-    quality = (if !offered = 0. then 1. else !delivered_quality_bits /. !offered);
+    quality = (if Float.equal !offered 0. then 1. else !delivered_quality_bits /. !offered);
     attempts = !attempts;
     failures = !failures;
     max_backlog = !max_backlog;

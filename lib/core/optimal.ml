@@ -178,7 +178,7 @@ let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
         in
         incr expanded;
         let changes =
-          if src.lvl.(i) = target_lvl && extra = 0. then src.chg.(i)
+          if src.lvl.(i) = target_lvl && Float.equal extra 0. then src.chg.(i)
           else Some { at = t; level = target_lvl; prev = src.chg.(i) }
         in
         fr_push dst b (src.wt.(i) +. cost) target_lvl changes
@@ -310,13 +310,15 @@ let solve params trace = fst (solve_with_stats params trace)
    trace, so memoize the bisection.  Keyed by physical trace identity;
    guarded by a mutex so pool workers can share the cache (a lost race
    recomputes the same deterministic value, never a different one). *)
+(* lint: allow R001 — mutex-guarded memo cache; a lost race recomputes
+   the same deterministic value, never a different one *)
 let needed_rate_cache : (Trace.t * float * float) list ref = ref []
 let needed_rate_mutex = Mutex.create ()
 
 let needed_rate ~trace ~buffer =
   let lookup () =
     List.find_opt
-      (fun (t, b, _) -> t == trace && b = buffer)
+      (fun (t, b, _) -> t == trace && Float.equal b buffer)
       !needed_rate_cache
   in
   Mutex.lock needed_rate_mutex;

@@ -110,14 +110,11 @@ let marginal t =
       Hashtbl.replace table seg.rate (prev + lengths.(i)))
     t.segments;
   let total = float_of_int t.n_slots in
-  let entries =
-    Hashtbl.fold
-      (fun rate slots acc -> (float_of_int slots /. total, rate) :: acc)
-      table []
-  in
-  let arr = Array.of_list entries in
-  Array.sort (fun (_, a) (_, b) -> compare a b) arr;
-  arr
+  (* Sorted-key traversal: ascending rate, exactly the order the old
+     fold-then-sort produced (rates are unique keys). *)
+  Rcbr_util.Tables.sorted_bindings ~compare:Float.compare table
+  |> List.map (fun (rate, slots) -> (float_of_int slots /. total, rate))
+  |> Array.of_list
 
 let shift t ~slots =
   let rates = to_rates t in

@@ -23,7 +23,7 @@ let max_level m =
 let log_mgf m ~theta =
   let terms =
     Array.map
-      (fun (p, e) -> if p = 0. then neg_infinity else log p +. (theta *. e))
+      (fun (p, e) -> if Float.equal p 0. then neg_infinity else log p +. (theta *. e))
       m
   in
   Rcbr_util.Numeric.log_sum_exp terms
@@ -43,13 +43,13 @@ let rate_function m c =
       hi := !hi *. 2.
     done;
     let theta_star = Numeric.golden_max ~f:objective 0. !hi in
-    max 0. (objective theta_star)
+    Float.max 0. (objective theta_star)
   end
 
 let overflow_estimate m ~n ~capacity_per_call =
   assert (n > 0);
   let i = rate_function m capacity_per_call in
-  if i = infinity then 0. else exp (-.float_of_int n *. i)
+  if Float.equal i infinity then 0. else exp (-.float_of_int n *. i)
 
 let capacity_for_target ?(tol = 1e-6) m ~n ~target =
   assert (target > 0. && target < 1.);
@@ -223,7 +223,7 @@ module Solver = struct
       if term > !m then m := term
     done;
     let m = !m in
-    if m = neg_infinity then neg_infinity
+    if Float.equal m neg_infinity then neg_infinity
     else begin
       let s = ref 0. in
       for i = 0 to t.n - 1 do
@@ -271,13 +271,13 @@ module Solver = struct
       let decreasing_at x = objective x < objective (0.99 *. x) in
       let hi = bracket t ~decreasing_at in
       let theta_star = Numeric.golden_max ~f:objective 0. hi in
-      max 0. (objective theta_star)
+      Float.max 0. (objective theta_star)
     end
 
   let overflow_estimate t ~n ~capacity_per_call =
     assert (n > 0);
     let i = rate_function t capacity_per_call in
-    if i = infinity then 0. else exp (-.float_of_int n *. i)
+    if Float.equal i infinity then 0. else exp (-.float_of_int n *. i)
 
   let capacity_for_target ?(tol = 1e-6) t ~n ~target =
     assert (target > 0. && target < 1.);

@@ -6,7 +6,7 @@ module Chain = Rcbr_markov.Chain
 
 let log_mgf source ~theta =
   assert (Float.is_finite theta);
-  if theta = 0. then 0.
+  if Float.equal theta 0. then 0.
   else begin
     let rates = Modulated.rates source in
     let p = Chain.matrix (Modulated.chain source) in
@@ -35,7 +35,7 @@ let subchain_equivalent_bandwidths ms ~buffer ~target_loss =
       equivalent_bandwidth sub ~buffer ~target_loss)
 
 let multiscale_equivalent_bandwidth ms ~buffer ~target_loss =
-  Array.fold_left max 0.
+  Array.fold_left Float.max 0.
     (subchain_equivalent_bandwidths ms ~buffer ~target_loss)
 
 let decay_rate source ~rate =

@@ -19,7 +19,7 @@ type t = { seed : int; links : link array; crashes : crash list }
 let null ~hops = { seed = 0; links = Array.make hops reliable; crashes = [] }
 
 let link_is_reliable l =
-  l.drop = 0. && l.duplicate = 0. && l.reorder = 0. && l.delay = 0.
+  Float.equal l.drop 0. && Float.equal l.duplicate 0. && Float.equal l.reorder 0. && Float.equal l.delay 0.
 
 let is_null t = t.crashes = [] && Array.for_all link_is_reliable t.links
 

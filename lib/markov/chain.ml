@@ -44,7 +44,7 @@ let stationary t =
   b.(n - 1) <- 1.;
   let pi = Matrix.solve (Matrix.of_rows a) b in
   (* Numerical noise can leave tiny negatives; clean and renormalize. *)
-  let pi = Array.map (fun x -> max 0. x) pi in
+  let pi = Array.map (fun x -> Float.max 0. x) pi in
   let s = Array.fold_left ( +. ) 0. pi in
   Array.map (fun x -> x /. s) pi
 

@@ -17,7 +17,7 @@ let mean_rate t =
   Array.iteri (fun i p -> acc := !acc +. (p *. t.rates.(i))) pi;
   !acc
 
-let peak_rate t = Array.fold_left max 0. t.rates
+let peak_rate t = Array.fold_left Float.max 0. t.rates
 
 let stationary_init t rng = Rng.choose rng (Chain.stationary t.chain)
 

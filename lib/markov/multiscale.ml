@@ -15,7 +15,7 @@ let create subchains ~eps =
   Array.iteri
     (fun i row ->
       assert (Array.length row = k);
-      assert (row.(i) = 0.);
+      assert (Float.equal row.(i) 0.);
       let sum = Array.fold_left ( +. ) 0. row in
       Array.iter (fun x -> assert (x >= 0.)) row;
       assert (sum < 1.))
@@ -63,7 +63,7 @@ let mean_rate t =
 
 let peak_rate t =
   Array.fold_left
-    (fun acc sc -> max acc (Array.fold_left max 0. sc.rates))
+    (fun acc sc -> Float.max acc (Array.fold_left Float.max 0. sc.rates))
     0. t.subchains
 
 let marginal t =

@@ -10,7 +10,7 @@ type result = {
 }
 
 let loss_fraction r =
-  if r.bits_offered = 0. then 0. else r.bits_lost /. r.bits_offered
+  if Float.equal r.bits_offered 0. then 0. else r.bits_lost /. r.bits_offered
 
 let create ~capacity =
   assert (capacity >= 0.);
@@ -28,7 +28,7 @@ let offer t bits =
 
 let drain t bits =
   assert (bits >= 0.);
-  t.backlog <- max 0. (t.backlog -. bits)
+  t.backlog <- Float.max 0. (t.backlog -. bits)
 
 let reset t = t.backlog <- 0.
 
@@ -42,8 +42,8 @@ let run_per_slot ~capacity ~slots ~arrival ~drain_per_slot =
     let bits = arrival i in
     offered := !offered +. bits;
     let net = !backlog +. bits -. drain_per_slot i in
-    backlog := min capacity (max 0. net);
-    lost := !lost +. max 0. (net -. capacity);
+    backlog := Float.min capacity (Float.max 0. net);
+    lost := !lost +. Float.max 0. (net -. capacity);
     if !backlog > !peak then peak := !backlog
   done;
   {
@@ -63,8 +63,8 @@ let run_constant_array ~capacity ~per_slot frames =
     let bits = frames.(i) in
     offered := !offered +. bits;
     let net = !backlog +. bits -. per_slot in
-    backlog := min capacity (max 0. net);
-    lost := !lost +. max 0. (net -. capacity);
+    backlog := Float.min capacity (Float.max 0. net);
+    lost := !lost +. Float.max 0. (net -. capacity);
     if !backlog > !peak then peak := !backlog
   done;
   {

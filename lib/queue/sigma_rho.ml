@@ -6,7 +6,7 @@ let loss_at ~trace ~buffer ~rate =
      finite session they count against the service, otherwise a huge
      buffer would let the minimum rate fall below the source mean. *)
   let r = Fluid.run_constant ~capacity:buffer ~rate trace in
-  if r.Fluid.bits_offered = 0. then 0.
+  if Float.equal r.Fluid.bits_offered 0. then 0.
   else (r.Fluid.bits_lost +. r.Fluid.final_backlog) /. r.Fluid.bits_offered
 
 let min_rate ?(tol = 1e-4) ~trace ~buffer ~target_loss () =
@@ -20,7 +20,7 @@ let min_buffer ?(tol = 1e-4) ~trace ~rate ~target_loss () =
   (* The max backlog of an infinite buffer bounds the needed size. *)
   let unlimited = Fluid.run_constant ~capacity:infinity ~rate trace in
   let hi = unlimited.Fluid.max_backlog in
-  if hi = 0. then 0.
+  if Float.equal hi 0. then 0.
   else
     let pred b = loss_at ~trace ~buffer:b ~rate <= target_loss in
     Numeric.find_min_such_that ~tol ~pred 0. hi

@@ -42,7 +42,7 @@ let peak_reserved t ~from_ ~until =
 
 let book t ~from_ ~until ~rate =
   assert (rate >= 0. && from_ < until);
-  if rate = 0. then true
+  if Float.equal rate 0. then true
   else if peak_reserved t ~from_ ~until +. rate > t.capacity +. 1e-9 then false
   else begin
     add_delta t from_ rate;

@@ -1,5 +1,6 @@
 module Schedule = Rcbr_core.Schedule
 module Fluid = Rcbr_queue.Fluid
+module Tables = Rcbr_util.Tables
 
 let remap f sched =
   let n = Schedule.n_slots sched in
@@ -20,8 +21,7 @@ let remap f sched =
   List.iter
     (fun s -> Hashtbl.replace table s.Schedule.start_slot s.Schedule.rate)
     moved;
-  let slots = Hashtbl.fold (fun k _ acc -> k :: acc) table [] in
-  let slots = List.sort_uniq compare slots in
+  let slots = Tables.sorted_keys table in
   let segs' =
     List.map
       (fun slot -> { Schedule.start_slot = slot; rate = Hashtbl.find table slot })

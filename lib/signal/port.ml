@@ -47,10 +47,10 @@ let process t cell =
   in
   if not t.up then `Denied
   else if change <= 0. || t.reserved +. change <= t.capacity then begin
-    t.reserved <- max 0. (t.reserved +. change);
+    t.reserved <- Float.max 0. (t.reserved +. change);
     (match t.mode with
     | Stateless -> ()
-    | Tracked -> Hashtbl.replace t.rates vci (max 0. (vci_rate t vci +. change)));
+    | Tracked -> Hashtbl.replace t.rates vci (Float.max 0. (vci_rate t vci +. change)));
     `Granted
   end
   else `Denied
@@ -87,7 +87,7 @@ let release t ~vci ~rate =
      may have drifted, and releasing the caller's figure would corrupt
      the other VCIs' share of the aggregate. *)
   let freed = match t.mode with Stateless -> rate | Tracked -> vci_rate t vci in
-  t.reserved <- max 0. (t.reserved -. freed);
+  t.reserved <- Float.max 0. (t.reserved -. freed);
   match t.mode with
   | Stateless -> ()
   | Tracked ->
@@ -112,5 +112,5 @@ let view t ~index =
     vci_rates =
       (match t.mode with
       | Stateless -> None
-      | Tracked -> Some (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.rates []));
+      | Tracked -> Some (Rcbr_util.Tables.sorted_bindings t.rates));
   }

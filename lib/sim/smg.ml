@@ -72,7 +72,7 @@ let shared_loss_of_aggregates c ~n aggregates capacity_per_stream =
            of the session were never delivered. *)
         acc
         +.
-        if r.Fluid.bits_offered = 0. then 0.
+        if Float.equal r.Fluid.bits_offered 0. then 0.
         else
           (r.Fluid.bits_lost +. r.Fluid.final_backlog) /. r.Fluid.bits_offered)
       0. aggregates
@@ -109,7 +109,7 @@ let profile_of_demand demand =
 let profile_loss p link_rate =
   (* Bits lost per slot are (demand - link)+; with the demand sorted
      descending, only a prefix exceeds the link. *)
-  if p.total = 0. then 0.
+  if Float.equal p.total 0. then 0.
   else begin
     let nslots = Array.length p.sorted in
     (* First index with sorted.(i) <= link_rate. *)
@@ -120,7 +120,7 @@ let profile_loss p link_rate =
     done;
     let k = !lo in
     let excess = p.prefix.(k) -. (float_of_int k *. link_rate) in
-    max 0. excess /. p.total
+    Float.max 0. excess /. p.total
   end
 
 let rcbr_profiles ?pool c ~n =

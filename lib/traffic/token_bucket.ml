@@ -10,7 +10,7 @@ let tokens t = t.tokens
 
 let refill t ~dt =
   assert (dt >= 0.);
-  t.tokens <- min t.depth (t.tokens +. (t.rate *. dt))
+  t.tokens <- Float.min t.depth (t.tokens +. (t.rate *. dt))
 
 let try_consume t bits =
   assert (bits >= 0.);
@@ -29,7 +29,7 @@ let conforming_fraction t ~trace =
     if try_consume t bits then conforming := !conforming +. bits
   done;
   let total = Trace.total_bits trace in
-  if total = 0. then 1. else !conforming /. total
+  if Float.equal total 0. then 1. else !conforming /. total
 
 let min_depth_for_trace trace ~rate =
   assert (rate >= 0.);
@@ -38,7 +38,7 @@ let min_depth_for_trace trace ~rate =
   let per_slot = rate /. Trace.fps trace in
   let backlog = ref 0. and peak = ref 0. in
   for i = 0 to Trace.length trace - 1 do
-    backlog := max 0. (!backlog +. Trace.frame trace i -. per_slot);
+    backlog := Float.max 0. (!backlog +. Trace.frame trace i -. per_slot);
     if !backlog > !peak then peak := !backlog
   done;
   !peak

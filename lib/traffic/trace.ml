@@ -31,7 +31,7 @@ let slot_duration t = 1. /. t.fps
 let duration t = float_of_int (length t) /. t.fps
 let total_bits t = t.prefix.(length t)
 let mean_rate t = total_bits t /. duration t
-let peak_rate t = Array.fold_left max 0. t.frames *. t.fps
+let peak_rate t = Array.fold_left Float.max 0. t.frames *. t.fps
 
 let window_max_bits t w =
   let n = length t in

@@ -25,10 +25,10 @@ let escape buf s =
 
 let float_repr x =
   (* JSON has no NaN/infinity; shortest decimal that round-trips. *)
-  if Float.is_nan x || Float.abs x = infinity then "null"
+  if Float.is_nan x || Float.equal (Float.abs x) infinity then "null"
   else
     let s = Printf.sprintf "%.12g" x in
-    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+    if Float.equal (float_of_string s) x then s else Printf.sprintf "%.17g" x
 
 let rec emit buf = function
   | Null -> Buffer.add_string buf "null"

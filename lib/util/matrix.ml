@@ -87,7 +87,7 @@ let solve a b =
     end;
     for r = col + 1 to n - 1 do
       let factor = m.(r).(col) /. m.(col).(col) in
-      if factor <> 0. then begin
+      if not (Float.equal factor 0.) then begin
         for c = col to n - 1 do
           m.(r).(c) <- m.(r).(c) -. (factor *. m.(col).(c))
         done;
@@ -128,12 +128,12 @@ let perron_root ?(tol = 1e-12) ?(max_iter = 10_000) t =
     end
     else begin
       let next = Array.map (fun x -> x /. norm) w in
-      if Float.abs (norm -. !lambda) <= tol *. max 1. norm then continue_ := false;
+      if Float.abs (norm -. !lambda) <= tol *. Float.max 1. norm then continue_ := false;
       lambda := norm;
       v := next
     end
   done;
-  max 0. (!lambda -. (eps *. float_of_int n))
+  Float.max 0. (!lambda -. (eps *. float_of_int n))
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>";

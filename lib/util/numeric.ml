@@ -1,18 +1,18 @@
 let bisect ?(tol = 1e-9) ?(max_iter = 200) ~f lo hi =
   let flo = f lo and fhi = f hi in
   assert (flo *. fhi <= 0.);
-  if flo = 0. then lo
-  else if fhi = 0. then hi
+  if Float.equal flo 0. then lo
+  else if Float.equal fhi 0. then hi
   else begin
     let lo = ref lo and hi = ref hi and flo = ref flo in
     let iter = ref 0 in
     let width () = !hi -. !lo in
-    let scale = max 1. (max (Float.abs !lo) (Float.abs !hi)) in
+    let scale = Float.max 1. (Float.max (Float.abs !lo) (Float.abs !hi)) in
     while width () > tol *. scale && !iter < max_iter do
       incr iter;
       let mid = 0.5 *. (!lo +. !hi) in
       let fmid = f mid in
-      if fmid = 0. then begin
+      if Float.equal fmid 0. then begin
         lo := mid;
         hi := mid
       end
@@ -31,7 +31,7 @@ let find_min_such_that ?(tol = 1e-9) ?(max_iter = 200) ~pred lo hi =
   else begin
     let lo = ref lo and hi = ref hi in
     let iter = ref 0 in
-    let scale = max 1. (max (Float.abs !lo) (Float.abs !hi)) in
+    let scale = Float.max 1. (Float.max (Float.abs !lo) (Float.abs !hi)) in
     while !hi -. !lo > tol *. scale && !iter < max_iter do
       incr iter;
       let mid = 0.5 *. (!lo +. !hi) in
@@ -47,7 +47,7 @@ let golden_max ?(tol = 1e-9) ?(max_iter = 200) ~f lo hi =
   let x2 = ref (!lo +. (phi *. (!hi -. !lo))) in
   let f1 = ref (f !x1) and f2 = ref (f !x2) in
   let iter = ref 0 in
-  let scale = max 1. (max (Float.abs !lo) (Float.abs !hi)) in
+  let scale = Float.max 1. (Float.max (Float.abs !lo) (Float.abs !hi)) in
   while !hi -. !lo > tol *. scale && !iter < max_iter do
     incr iter;
     if !f1 > !f2 then begin
@@ -69,12 +69,12 @@ let golden_max ?(tol = 1e-9) ?(max_iter = 200) ~f lo hi =
 
 let log_sum_exp xs =
   assert (Array.length xs > 0);
-  let m = Array.fold_left max neg_infinity xs in
-  if m = neg_infinity then neg_infinity
+  let m = Array.fold_left Float.max neg_infinity xs in
+  if Float.equal m neg_infinity then neg_infinity
   else
     let s = Array.fold_left (fun a x -> a +. exp (x -. m)) 0. xs in
     m +. log s
 
 let approx_equal ?(eps = 1e-9) a b =
-  let scale = max 1. (max (Float.abs a) (Float.abs b)) in
+  let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
   Float.abs (a -. b) <= eps *. scale

@@ -64,7 +64,7 @@ let normal t ~mu ~sigma =
 
 let poisson t lambda =
   assert (lambda >= 0.);
-  if lambda = 0. then 0
+  if Float.equal lambda 0. then 0
   else if lambda > 500. then
     (* Normal approximation with continuity correction. *)
     let x = normal t ~mu:lambda ~sigma:(sqrt lambda) in

@@ -34,7 +34,7 @@ let autocorrelation xs lag =
   assert (lag >= 0 && lag < n);
   let m = mean xs in
   let var = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs in
-  if var = 0. then 0.
+  if Float.equal var 0. then 0.
   else begin
     let cov = ref 0. in
     for i = 0 to n - 1 - lag do
@@ -64,6 +64,6 @@ module Online = struct
     else 1.96 *. stddev t /. sqrt (float_of_int t.n)
 
   let relative_precision t =
-    if t.n < 2 || t.mean = 0. then infinity
+    if t.n < 2 || Float.equal t.mean 0. then infinity
     else confidence_halfwidth t /. Float.abs t.mean
 end

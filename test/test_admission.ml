@@ -282,7 +282,7 @@ let () =
           Alcotest.test_case "stats counting" `Quick test_stats_counting;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [
             prop_incremental_equals_rebuild;
             prop_fast_equals_legacy;

@@ -336,7 +336,7 @@ let prop_optimal_matches_brute_force =
       | s ->
           let got = Schedule.cost s ~reneg_cost ~bandwidth_cost:1. in
           Float.abs (got -. expected) < 1e-6
-      | exception Optimal.Infeasible _ -> expected = infinity)
+      | exception Optimal.Infeasible _ -> Float.equal expected infinity)
 
 (* Brute force with the delay-bound constraint of formula (5). *)
 let brute_force_delay ~grid ~reneg_cost ~bandwidth_cost ~delay trace =
@@ -395,7 +395,7 @@ let prop_optimal_delay_matches_brute_force =
       | s ->
           let got = Schedule.cost s ~reneg_cost ~bandwidth_cost:1. in
           Float.abs (got -. expected) < 1e-6
-      | exception Optimal.Infeasible _ -> expected = infinity)
+      | exception Optimal.Infeasible _ -> Float.equal expected infinity)
 
 let prop_shift_marginal_invariant =
   let gen =
@@ -441,7 +441,7 @@ let prop_optimal_schedule_feasible =
       match Optimal.solve params trace with
       | s ->
           let r = Schedule.simulate_buffer s ~trace ~capacity:buffer in
-          r.Fluid.bits_lost = 0.
+          Float.equal r.Fluid.bits_lost 0.
       | exception Optimal.Infeasible _ -> true)
 
 (* --- Optimal: approximation knobs ----------------------------------- *)
@@ -509,7 +509,7 @@ let check_knob ~name ~knob ~upper =
                 Schedule.simulate_buffer s ~trace ~capacity:approx_buffer
               in
               let cost = schedule_cost ~reneg_cost s in
-              r.Fluid.bits_lost = 0.
+              Float.equal r.Fluid.bits_lost 0.
               && cost >= exact -. 1e-9
               &&
               (match upper params trace with
@@ -518,7 +518,8 @@ let check_knob ~name ~knob ~upper =
 
 let prop_frontier_cap_feasible_bounded =
   check_knob ~name:"frontier_cap=2: feasible, exact <= cost <= 2x exact"
-    ~knob:(Optimal.solve_with_stats ~frontier_cap:2)
+    ~knob:(fun params trace ->
+      Optimal.solve_with_stats ~frontier_cap:2 params trace)
     ~upper:(fun params trace ->
       match Optimal.solve params trace with
       | s -> Some (2. *. schedule_cost ~reneg_cost:params.Optimal.reneg_cost s)
@@ -641,7 +642,7 @@ let test_online_predictions_length () =
     (Array.length o.Online.predictions)
 
 let () =
-  let q = List.map QCheck_alcotest.to_alcotest in
+  let q = List.map (fun t -> QCheck_alcotest.to_alcotest t) in
   Alcotest.run "rcbr_core"
     [
       ( "schedule",

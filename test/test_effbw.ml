@@ -85,7 +85,7 @@ let test_decay_rate_inverse () =
 let test_decay_rate_extremes () =
   let m = two_state_source 0.2 0.3 ~low:1. ~high:5. in
   Alcotest.(check bool) "at peak infinite" true
-    (Eb.decay_rate m ~rate:5. = infinity);
+    (Float.equal (Eb.decay_rate m ~rate:5.) infinity);
   check_close 1e-12 "below mean zero" 0.
     (Eb.decay_rate m ~rate:(Modulated.mean_rate m *. 0.5))
 
@@ -95,7 +95,7 @@ let test_multiscale_formula9 () =
   let ms = Multiscale.fig4_example () in
   let per = Eb.subchain_equivalent_bandwidths ms ~buffer:5. ~target_loss:1e-6 in
   let total = Eb.multiscale_equivalent_bandwidth ms ~buffer:5. ~target_loss:1e-6 in
-  check_close 1e-12 "max over subchains" (Array.fold_left max 0. per) total;
+  check_close 1e-12 "max over subchains" (Array.fold_left Float.max 0. per) total;
   (* The worst subchain (action) should dominate. *)
   Alcotest.(check bool) "action dominates" true (total = per.(2))
 
@@ -103,7 +103,7 @@ let test_multiscale_exceeds_worst_mean () =
   (* Formula (9) implies the needed rate exceeds the max subchain mean. *)
   let ms = Multiscale.fig4_example () in
   let means = Multiscale.subchain_mean_rates ms in
-  let worst_mean = Array.fold_left max 0. means in
+  let worst_mean = Array.fold_left Float.max 0. means in
   let total = Eb.multiscale_equivalent_bandwidth ms ~buffer:50. ~target_loss:1e-6 in
   Alcotest.(check bool) "above max subchain mean" true (total > worst_mean)
 
@@ -150,7 +150,7 @@ let test_rate_function_regions () =
   let m = simple_marginal () in
   check_close 1e-12 "zero below mean" 0. (Chernoff.rate_function m 2.);
   Alcotest.(check bool) "infinite above max" true
-    (Chernoff.rate_function m 6. = infinity);
+    (Float.equal (Chernoff.rate_function m 6.) infinity);
   let i = Chernoff.rate_function m 4. in
   Alcotest.(check bool) "positive in between" true (i > 0. && i < infinity)
 
@@ -379,7 +379,7 @@ let prop_eb_between_mean_and_peak =
       && eb <= Modulated.peak_rate m +. 1e-6)
 
 let () =
-  let q = List.map QCheck_alcotest.to_alcotest in
+  let q = List.map (fun t -> QCheck_alcotest.to_alcotest t) in
   Alcotest.run "rcbr_effbw"
     [
       ( "log_mgf",

@@ -735,7 +735,7 @@ let test_arrivals_sorted () =
   Alcotest.(check bool) "plenty of cells" true (!count > 5_000)
 
 let () =
-  let q = List.map QCheck_alcotest.to_alcotest in
+  let q = List.map (fun t -> QCheck_alcotest.to_alcotest t) in
   Alcotest.run "rcbr_extensions"
     [
       ( "smoothing",

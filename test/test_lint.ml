@@ -1,0 +1,299 @@
+(* Fixture tests for the rcbr_lint static analyzer (DESIGN.md §8).
+   Every rule gets a must-fire, a must-not-fire and a suppressed case,
+   plus coverage for rule scoping, the allowlist, the suppression
+   grammar (mandatory reason, multi-line comments, comma-separated rule
+   lists) and parse failures.  Fixtures live in quoted strings: the
+   analyzer only ever sees them through [Lint.check_source], never as
+   code belonging to this compilation unit. *)
+
+module Lint = Rcbr_lint_core.Lint
+
+let hits ?(config = Lint.strict_config) ?(filename = "lib/fixture.ml") src =
+  List.map
+    (fun v -> (v.Lint.line, v.Lint.rule))
+    (Lint.check_source ~config ~filename src)
+
+let pairs = Alcotest.(list (pair int string))
+
+let check_hits ?config ?filename msg expected src =
+  Alcotest.check pairs msg expected (hits ?config ?filename src)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* --- rule inventory -------------------------------------------------- *)
+
+let test_rule_inventory () =
+  let ids = List.map fst Lint.rules in
+  List.iter
+    (fun r -> Alcotest.(check bool) (r ^ " listed") true (List.mem r ids))
+    [ "D001"; "D002"; "D003"; "F001"; "F002"; "R001"; "P001" ]
+
+(* --- D001: randomness outside the sanctioned module ------------------ *)
+
+let test_d001_fires () =
+  check_hits "Random.int" [ (1, "D001") ] {|let f () = Random.int 10|};
+  check_hits "open Random" [ (1, "D001") ] {|open Random|}
+
+let test_d001_clean () =
+  check_hits "lowercase near-miss" [] {|let random_pick = 3|}
+
+let test_d001_exempt_file () =
+  let config =
+    { Lint.strict_config with Lint.d001_exempt = (fun f -> f = "lib/util/rng.ml") }
+  in
+  check_hits ~config ~filename:"lib/util/rng.ml" "rng.ml exempt" []
+    {|let f () = Random.int 10|};
+  check_hits ~config ~filename:"lib/core/optimal.ml" "others still fire"
+    [ (1, "D001") ]
+    {|let f () = Random.int 10|}
+
+let test_d001_suppressed () =
+  check_hits "inline allow" []
+    {|(* lint: allow D001 -- fixture: exercising the suppression path *)
+let f () = Random.int 10|}
+
+(* --- D002: order-dependent Hashtbl traversal ------------------------- *)
+
+let fold_fixture = {|let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h []|}
+
+let test_d002_fires () =
+  check_hits "Hashtbl.fold" [ (1, "D002") ] fold_fixture;
+  check_hits "Hashtbl.iter" [ (1, "D002") ]
+    {|let dump h = Hashtbl.iter (fun k v -> print_int (k + v)) h|}
+
+let test_d002_clean () =
+  check_hits "point lookups are fine" [] {|let get h k = Hashtbl.find_opt h k|}
+
+let test_d002_out_of_scope () =
+  let config =
+    { Lint.strict_config with Lint.d002_scope = (fun f -> has_prefix "lib/" f) }
+  in
+  check_hits ~config ~filename:"test/fixture.ml" "not result-producing" []
+    fold_fixture;
+  check_hits ~config ~filename:"lib/fixture.ml" "result path still fires"
+    [ (1, "D002") ] fold_fixture
+
+let test_d002_suppressed () =
+  check_hits "allow with reason" []
+    ({|(* lint: allow D002 -- fixture: order-independent traversal *)
+|}
+    ^ fold_fixture)
+
+let test_suppression_needs_reason () =
+  (* A reason-less [allow] grants nothing: the violation survives. *)
+  check_hits "no reason, no grant" [ (2, "D002") ]
+    ({|(* lint: allow D002 *)
+|}
+    ^ fold_fixture)
+
+let test_suppression_wrong_rule () =
+  check_hits "allow of another rule does not leak" [ (2, "D002") ]
+    ({|(* lint: allow D001 -- fixture: wrong rule id *)
+|}
+    ^ fold_fixture)
+
+let test_suppression_multiline () =
+  (* The suppression anchors to the line holding the closing comment. *)
+  check_hits "reason spanning lines" []
+    ({|(* lint: allow D002 --
+   the reason may continue onto the closing line *)
+|}
+    ^ fold_fixture)
+
+let test_suppression_rule_list () =
+  (* Comma-separated rules cover distinct violations on the same line. *)
+  check_hits "comma-separated ids" []
+    {|(* lint: allow F001, F002 -- fixture: both on one line *)
+let bad x = x = nan || x = 0.5|}
+
+(* --- D003: wall-clock reads ------------------------------------------ *)
+
+let test_d003_fires () =
+  check_hits "Unix.gettimeofday" [ (1, "D003") ]
+    {|let now () = Unix.gettimeofday ()|};
+  check_hits "Sys.time" [ (1, "D003") ] {|let cpu () = Sys.time ()|}
+
+let test_d003_clean () =
+  check_hits "Sys.argv is not a clock" [] {|let args () = Sys.argv|}
+
+let test_d003_bench_exempt () =
+  let config =
+    { Lint.strict_config with Lint.d003_exempt = (fun f -> has_prefix "bench/" f) }
+  in
+  check_hits ~config ~filename:"bench/fixture.ml" "bench may read the clock"
+    [] {|let now () = Unix.gettimeofday ()|};
+  check_hits ~config ~filename:"lib/fixture.ml" "lib may not" [ (1, "D003") ]
+    {|let now () = Unix.gettimeofday ()|}
+
+let test_d003_suppressed () =
+  check_hits "allow with reason" []
+    {|(* lint: allow D003 -- fixture: time injected for a seed check *)
+let now () = Unix.gettimeofday ()|}
+
+(* --- F001: polymorphic comparison on float-bearing operands ---------- *)
+
+let test_f001_fires () =
+  check_hits "poly = on float literal" [ (1, "F001") ]
+    {|let close a = a = 0.5|};
+  check_hits "poly compare on float arithmetic" [ (1, "F001") ]
+    {|let c a b = compare (a +. 1.0) b|};
+  check_hits "bare max folded over floats" [ (1, "F001") ]
+    {|let peak xs = List.fold_left max 0.0 xs|}
+
+let test_f001_clean () =
+  check_hits "Float.equal" [] {|let close a = Float.equal a 0.5|};
+  check_hits "Float.max folded" []
+    {|let peak xs = List.fold_left Float.max 0.0 xs|};
+  check_hits "no float evidence" [] {|let eq a b = a = b|}
+
+let test_f001_suppressed () =
+  check_hits "allow with reason" []
+    {|(* lint: allow F001 -- fixture: operands proven integral upstream *)
+let close a = a = 0.5|}
+
+(* --- F002: comparisons against nan ----------------------------------- *)
+
+let test_f002_fires () =
+  (* F002 wins over F001 for the same application: one report, not two. *)
+  check_hits "= nan" [ (1, "F002") ] {|let bad x = x = nan|};
+  check_hits "< nan" [ (1, "F002") ] {|let worse x = x < nan|}
+
+let test_f002_clean () =
+  check_hits "Float.is_nan" [] {|let good x = Float.is_nan x|}
+
+let test_f002_suppressed () =
+  check_hits "allow with reason" []
+    {|(* lint: allow F002 -- fixture: documenting the always-false branch *)
+let bad x = x = nan|}
+
+(* --- R001: module-level mutable state in Pool-reachable code --------- *)
+
+let test_r001_fires () =
+  check_hits "top-level ref" [ (1, "R001") ] {|let counter = ref 0|};
+  check_hits "top-level Hashtbl.create" [ (1, "R001") ]
+    {|let cache = Hashtbl.create 16|};
+  check_hits "record with a mutable field" [ (2, "R001") ]
+    {|type t = { mutable hits : int }
+let stats = { hits = 0 }|}
+
+let test_r001_clean () =
+  check_hits "per-call state is fine" [] {|let fresh () = ref 0|};
+  check_hits "immutable record literal" []
+    {|type t = { hits : int }
+let stats = { hits = 0 }|}
+
+let test_r001_out_of_zone () =
+  let config =
+    { Lint.strict_config with Lint.r001_zone = (fun _ -> false) }
+  in
+  check_hits ~config "not Pool-reachable" [] {|let counter = ref 0|}
+
+let test_r001_suppressed () =
+  check_hits "allow with reason" []
+    {|(* lint: allow R001 -- fixture: mutex-guarded, idempotent cache *)
+let counter = ref 0|}
+
+(* --- P001: Obj.magic -------------------------------------------------- *)
+
+let test_p001_fires () =
+  check_hits "Obj.magic" [ (1, "P001") ] {|let coerce x = Obj.magic x|}
+
+let test_p001_clean () =
+  check_hits "Obj.repr is not Obj.magic" [] {|let tag x = Obj.repr x|}
+
+let test_p001_suppressed () =
+  check_hits "allow with reason" []
+    {|(* lint: allow P001 -- fixture: suppression still demands a reason *)
+let coerce x = Obj.magic x|}
+
+(* --- allowlist, interfaces, parse failures ---------------------------- *)
+
+let test_allowlist_grants () =
+  let config =
+    { Lint.strict_config with Lint.allowlist = [ ("lib/fixture.ml", "D002") ] }
+  in
+  check_hits ~config ~filename:"lib/fixture.ml" "granted file is clean" []
+    fold_fixture;
+  check_hits ~config ~filename:"lib/other.ml" "grant is per-file"
+    [ (1, "D002") ] fold_fixture
+
+let test_mli_parses_as_interface () =
+  (* [val] is only legal in an interface: this proves the suffix routes
+     the source through [Parse.interface]. *)
+  check_hits ~filename:"lib/fixture.mli" "clean interface" []
+    {|val f : int -> int|}
+
+let test_parse_failure_reported () =
+  match hits {|let = |} with
+  | [ (_, "PARSE") ] -> ()
+  | other ->
+      Alcotest.failf "expected a single PARSE violation, got %d: %s"
+        (List.length other)
+        (String.concat ", " (List.map snd other))
+
+let () =
+  let t name fn = Alcotest.test_case name `Quick fn in
+  Alcotest.run "lint"
+    [
+      ("inventory", [ t "rule inventory" test_rule_inventory ]);
+      ( "d001",
+        [
+          t "fires" test_d001_fires;
+          t "clean" test_d001_clean;
+          t "exempt file" test_d001_exempt_file;
+          t "suppressed" test_d001_suppressed;
+        ] );
+      ( "d002",
+        [
+          t "fires" test_d002_fires;
+          t "clean" test_d002_clean;
+          t "out of scope" test_d002_out_of_scope;
+          t "suppressed" test_d002_suppressed;
+        ] );
+      ( "suppression grammar",
+        [
+          t "needs a reason" test_suppression_needs_reason;
+          t "wrong rule id" test_suppression_wrong_rule;
+          t "multi-line comment" test_suppression_multiline;
+          t "comma-separated rules" test_suppression_rule_list;
+        ] );
+      ( "d003",
+        [
+          t "fires" test_d003_fires;
+          t "clean" test_d003_clean;
+          t "bench exempt" test_d003_bench_exempt;
+          t "suppressed" test_d003_suppressed;
+        ] );
+      ( "f001",
+        [
+          t "fires" test_f001_fires;
+          t "clean" test_f001_clean;
+          t "suppressed" test_f001_suppressed;
+        ] );
+      ( "f002",
+        [
+          t "fires" test_f002_fires;
+          t "clean" test_f002_clean;
+          t "suppressed" test_f002_suppressed;
+        ] );
+      ( "r001",
+        [
+          t "fires" test_r001_fires;
+          t "clean" test_r001_clean;
+          t "out of zone" test_r001_out_of_zone;
+          t "suppressed" test_r001_suppressed;
+        ] );
+      ( "p001",
+        [
+          t "fires" test_p001_fires;
+          t "clean" test_p001_clean;
+          t "suppressed" test_p001_suppressed;
+        ] );
+      ( "plumbing",
+        [
+          t "allowlist grants" test_allowlist_grants;
+          t "mli parses as interface" test_mli_parses_as_interface;
+          t "parse failure reported" test_parse_failure_reported;
+        ] );
+    ]

@@ -236,7 +236,7 @@ let prop_mean_rate_between =
       mu >= 1. -. 1e-9 && mu <= 20. +. 1e-9)
 
 let () =
-  let q = List.map QCheck_alcotest.to_alcotest in
+  let q = List.map (fun t -> QCheck_alcotest.to_alcotest t) in
   Alcotest.run "rcbr_markov"
     [
       ( "chain",

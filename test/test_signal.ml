@@ -6,7 +6,6 @@ module Port = Rcbr_signal.Port
 module Path = Rcbr_signal.Path
 module Latency = Rcbr_signal.Latency
 module Schedule = Rcbr_core.Schedule
-module Trace = Rcbr_traffic.Trace
 
 let check_close eps = Alcotest.(check (float eps))
 

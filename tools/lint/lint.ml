@@ -1,0 +1,781 @@
+(* Determinism & domain-safety lint over the parsetree (DESIGN.md §8).
+
+   The analysis is deliberately syntactic: it parses with the compiler's
+   own parser (so it can never disagree with the build about what the
+   source says) but does not type.  Rules are tuned so that every firing
+   is either a true positive or a one-line suppression with a reason —
+   the tree is kept lint-clean, so any new hit is signal. *)
+
+type violation = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+let rules =
+  [
+    ("D001", "no Random.* outside lib/util/rng.ml (use Rcbr_util.Rng)");
+    ("D002", "no order-dependent Hashtbl.iter/fold in result-producing code");
+    ("D003", "no wall-clock reads outside bench/");
+    ("F001", "no polymorphic =/compare/min/max on float-bearing operands");
+    ("F002", "no comparison against nan (use Float.is_nan)");
+    ("R001", "no top-level mutable state in Pool-reachable libraries");
+    ("P001", "no Obj.magic");
+  ]
+
+type config = {
+  d001_exempt : string -> bool;
+  d002_scope : string -> bool;
+  d003_exempt : string -> bool;
+  r001_zone : string -> bool;
+  allowlist : (string * string) list;
+}
+
+(* --- paths ----------------------------------------------------------- *)
+
+let normalize path =
+  let path =
+    if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  String.map (fun c -> if c = '\\' then '/' else c) path
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* --- suppression comments -------------------------------------------- *)
+
+(* [(* lint: allow D002, F001 — reason *)] on the violation's own line or
+   the line above.  The reason is mandatory: a bare [lint: allow D002]
+   grants nothing, so every suppression in the tree documents itself. *)
+
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_digit c = c >= '0' && c <= '9'
+let is_alnum c = is_upper c || is_digit c || (c >= 'a' && c <= 'z')
+
+let scan_suppressions source =
+  let out = ref [] in
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  let n_lines = Array.length lines in
+  let find_sub line sub from =
+    let len = String.length line and sl = String.length sub in
+    let rec go p =
+      if p + sl > len then None
+      else if String.sub line p sl = sub then Some p
+      else go (p + 1)
+    in
+    go from
+  in
+  Array.iteri
+    (fun i line ->
+      let len = String.length line in
+      match find_sub line "lint:" 0 with
+      | None -> ()
+      | Some marker ->
+          let pos = marker + 5 in
+          let skip_ws p =
+            let p = ref p in
+            while !p < len && (line.[!p] = ' ' || line.[!p] = '\t') do
+              incr p
+            done;
+            !p
+          in
+          let pos = skip_ws pos in
+          if pos + 5 <= len && String.sub line pos 5 = "allow" then begin
+            let pos = ref (skip_ws (pos + 5)) in
+            let rules_found = ref [] in
+            let continue = ref true in
+            while !continue do
+              let start = !pos in
+              while !pos < len && is_upper line.[!pos] do
+                incr pos
+              done;
+              let letters = !pos > start in
+              let digits_start = !pos in
+              while !pos < len && is_digit line.[!pos] do
+                incr pos
+              done;
+              if letters && !pos > digits_start then begin
+                rules_found :=
+                  String.sub line start (!pos - start) :: !rules_found;
+                let p = skip_ws !pos in
+                if p < len && line.[p] = ',' then pos := skip_ws (p + 1)
+                else begin
+                  pos := p;
+                  continue := false
+                end
+              end
+              else begin
+                pos := start;
+                continue := false
+              end
+            done;
+            (* The comment may span lines; the suppression anchors to the
+               line holding the closing "*)", and the reason — mandatory —
+               is everything between the rule list and that close. *)
+            let close_line = ref i in
+            let reasoned = ref false in
+            let check_span line from upto =
+              for p = from to upto - 1 do
+                if is_alnum line.[p] then reasoned := true
+              done
+            in
+            (match find_sub line "*)" !pos with
+            | Some close -> check_span line !pos close
+            | None ->
+                check_span line !pos len;
+                let j = ref (i + 1) in
+                let found = ref false in
+                while (not !found) && !j < n_lines && !j <= i + 10 do
+                  (match find_sub lines.(!j) "*)" 0 with
+                  | Some close ->
+                      check_span lines.(!j) 0 close;
+                      close_line := !j;
+                      found := true
+                  | None -> check_span lines.(!j) 0 (String.length lines.(!j)));
+                  incr j
+                done;
+                if not !found then close_line := i);
+            if !reasoned then
+              List.iter
+                (fun r -> out := (!close_line + 1, r) :: !out)
+                !rules_found
+          end)
+    lines;
+  !out
+
+(* --- parsetree helpers ----------------------------------------------- *)
+
+open Parsetree
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply (_, l) -> flatten l
+
+let head lid = match flatten lid with [] -> "" | h :: _ -> h
+
+(* Syntactically float-bearing expressions: the operand evidence F001
+   accepts.  Deliberately shallow — no recursion into arbitrary
+   applications — so every firing is explainable by looking at the line. *)
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-." ]
+
+let float_constants =
+  [ "nan"; "infinity"; "neg_infinity"; "epsilon_float"; "max_float"; "min_float" ]
+
+let rec floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt = Lident s; _ } -> List.mem s float_constants
+  | Pexp_ident { txt = Ldot (Lident "Float", _); _ } -> true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match txt with
+      | Lident op when List.mem op float_ops -> true
+      | Lident ("float_of_int" | "float_of_string") -> true
+      | Ldot (Lident "Float", f) when f <> "to_int" -> true
+      | _ -> false)
+  | Pexp_constraint (inner, ty) -> (
+      match ty.ptyp_desc with
+      | Ptyp_constr ({ txt = Lident "float"; _ }, _) -> true
+      | _ -> floatish inner)
+  | _ -> false
+
+let is_nan_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident "nan"; _ }
+  | Pexp_ident { txt = Ldot (Lident "Float", "nan"); _ } ->
+      true
+  | _ -> false
+
+let poly_cmp_names = [ "="; "<>"; "compare"; "min"; "max" ]
+
+let nan_cmp_names =
+  [ "="; "<>"; "<"; ">"; "<="; ">="; "=="; "!="; "compare" ]
+
+(* Bare (unqualified or Stdlib-qualified) name of a function position. *)
+let bare_name lid =
+  match lid with
+  | Longident.Lident s -> Some s
+  | Longident.Ldot (Lident "Stdlib", s) -> Some s
+  | _ -> None
+
+let wall_clock_paths =
+  [
+    [ "Sys"; "time" ];
+    [ "Unix"; "gettimeofday" ];
+    [ "Unix"; "time" ];
+    [ "Unix"; "gmtime" ];
+    [ "Unix"; "localtime" ];
+  ]
+
+let mutable_creators =
+  [
+    [ "Hashtbl"; "create" ];
+    [ "Buffer"; "create" ];
+    [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ];
+    [ "Array"; "make" ];
+    [ "Array"; "init" ];
+    [ "Array"; "create_float" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+  ]
+
+(* --- per-file checker ------------------------------------------------ *)
+
+type ctx = {
+  cfg : config;
+  file : string;  (* normalized *)
+  supps : (int * string) list;
+  mutable out : violation list;
+}
+
+let suppressed ctx ~line rule =
+  List.exists
+    (fun (l, r) -> r = rule && (l = line || l = line - 1))
+    ctx.supps
+  || List.exists
+       (fun (p, r) -> r = rule && p = ctx.file)
+       ctx.cfg.allowlist
+
+let report ctx ~loc rule message =
+  let line = loc.Location.loc_start.Lexing.pos_lnum in
+  if not (suppressed ctx ~line rule) then
+    ctx.out <- { file = ctx.file; line; rule; message } :: ctx.out
+
+let check_ident ctx lid loc =
+  let path = flatten lid in
+  (match path with
+  | "Random" :: _ when not (ctx.cfg.d001_exempt ctx.file) ->
+      report ctx ~loc "D001"
+        (Printf.sprintf
+           "use of %s — all randomness must flow through Rcbr_util.Rng \
+            (splittable, replayable)"
+           (String.concat "." path))
+  | _ -> ());
+  (match List.rev path with
+  | fn :: "Hashtbl" :: _ when fn = "iter" || fn = "fold" ->
+      if ctx.cfg.d002_scope ctx.file then
+        report ctx ~loc "D002"
+          (Printf.sprintf
+             "order-dependent Hashtbl.%s in a result path — iterate in \
+              sorted key order (Rcbr_util.Tables) or suppress with a reason"
+             fn)
+  | _ -> ());
+  if List.mem path wall_clock_paths && not (ctx.cfg.d003_exempt ctx.file)
+  then
+    report ctx ~loc "D003"
+      (Printf.sprintf
+         "wall-clock read %s outside bench/ breaks replayability — take \
+          time as an input"
+         (String.concat "." path));
+  if path = [ "Obj"; "magic" ] then
+    report ctx ~loc "P001"
+      "Obj.magic defeats the type system — no use is admissible here"
+
+let check_apply ctx fn args loc =
+  let arg_exprs = List.map snd args in
+  let fn_name =
+    match fn.pexp_desc with
+    | Pexp_ident { txt; _ } -> bare_name txt
+    | _ -> None
+  in
+  (match fn_name with
+  | Some name ->
+      if List.mem name nan_cmp_names && List.exists is_nan_expr arg_exprs
+      then
+        report ctx ~loc "F002"
+          (Printf.sprintf
+             "comparison (%s) against nan is always false/unspecified — \
+              use Float.is_nan"
+             name)
+      else if
+        List.mem name poly_cmp_names && List.exists floatish arg_exprs
+      then
+        report ctx ~loc "F001"
+          (Printf.sprintf
+             "polymorphic %s on float-bearing operands — use Float.%s"
+             name
+             (match name with
+             | "=" -> "equal"
+             | "<>" -> "equal (negated)"
+             | n -> n))
+  | None -> ());
+  (* Polymorphic comparator handed to a higher-order function alongside
+     float evidence: [Array.fold_left max 0. rates]. *)
+  let bare_cmp e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+        match bare_name txt with
+        | Some n when List.mem n [ "min"; "max"; "compare" ] -> Some n
+        | _ -> None)
+    | _ -> None
+  in
+  if
+    match fn_name with
+    | Some name -> not (List.mem name poly_cmp_names)
+    | None -> true
+  then
+    match List.filter_map bare_cmp arg_exprs with
+    | cmp :: _ when List.exists floatish arg_exprs ->
+        report ctx ~loc "F001"
+          (Printf.sprintf
+             "polymorphic %s passed over float-bearing operands — use \
+              Float.%s"
+             cmp cmp)
+    | _ -> ()
+
+let check_open ctx lid loc =
+  if head lid = "Random" && not (ctx.cfg.d001_exempt ctx.file) then
+    report ctx ~loc "D001"
+      "open Random — all randomness must flow through Rcbr_util.Rng"
+
+let make_iterator ctx =
+  let open Ast_iterator in
+  {
+    default_iterator with
+    expr =
+      (fun it e ->
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> check_ident ctx txt e.pexp_loc
+        | Pexp_apply (fn, args) -> check_apply ctx fn args e.pexp_loc
+        | _ -> ());
+        default_iterator.expr it e);
+    open_declaration =
+      (fun it od ->
+        (match od.popen_expr.pmod_desc with
+        | Pmod_ident { txt; _ } -> check_open ctx txt od.popen_loc
+        | _ -> ());
+        default_iterator.open_declaration it od);
+    open_description =
+      (fun it od ->
+        check_open ctx od.popen_expr.txt od.popen_loc;
+        default_iterator.open_description it od);
+  }
+
+(* --- R001: module-level mutable state -------------------------------- *)
+
+(* A separate walk that never crosses into expressions, so only values
+   created once per module (not per call) are candidates. *)
+
+let rec peel e =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, _) -> peel inner
+  | Pexp_newtype (_, inner) -> peel inner
+  | _ -> e
+
+let collect_mutable_fields str =
+  let fields = ref [] in
+  let add_decls decls =
+    List.iter
+      (fun d ->
+        match d.ptype_kind with
+        | Ptype_record labels ->
+            List.iter
+              (fun l ->
+                if l.pld_mutable = Asttypes.Mutable then
+                  fields := l.pld_name.txt :: !fields)
+              labels
+        | _ -> ())
+      decls
+  in
+  let rec walk str =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_type (_, decls) -> add_decls decls
+        | Pstr_module mb -> walk_mod mb.pmb_expr
+        | Pstr_recmodule mbs ->
+            List.iter (fun mb -> walk_mod mb.pmb_expr) mbs
+        | Pstr_include inc -> walk_mod inc.pincl_mod
+        | _ -> ())
+      str
+  and walk_mod me =
+    match me.pmod_desc with
+    | Pmod_structure s -> walk s
+    | Pmod_functor (_, body) -> walk_mod body
+    | Pmod_constraint (inner, _) -> walk_mod inner
+    | _ -> ()
+  in
+  walk str;
+  !fields
+
+let r001_walk ctx str =
+  if ctx.cfg.r001_zone ctx.file then begin
+    let mutable_fields = collect_mutable_fields str in
+    let candidate vb =
+      let e = peel vb.pvb_expr in
+      let flag what =
+        report ctx ~loc:vb.pvb_loc "R001"
+          (Printf.sprintf
+             "top-level mutable state (%s) in a Pool-reachable library — \
+              make it per-task, or guard it and suppress with a reason"
+             what)
+      in
+      match e.pexp_desc with
+      | Pexp_fun _ | Pexp_function _ -> ()
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+          match flatten txt with
+          | [ "ref" ] -> flag "ref"
+          | path when List.mem path mutable_creators ->
+              flag (String.concat "." path)
+          | _ -> ())
+      | Pexp_record (fields, _) ->
+          let hit =
+            List.filter_map
+              (fun (lid, _) ->
+                match (lid : Longident.t Location.loc).txt with
+                | Lident n when List.mem n mutable_fields -> Some n
+                | _ -> None)
+              fields
+          in
+          (match hit with
+          | n :: _ -> flag (Printf.sprintf "record with mutable field %s" n)
+          | [] -> ())
+      | _ -> ()
+    in
+    let rec walk str =
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_value (_, vbs) -> List.iter candidate vbs
+          | Pstr_module mb -> walk_mod mb.pmb_expr
+          | Pstr_recmodule mbs ->
+              List.iter (fun mb -> walk_mod mb.pmb_expr) mbs
+          | Pstr_include inc -> walk_mod inc.pincl_mod
+          | _ -> ())
+        str
+    and walk_mod me =
+      match me.pmod_desc with
+      | Pmod_structure s -> walk s
+      | Pmod_functor (_, body) -> walk_mod body
+      | Pmod_constraint (inner, _) -> walk_mod inner
+      | _ -> ()
+    in
+    walk str
+  end
+
+(* --- entry points ---------------------------------------------------- *)
+
+let strict_config =
+  {
+    d001_exempt = (fun _ -> false);
+    d002_scope = (fun _ -> true);
+    d003_exempt = (fun _ -> false);
+    r001_zone = (fun _ -> true);
+    allowlist = [];
+  }
+
+let check_source ~config ~filename source =
+  let file = normalize filename in
+  let ctx = { cfg = config; file; supps = scan_suppressions source; out = [] } in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  (try
+     if Filename.check_suffix file ".mli" then begin
+       let sg = Parse.interface lexbuf in
+       let it = make_iterator ctx in
+       it.Ast_iterator.signature it sg
+     end
+     else begin
+       let str = Parse.implementation lexbuf in
+       let it = make_iterator ctx in
+       it.Ast_iterator.structure it str;
+       r001_walk ctx str
+     end
+   with exn ->
+     let line =
+       match Location.error_of_exn exn with
+       | Some (`Ok err) ->
+           err.Location.main.Location.loc.Location.loc_start.Lexing.pos_lnum
+       | _ -> 1
+     in
+     ctx.out <-
+       {
+         file;
+         line;
+         rule = "PARSE";
+         message = "unparseable source (" ^ Printexc.to_string exn ^ ")";
+       }
+       :: ctx.out);
+  List.sort
+    (fun a b ->
+      match compare a.line b.line with
+      | 0 -> compare (a.rule, a.message) (b.rule, b.message)
+      | c -> c)
+    ctx.out
+
+(* --- allowlist ------------------------------------------------------- *)
+
+let load_allowlist path =
+  let ic = open_in path in
+  let grants = ref [] in
+  (try
+     let lineno = ref 0 in
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let line = String.trim line in
+       if line <> "" && line.[0] <> '#' then begin
+         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+         | file :: rule :: (_ :: _ as _reason) ->
+             grants := (normalize file, rule) :: !grants
+         | _ ->
+             failwith
+               (Printf.sprintf
+                  "%s:%d: allowlist grants are '<path> <RULE> <reason...>' \
+                   — the reason is mandatory"
+                  path !lineno)
+       end
+     done
+   with End_of_file -> close_in ic);
+  List.rev !grants
+
+(* --- file discovery -------------------------------------------------- *)
+
+let discover roots =
+  let files = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Array.iter
+        (fun entry ->
+          if entry <> "_build" && entry.[0] <> '.' then
+            walk (Filename.concat path entry))
+        (Sys.readdir path)
+    else if
+      Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+    then files := normalize path :: !files
+  in
+  List.iter (fun r -> if Sys.file_exists r then walk r) roots;
+  List.sort compare !files
+
+(* --- dune graph: which libraries can Pool tasks reach? --------------- *)
+
+(* Just enough s-expression reading for dune stanzas. *)
+type sexp = Atom of string | Sexp_list of sexp list
+
+let parse_sexps source =
+  let len = String.length source in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some source.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | Some ';' ->
+        while !pos < len && source.[!pos] <> '\n' do
+          incr pos
+        done;
+        skip_ws ()
+    | _ -> ()
+  in
+  let rec parse_one () =
+    skip_ws ();
+    match peek () with
+    | None -> None
+    | Some '(' ->
+        incr pos;
+        let items = ref [] in
+        let rec loop () =
+          skip_ws ();
+          match peek () with
+          | Some ')' ->
+              incr pos;
+              Some (Sexp_list (List.rev !items))
+          | None -> Some (Sexp_list (List.rev !items))
+          | _ -> (
+              match parse_one () with
+              | Some s ->
+                  items := s :: !items;
+                  loop ()
+              | None -> Some (Sexp_list (List.rev !items)))
+        in
+        loop ()
+    | Some '"' ->
+        incr pos;
+        let b = Buffer.create 16 in
+        while !pos < len && source.[!pos] <> '"' do
+          if source.[!pos] = '\\' && !pos + 1 < len then incr pos;
+          Buffer.add_char b source.[!pos];
+          incr pos
+        done;
+        if !pos < len then incr pos;
+        Some (Atom (Buffer.contents b))
+    | Some _ ->
+        let start = !pos in
+        let stop c =
+          c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '(' || c = ')'
+          || c = ';'
+        in
+        while !pos < len && not (stop source.[!pos]) do
+          incr pos
+        done;
+        Some (Atom (String.sub source start (!pos - start)))
+  in
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    match parse_one () with
+    | Some s -> out := s :: !out
+    | None -> continue := false
+  done;
+  List.rev !out
+
+type stanza = {
+  dir : string;
+  is_library : bool;
+  names : string list;
+  libs : string list;
+}
+
+let stanza_field name items =
+  List.filter_map
+    (function
+      | Sexp_list (Atom f :: rest) when f = name ->
+          Some
+            (List.filter_map
+               (function Atom a -> Some a | Sexp_list _ -> None)
+               rest)
+      | _ -> None)
+    items
+  |> List.concat
+
+let read_stanzas file =
+  let dir = normalize (Filename.dirname file) in
+  let source =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  List.filter_map
+    (function
+      | Sexp_list (Atom kind :: items)
+        when List.mem kind [ "library"; "executable"; "executables"; "tests" ]
+        ->
+          Some
+            {
+              dir;
+              is_library = kind = "library";
+              names = stanza_field "name" items @ stanza_field "names" items;
+              libs = stanza_field "libraries" items;
+            }
+      | _ -> None)
+    (parse_sexps source)
+
+let pool_zone ~roots ~sources =
+  let dune_files = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Array.iter
+        (fun entry ->
+          if entry <> "_build" && entry.[0] <> '.' then
+            walk (Filename.concat path entry))
+        (Sys.readdir path)
+    else if Filename.basename path = "dune" then
+      dune_files := path :: !dune_files
+  in
+  List.iter (fun r -> if Sys.file_exists r then walk r) roots;
+  let stanzas = List.concat_map read_stanzas !dune_files in
+  let by_name = Hashtbl.create 32 in
+  List.iter
+    (fun s -> List.iter (fun n -> Hashtbl.replace by_name n s) s.names)
+    stanzas;
+  (* A stanza uses the pool if any source in its directory mentions it. *)
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let dir_uses_pool dir =
+    List.exists
+      (fun (path, src) ->
+        normalize (Filename.dirname path) = dir && contains src "Pool.")
+      sources
+  in
+  let reachable = Hashtbl.create 32 in
+  let rec mark name =
+    if not (Hashtbl.mem reachable name) then begin
+      Hashtbl.replace reachable name ();
+      match Hashtbl.find_opt by_name name with
+      | Some s -> List.iter mark s.libs
+      | None -> ()
+    end
+  in
+  List.iter
+    (fun s -> if dir_uses_pool s.dir then List.iter mark s.libs)
+    stanzas;
+  let dirs =
+    List.filter_map
+      (fun s ->
+        if s.is_library && List.exists (Hashtbl.mem reachable) s.names then
+          Some s.dir
+        else None)
+      stanzas
+  in
+  match dirs with
+  | [] -> fun file -> has_prefix ~prefix:"lib/" file
+  | dirs -> fun file -> List.exists (fun d -> has_prefix ~prefix:(d ^ "/") file) dirs
+
+(* --- repo policy ----------------------------------------------------- *)
+
+let repo_scopes =
+  let d001_exempt file =
+    file = "lib/util/rng.ml" || file = "lib/util/rng.mli"
+  in
+  let d002_scope file =
+    has_prefix ~prefix:"lib/" file
+    || has_prefix ~prefix:"bin/" file
+    || has_prefix ~prefix:"bench/" file
+  in
+  let d003_exempt file = has_prefix ~prefix:"bench/" file in
+  (d001_exempt, d002_scope, d003_exempt)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let repo_config ?(allowlist = []) ~roots () =
+  let d001_exempt, d002_scope, d003_exempt = repo_scopes in
+  let files = discover roots in
+  let sources = List.map (fun f -> (f, read_file f)) files in
+  {
+    d001_exempt;
+    d002_scope;
+    d003_exempt;
+    r001_zone = pool_zone ~roots ~sources;
+    allowlist;
+  }
+
+let run ?allowlist_file ~roots () =
+  let allowlist =
+    match allowlist_file with
+    | Some f -> load_allowlist f
+    | None -> []
+  in
+  let d001_exempt, d002_scope, d003_exempt = repo_scopes in
+  let files = discover roots in
+  let sources = List.map (fun f -> (f, read_file f)) files in
+  let config =
+    {
+      d001_exempt;
+      d002_scope;
+      d003_exempt;
+      r001_zone = pool_zone ~roots ~sources;
+      allowlist;
+    }
+  in
+  let violations =
+    List.concat_map
+      (fun (file, src) -> check_source ~config ~filename:file src)
+      sources
+  in
+  (violations, List.length files)

@@ -1,0 +1,75 @@
+(** [rcbr_lint]: determinism & domain-safety static analysis for this repo.
+
+    The checker parses every [.ml]/[.mli] with compiler-libs and walks the
+    parsetree ([Ast_iterator]) enforcing the repo-specific rule set
+    documented in DESIGN.md §8:
+
+    - D001: no [Random.*] outside [lib/util/rng.ml]; randomness must flow
+      through the splitmix [Rcbr_util.Rng] so streams are splittable and
+      replayable.
+    - D002: no order-dependent [Hashtbl.iter]/[Hashtbl.fold] in
+      result-producing code ([lib/], [bin/], [bench/]); iterate in sorted
+      key order ([Rcbr_util.Tables]) or suppress with a reason.
+    - D003: no wall-clock reads ([Sys.time], [Unix.gettimeofday], ...)
+      outside [bench/].
+    - F001: no polymorphic [=]/[<>]/[compare]/[min]/[max] on operands that
+      are syntactically float-bearing (float literal, float arithmetic,
+      [nan]/[infinity], [Float.*] application, [float_of_int]).
+    - F002: no comparison against [nan]; use [Float.is_nan].
+    - R001: no top-level mutable state ([ref], mutable-container [create],
+      record literals with fields declared [mutable] in the same file) in a
+      library transitively reachable from [Pool.map]/[Pool.map_array]
+      tasks.
+    - P001: no [Obj.magic], anywhere.
+
+    Violations are suppressed by an inline comment on the same or the
+    preceding line — [(* lint: allow D002 — reason *)] — where the reason
+    is mandatory (a reason-less suppression is ignored), or by a checked-in
+    allowlist file of [<path> <RULE> <reason>] lines. *)
+
+type violation = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+(** [rule id, one-line description] for every rule, in report order. *)
+val rules : (string * string) list
+
+type config = {
+  d001_exempt : string -> bool;  (** file may use [Random] directly *)
+  d002_scope : string -> bool;  (** file is result-producing (rule active) *)
+  d003_exempt : string -> bool;  (** file may read the wall clock *)
+  r001_zone : string -> bool;  (** file is reachable from Pool tasks *)
+  allowlist : (string * string) list;  (** (normalized path, rule) grants *)
+}
+
+(** Everything in scope, nothing exempt, empty allowlist — what the test
+    fixtures use. *)
+val strict_config : config
+
+(** The repo policy described above, with the R001 zone precomputed from
+    the dune graph under the given roots (fallback: all of [lib/]). *)
+val repo_config :
+  ?allowlist:(string * string) list -> roots:string list -> unit -> config
+
+(** [check_source ~config ~filename source] lints one compilation unit
+    held in memory. [filename] decides rule scopes and whether the source
+    is parsed as an implementation or an interface ([.mli] suffix).
+    Unparseable sources yield a single [PARSE] violation rather than an
+    exception. Results are sorted by line. *)
+val check_source :
+  config:config -> filename:string -> string -> violation list
+
+(** Parse an allowlist file: [<path> <RULE> <reason...>] per line, [#]
+    comments and blank lines skipped. A grant without a reason is
+    rejected with [Failure]. *)
+val load_allowlist : string -> (string * string) list
+
+(** Recursively collect the [.ml]/[.mli] files under the roots, sorted. *)
+val discover : string list -> string list
+
+(** Lint files on disk. Returns (violations, files scanned). *)
+val run :
+  ?allowlist_file:string -> roots:string list -> unit -> violation list * int

@@ -1,0 +1,57 @@
+(* rcbr_lint.exe — determinism & domain-safety lint (DESIGN.md §8).
+
+   Usage:
+     rcbr_lint.exe [--allowlist FILE] [--list-rules] [PATH ...]
+
+   Scans the given roots (default: lib bin bench test) for .ml/.mli
+   files, reports every rule violation as "file:line:rule: message" on
+   stdout, and exits 1 if any were found.  Run from the repo root; the
+   dune alias [@lint] does exactly that in a sandbox. *)
+
+module Lint = Rcbr_lint_core.Lint
+
+let default_roots = [ "lib"; "bin"; "bench"; "test" ]
+
+let usage () =
+  prerr_endline
+    "usage: rcbr_lint.exe [--allowlist FILE] [--list-rules] [PATH ...]";
+  exit 2
+
+let () =
+  let allowlist_file = ref None in
+  let roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allowlist" :: file :: rest ->
+        allowlist_file := Some file;
+        parse rest
+    | [ "--allowlist" ] -> usage ()
+    | "--list-rules" :: _ ->
+        List.iter
+          (fun (id, descr) -> Printf.printf "%s  %s\n" id descr)
+          Lint.rules;
+        exit 0
+    | ("--help" | "-h") :: _ -> usage ()
+    | path :: rest ->
+        roots := path :: !roots;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = if !roots = [] then default_roots else List.rev !roots in
+  let violations, scanned =
+    Lint.run ?allowlist_file:!allowlist_file ~roots ()
+  in
+  List.iter
+    (fun v ->
+      Printf.printf "%s:%d:%s: %s\n" v.Lint.file v.Lint.line v.Lint.rule
+        v.Lint.message)
+    violations;
+  if violations = [] then begin
+    Printf.printf "rcbr_lint: %d files clean\n" scanned;
+    exit 0
+  end
+  else begin
+    Printf.printf "rcbr_lint: %d violation(s) in %d files scanned\n"
+      (List.length violations) scanned;
+    exit 1
+  end

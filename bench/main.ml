@@ -849,6 +849,69 @@ let multihop ctx =
         m.Rcbr_sim.Multihop.mean_hop_utilization)
     [ false; true ] balanced
 
+(* Mesh topology -- what the Section III-C hop sweep could not
+   express: routes of different lengths sharing a bottleneck link. *)
+let mesh ctx =
+  section "Mesh topology: heterogeneous routes over shared links (lib/net)";
+  pf "A 1-hop direct path, a 2-hop detour and a 3-hop detour between the@.";
+  pf "same endpoints; both detours cross the same final link.  Transit@.";
+  pf "calls are balanced across the three routes, each link carries its@.";
+  pf "own local traffic, and the faulty plane loses 20%% of signalling@.";
+  pf "cells while the shared link crashes mid-run.@.@.";
+  let module MH = Rcbr_sim.Multihop in
+  let module Topology = Rcbr_net.Topology in
+  let capacity = 10. *. ctx.mean in
+  let link src dst = { Topology.src; dst; capacity } in
+  let topology =
+    Topology.make ~n_nodes:4
+      ~links:[| link 0 1; link 0 2; link 2 1; link 0 3; link 3 2 |]
+      ~routes:[| [| 0 |]; [| 1; 2 |]; [| 3; 4; 2 |] |]
+  in
+  let nc =
+    {
+      MH.schedule = ctx.schedule;
+      topology;
+      transit_calls = 6;
+      local_calls_per_link = 5;
+      horizon = 4. *. Schedule.duration ctx.schedule;
+      seed = 5;
+      balance = true;
+    }
+  in
+  let clean = { MH.no_faults with MH.check_invariants = true } in
+  let faulty =
+    {
+      MH.no_faults with
+      MH.rm_drop = 0.2;
+      retx_timeout = 0.05;
+      crashes = [ (2, 100., 400.) ];
+      fault_seed = 99;
+      check_invariants = true;
+    }
+  in
+  let runs = Pool.map ?pool:ctx.pool (MH.run_net nc) [ clean; faulty ] in
+  pf "%10s %16s %16s %10s %8s %8s %6s@." "plane" "transit denials"
+    "local denials" "hop util" "lost" "aband" "inv";
+  List.iter2
+    (fun label ((m : MH.metrics), (f : MH.fault_metrics)) ->
+      let local =
+        if m.MH.local_attempts = 0 then 0.
+        else
+          float_of_int m.MH.local_denials /. float_of_int m.MH.local_attempts
+      in
+      pf "%10s %16.4f %16.4f %10.3f %8d %8d %6d@." label
+        (MH.denial_fraction m) local m.MH.mean_hop_utilization f.MH.rm_lost
+        f.MH.abandoned f.MH.invariant_failures;
+      emit ctx (label ^ "_transit_attempts") (Json.Int m.MH.transit_attempts);
+      emit ctx (label ^ "_transit_denials") (Json.Int m.MH.transit_denials);
+      emit ctx (label ^ "_local_attempts") (Json.Int m.MH.local_attempts);
+      emit ctx (label ^ "_local_denials") (Json.Int m.MH.local_denials);
+      emit ctx (label ^ "_rm_lost") (Json.Int f.MH.rm_lost);
+      emit ctx
+        (label ^ "_invariant_failures")
+        (Json.Int f.MH.invariant_failures))
+    [ "clean"; "faulty" ] runs
+
 (* Online renegotiation latency -- the result Section III-C says the
    paper does not yet have. *)
 let latency ctx =
@@ -1119,6 +1182,7 @@ let experiments =
     ("adaptation", adaptation);
     ("cells", cells);
     ("multihop", multihop);
+    ("mesh", mesh);
     ("advance", advance);
     ("protection", protection);
     ("interactive", interactive);
@@ -1138,6 +1202,7 @@ let smoke_set =
     "mbac-admit";
     "chernoff-sweep";
     "multihop";
+    "mesh";
     "micro";
   ]
 

@@ -8,17 +8,84 @@ module Trace = Rcbr_traffic.Trace
 module Optimal = Rcbr_core.Optimal
 module Schedule = Rcbr_core.Schedule
 module Mbac = Rcbr_sim.Mbac
+module Multihop = Rcbr_sim.Multihop
+module Topology = Rcbr_net.Topology
 module Controller = Rcbr_admission.Controller
 module Descriptor = Rcbr_admission.Descriptor
 
+type topo_spec = Single | Linear of int | Mesh of string
+
+(* The non-trivial topologies run the Section III-C call-level
+   experiment on the shared network core: transit calls spread across
+   the topology's routes, local cross traffic on every link.  On
+   [linear:H] this reproduces [Multihop.run]'s denial fractions bit for
+   bit (same engine, same draw order). *)
+let run_net_experiment ~schedule ~seed ~transit_calls ~local_calls ~rm_drop
+    ~rm_timeout ~rm_max_retx topology =
+  let horizon = 4. *. Schedule.duration schedule in
+  let faults =
+    if rm_drop <= 0. then Multihop.no_faults
+    else
+      {
+        Multihop.no_faults with
+        Multihop.rm_drop;
+        retx_timeout = rm_timeout;
+        max_retransmits = rm_max_retx;
+        fault_seed = seed + 2;
+        check_invariants = true;
+      }
+  in
+  Format.printf "topology: %a@." Topology.pp topology;
+  let m, f =
+    Multihop.run_net
+      {
+        Multihop.schedule;
+        topology;
+        transit_calls;
+        local_calls_per_link = local_calls;
+        horizon;
+        seed = seed + 1;
+        balance = false;
+      }
+      faults
+  in
+  Format.printf
+    "@[<v>transit increases:   %d attempted, %d denied (fraction %.12g)@,\
+     local increases:     %d attempted, %d denied@,\
+     mean hop util:       %.12g@]@."
+    m.Multihop.transit_attempts m.Multihop.transit_denials
+    (Multihop.denial_fraction m) m.Multihop.local_attempts
+    m.Multihop.local_denials m.Multihop.mean_hop_utilization;
+  if rm_drop > 0. then
+    Format.printf
+      "@[<v>RM cells dropped:    %d@,\
+       retransmissions:     %d@,\
+       abandoned changes:   %d@,\
+       superseded retx:     %d@,\
+       crash denials:       %d@,\
+       invariant failures:  %d@]@."
+      f.Multihop.rm_lost f.Multihop.retransmits f.Multihop.abandoned
+      f.Multihop.superseded f.Multihop.crash_denials
+      f.Multihop.invariant_failures
+
 let run seed frames cost_ratio capacity_mult load target controller_name
-    admission_name admission_stats rm_drop rm_timeout rm_max_retx =
+    admission_name admission_stats rm_drop rm_timeout rm_max_retx topo_spec
+    transit_calls local_calls =
   let trace = Rcbr_traffic.Synthetic.star_wars ~frames ~seed () in
   let mean = Trace.mean_rate trace in
   let schedule =
     Optimal.solve (Optimal.default_params ~cost_ratio trace) trace
   in
   let capacity = capacity_mult *. mean in
+  match topo_spec with
+  | Linear hops ->
+      run_net_experiment ~schedule ~seed ~transit_calls ~local_calls ~rm_drop
+        ~rm_timeout ~rm_max_retx
+        (Topology.linear ~hops ~capacity)
+  | Mesh file ->
+      run_net_experiment ~schedule ~seed ~transit_calls ~local_calls ~rm_drop
+        ~rm_timeout ~rm_max_retx (Topology.load file)
+  | Single ->
   let arrival_rate =
     load *. capacity /. (Schedule.mean_rate schedule *. Schedule.duration schedule)
   in
@@ -32,12 +99,8 @@ let run seed frames cost_ratio capacity_mult load target controller_name
         cfg with
         Mbac.faults =
           Some
-            {
-              Mbac.rm_drop;
-              rm_timeout;
-              rm_max_retransmits = rm_max_retx;
-              fault_seed = seed + 2;
-            };
+            (Mbac.lossy ~rm_drop ~rm_timeout ~rm_max_retransmits:rm_max_retx
+               ~fault_seed:(seed + 2) ());
       }
   in
   let controller =
@@ -148,6 +211,52 @@ let rm_max_retx_arg =
     & info [ "rm-max-retx" ] ~docv:"N"
         ~doc:"Retransmissions before a change is applied anyway.")
 
+let topo_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "single" ] -> Ok Single
+    | [ "linear"; h ] -> (
+        match int_of_string_opt h with
+        | Some hops when hops >= 1 -> Ok (Linear hops)
+        | _ -> Error (`Msg (Printf.sprintf "bad hop count in %S" s)))
+    | "mesh" :: (_ :: _ as rest) -> Ok (Mesh (String.concat ":" rest))
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "topology %S is not single, linear:HOPS or mesh:FILE" s))
+  in
+  let print ppf = function
+    | Single -> Format.pp_print_string ppf "single"
+    | Linear h -> Format.fprintf ppf "linear:%d" h
+    | Mesh f -> Format.fprintf ppf "mesh:%s" f
+  in
+  Arg.conv (parse, print)
+
+let topology_arg =
+  Arg.(
+    value & opt topo_conv Single
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:
+          "Network shape: $(b,single) (one bottleneck link, the classic \
+           MBAC experiment), $(b,linear:HOPS) (a chain of links; transit \
+           calls cross all of them), or $(b,mesh:FILE) (arbitrary topology \
+           loaded from a JSON file, see Rcbr_net.Topology.of_json).  The \
+           non-single shapes run the call-level renegotiation experiment \
+           and honour the rm-* fault flags.")
+
+let transit_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "transit-calls" ] ~docv:"N"
+        ~doc:"Transit calls spread over the routes (non-single topologies).")
+
+let local_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "local-calls" ] ~docv:"N"
+        ~doc:"Local cross-traffic calls per link (non-single topologies).")
+
 let () =
   let info =
     Cmd.info "rcbr_mbac" ~version:"1.0"
@@ -157,6 +266,7 @@ let () =
     Term.(
       const run $ seed_arg $ frames_arg $ cost_ratio_arg $ capacity_arg
       $ load_arg $ target_arg $ controller_arg $ admission_arg
-      $ admission_stats_arg $ rm_drop_arg $ rm_timeout_arg $ rm_max_retx_arg)
+      $ admission_stats_arg $ rm_drop_arg $ rm_timeout_arg $ rm_max_retx_arg
+      $ topology_arg $ transit_arg $ local_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,198 @@
+module Events = Rcbr_queue.Events
+module Rng = Rcbr_util.Rng
+module Invariant = Rcbr_fault.Invariant
+
+type faults = {
+  rm_drop : float;
+  retx_timeout : float;
+  max_retransmits : int;
+  crashes : (int * float * float) list;
+  fault_seed : int;
+  check_invariants : bool;
+}
+
+let no_faults =
+  {
+    rm_drop = 0.;
+    retx_timeout = 0.25;
+    max_retransmits = 4;
+    crashes = [];
+    fault_seed = 0;
+    check_invariants = false;
+  }
+
+let validate fc =
+  assert (fc.rm_drop >= 0. && fc.rm_drop <= 1.);
+  assert (fc.retx_timeout > 0. && fc.max_retransmits >= 0)
+
+type drop_model = Per_cell | Per_link
+
+type counters = {
+  mutable rm_lost : int;
+  mutable retransmits : int;
+  mutable abandoned : int;
+  mutable superseded : int;
+  mutable crash_denials : int;
+  mutable invariant_failures : int;
+}
+
+type plane = {
+  faults : faults;
+  frng : Rng.t;
+  drop : drop_model;
+  counters : counters;
+}
+
+let plane ~drop faults =
+  {
+    faults;
+    frng = Rng.create faults.fault_seed;
+    drop;
+    counters =
+      {
+        rm_lost = 0;
+        retransmits = 0;
+        abandoned = 0;
+        superseded = 0;
+        crash_denials = 0;
+        invariant_failures = 0;
+      };
+  }
+
+type t = {
+  id : int;
+  route : int array;
+  transit : bool;
+  mutable applied : float;
+  mutable gen : int;
+}
+
+let make ~id ~route ~transit =
+  assert (Array.length route > 0);
+  { id; route; transit; applied = 0.; gen = 0 }
+
+let cancel_pending t = t.gen <- t.gen + 1
+
+let fits ~(links : Link.t array) t ~rate ~now =
+  let delta = rate -. t.applied in
+  Array.for_all
+    (fun id ->
+      let l = links.(id) in
+      (not (Link.down l ~now)) && l.Link.demand +. delta <= l.Link.capacity +. 1e-9)
+    t.route
+
+let blocked ~(links : Link.t array) t ~now =
+  Array.exists (fun id -> Link.down links.(id) ~now) t.route
+
+let settle ~(links : Link.t array) t ~rate =
+  let delta = rate -. t.applied in
+  Array.iter
+    (fun id ->
+      let l = links.(id) in
+      l.Link.demand <- l.Link.demand +. delta)
+    t.route;
+  t.applied <- rate
+
+(* Every link's demand must equal the sum of the [applied] rates of the
+   sessions crossing it — conservation of (desired) bandwidth under any
+   interleaving of changes, retransmissions and give-ups.  One
+   pseudo-VCI per link holds the recomputed expectation so the
+   [Invariant] checker flags aggregate/sum mismatches for us. *)
+let audit ~(links : Link.t array) ~sessions =
+  let expect = Array.make (Array.length links) 0. in
+  List.iter
+    (fun s ->
+      Array.iter (fun id -> expect.(id) <- expect.(id) +. s.applied) s.route)
+    sessions;
+  let views =
+    Array.init (Array.length links) (fun i ->
+        {
+          Invariant.index = i;
+          capacity = links.(i).Link.capacity;
+          reserved = links.(i).Link.demand;
+          vci_rates = Some [ (0, expect.(i)) ];
+        })
+  in
+  List.length (Invariant.check ~check_capacity:false views)
+
+type lifetime =
+  | Hold_until of float
+  | Depart_after_pieces of (t -> now:float -> unit)
+
+type driver = {
+  plane_ : plane option;
+  reliable_setup : bool;
+  lifetime : lifetime;
+  before : now:float -> unit;
+  on_attempt : now:float -> unit;
+  retry : now:float -> bool;
+  deliver : t -> now:float -> idx:int -> rate:float -> unit;
+}
+
+let dropped p t =
+  p.faults.rm_drop > 0.
+  &&
+  match p.drop with
+  | Per_cell -> Rng.float p.frng < p.faults.rm_drop
+  | Per_link ->
+      Array.exists (fun _ -> Rng.float p.frng < p.faults.rm_drop) t.route
+
+(* One transmission attempt of the rate-change cell across the session's
+   route; a drop loses it and arms a retransmission, which a newer
+   change (or the departure) supersedes via [gen]. *)
+let signal d t ~idx ~rate engine =
+  t.gen <- t.gen + 1;
+  let gen = t.gen in
+  let rec attempt retx engine =
+    let now = Events.now engine in
+    d.on_attempt ~now;
+    match d.plane_ with
+    | Some p when (idx > 0 || not d.reliable_setup) && dropped p t ->
+        p.counters.rm_lost <- p.counters.rm_lost + 1;
+        if retx >= p.faults.max_retransmits then begin
+          (* Give up signalling and settle on the desired demand anyway:
+             the overload shows up in the demand accounting, as for a
+             denied increase. *)
+          p.counters.abandoned <- p.counters.abandoned + 1;
+          d.deliver t ~now ~idx ~rate
+        end
+        else
+          Events.schedule_after engine ~delay:p.faults.retx_timeout
+            (fun engine ->
+              if t.gen <> gen then
+                p.counters.superseded <- p.counters.superseded + 1
+              else begin
+                let now = Events.now engine in
+                if d.retry ~now then begin
+                  p.counters.retransmits <- p.counters.retransmits + 1;
+                  attempt (retx + 1) engine
+                end
+              end)
+    | _ -> d.deliver t ~now ~idx ~rate
+  in
+  attempt 0 engine
+
+let rec play d t pieces idx engine =
+  let now = Events.now engine in
+  match d.lifetime with
+  | Hold_until horizon ->
+      if now <= horizon then begin
+        d.before ~now;
+        let idx = if idx >= Array.length pieces then 0 else idx in
+        let duration, rate = pieces.(idx) in
+        signal d t ~idx ~rate engine;
+        Events.schedule_after engine ~delay:duration
+          (play d t pieces (idx + 1))
+      end
+  | Depart_after_pieces depart ->
+      d.before ~now;
+      if idx >= Array.length pieces then begin
+        cancel_pending t;
+        depart t ~now
+      end
+      else begin
+        let duration, rate = pieces.(idx) in
+        signal d t ~idx ~rate engine;
+        Events.schedule_after engine ~delay:duration
+          (play d t pieces (idx + 1))
+      end

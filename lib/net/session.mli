@@ -1,0 +1,149 @@
+(** Per-call state machine over a {!Topology}: setup, renegotiations
+    over an optionally unreliable signalling plane (with settle/deny
+    semantics), and departure.
+
+    A session walks the [(duration_s, rate)] pieces of its call
+    schedule on a {!Rcbr_queue.Events} engine.  Each rate change is
+    signalled across the session's route; with a fault {!plane}
+    attached the change cell can be dropped ({!faults.rm_drop}) and is
+    then retransmitted after {!faults.retx_timeout} until
+    {!faults.max_retransmits}, after which the change is applied anyway
+    — settle semantics: the overload shows up in the demand
+    accounting, exactly as for a denied increase.  A newer change for
+    the same session (or its departure) bumps {!t.gen} and cancels the
+    pending retransmission.
+
+    The experiment-specific float expressions — how delivery updates
+    link demand, what counts as a denial — live in the {!driver}
+    hooks so the historical simulators stay bit-identical to their
+    pre-refactor behaviour (DESIGN.md §10); the machine itself (fault
+    draws, retransmit scheduling, generation bookkeeping, blackout and
+    fit checks, conservation audits) is shared. *)
+
+(** {1 Faults} *)
+
+type faults = {
+  rm_drop : float;  (** loss probability of a signalling cell (see {!drop_model}) *)
+  retx_timeout : float;  (** seconds before a lost cell is re-sent *)
+  max_retransmits : int;
+      (** per rate change; afterwards the change is applied anyway
+          (settle semantics) *)
+  crashes : (int * float * float) list;
+      (** [(link, at, recover)] signalling blackouts: increases crossing
+          the link while it is down are denied *)
+  fault_seed : int;
+      (** faults draw from their own stream, so [rm_drop = 0.] and no
+          crashes reproduce the fault-free run bit for bit *)
+  check_invariants : bool;
+      (** periodically audit demand = sum of crossing sessions' rates *)
+}
+
+val no_faults : faults
+(** No loss, no crashes, no auditing. *)
+
+val validate : faults -> unit
+(** Asserts the probability range, positive timeout and nonnegative
+    retransmit cap. *)
+
+type drop_model =
+  | Per_cell  (** one loss draw per transmission (the MBAC link) *)
+  | Per_link
+      (** one draw per route link, short-circuiting at the first loss
+          (the multi-hop experiment: every hop is a point of failure) *)
+
+type counters = {
+  mutable rm_lost : int;  (** signalling cells the fault plane swallowed *)
+  mutable retransmits : int;
+  mutable abandoned : int;  (** changes applied only after give-up *)
+  mutable superseded : int;  (** retransmissions cancelled by a newer change *)
+  mutable crash_denials : int;  (** denials caused purely by a crashed link *)
+  mutable invariant_failures : int;  (** 0 unless there is a bookkeeping bug *)
+}
+
+type plane = {
+  faults : faults;
+  frng : Rcbr_util.Rng.t;  (** the separate fault stream *)
+  drop : drop_model;
+  counters : counters;
+}
+
+val plane : drop:drop_model -> faults -> plane
+(** Fresh zeroed counters and a [fault_seed]ed stream. *)
+
+(** {1 Sessions} *)
+
+type t = {
+  id : int;  (** caller's label (the MBAC call id) *)
+  route : int array;  (** link ids, in hop order *)
+  transit : bool;  (** multi-link call (vs single-hop cross traffic) *)
+  mutable applied : float;
+      (** the rate the links currently account for this session; lags
+          the demanded rate while a change cell is in retransmission *)
+  mutable gen : int;
+      (** bumped per rate change and on departure; cancels stale
+          retransmissions *)
+}
+
+val make : id:int -> route:int array -> transit:bool -> t
+
+val cancel_pending : t -> unit
+(** Bump [gen] so any in-flight retransmission is superseded. *)
+
+(** {1 Route queries} *)
+
+val fits : links:Link.t array -> t -> rate:float -> now:float -> bool
+(** Whether every route link is up and can absorb the rate delta
+    within capacity (1e-9 slack for float accumulation). *)
+
+val blocked : links:Link.t array -> t -> now:float -> bool
+(** Whether any route link is inside a crash blackout. *)
+
+val settle : links:Link.t array -> t -> rate:float -> unit
+(** Account the demanded [rate] on every route link (settle semantics:
+    the demand moves whether or not it {!fits}) and record it as
+    [applied]. *)
+
+val audit : links:Link.t array -> sessions:t list -> int
+(** Conservation check: every link's demand must equal the sum of the
+    [applied] rates of the sessions crossing it, via
+    {!Rcbr_fault.Invariant.check} on per-link views.  Returns the
+    number of violations (0 unless there is a bookkeeping bug). *)
+
+(** {1 The state machine} *)
+
+type lifetime =
+  | Hold_until of float
+      (** loop the pieces until the horizon (the multi-hop calls) *)
+  | Depart_after_pieces of (t -> now:float -> unit)
+      (** play the pieces once, then run the departure hook (the MBAC
+          calls); [gen] is bumped first so pending retransmissions die *)
+
+type driver = {
+  plane_ : plane option;  (** [None]: reliable signalling *)
+  reliable_setup : bool;
+      (** piece 0 is signalled without loss (MBAC: admission already
+          happened at the arrival event) *)
+  lifetime : lifetime;
+  before : now:float -> unit;
+      (** accounting hook at the top of every piece event *)
+  on_attempt : now:float -> unit;
+      (** accounting hook at the top of every transmission attempt *)
+  retry : now:float -> bool;
+      (** guard run when a retransmission timer fires (after the [gen]
+          check); returning false drops the retransmission silently *)
+  deliver : t -> now:float -> idx:int -> rate:float -> unit;
+      (** the change cell arrived (or the machine gave up): apply the
+          rate — demand update, denial counting, controller callbacks *)
+}
+
+val play : driver -> t -> (float * float) array -> int -> Rcbr_queue.Events.t -> unit
+(** [play d t pieces idx engine] is the piece event: fire piece [idx]
+    (signal its rate, schedule the next piece after its duration), or
+    depart / stop at the horizon per [d.lifetime].  Partially applied,
+    it is the [Events] callback for the session's next piece. *)
+
+val signal : driver -> t -> idx:int -> rate:float -> Rcbr_queue.Events.t -> unit
+(** One rate change: bump [gen] and run transmission attempts until
+    the cell is delivered, abandoned (then delivered with settle
+    semantics) or superseded.  Exposed for drivers that signal outside
+    the piece walk. *)

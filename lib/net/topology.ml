@@ -1,0 +1,107 @@
+module Json = Rcbr_util.Json
+
+type link = { src : int; dst : int; capacity : float }
+type t = { n_nodes : int; links : link array; routes : int array array }
+
+let make ~n_nodes ~links ~routes =
+  if n_nodes < 1 then invalid_arg "Topology.make: need at least one node";
+  Array.iteri
+    (fun i l ->
+      if l.capacity <= 0. then
+        invalid_arg (Printf.sprintf "Topology.make: link %d capacity <= 0" i);
+      if l.src < 0 || l.src >= n_nodes || l.dst < 0 || l.dst >= n_nodes then
+        invalid_arg (Printf.sprintf "Topology.make: link %d endpoint out of range" i))
+    links;
+  if Array.length routes = 0 then invalid_arg "Topology.make: no routes";
+  Array.iteri
+    (fun r route ->
+      if Array.length route = 0 then
+        invalid_arg (Printf.sprintf "Topology.make: route %d is empty" r);
+      Array.iteri
+        (fun h id ->
+          if id < 0 || id >= Array.length links then
+            invalid_arg
+              (Printf.sprintf "Topology.make: route %d link id %d out of range" r id);
+          if h > 0 && links.(id).src <> links.(route.(h - 1)).dst then
+            invalid_arg
+              (Printf.sprintf "Topology.make: route %d breaks at hop %d" r h))
+        route)
+    routes;
+  { n_nodes; links; routes }
+
+let single_link ~capacity =
+  make ~n_nodes:2
+    ~links:[| { src = 0; dst = 1; capacity } |]
+    ~routes:[| [| 0 |] |]
+
+let linear ~hops ~capacity =
+  if hops < 1 then invalid_arg "Topology.linear: hops < 1";
+  make ~n_nodes:(hops + 1)
+    ~links:(Array.init hops (fun h -> { src = h; dst = h + 1; capacity }))
+    ~routes:[| Array.init hops (fun h -> h) |]
+
+let parallel_routes ~routes ~hops ~capacity =
+  if routes < 1 then invalid_arg "Topology.parallel_routes: routes < 1";
+  if hops < 1 then invalid_arg "Topology.parallel_routes: hops < 1";
+  (* Node 0 is the source, node 1 the sink; route [r]'s interior nodes
+     are [2 + r*(hops-1) ..].  Link id [r*hops + h] keeps the historical
+     (route, hop) flattening. *)
+  let interior r h = 2 + (r * (hops - 1)) + h in
+  let links =
+    Array.init (routes * hops) (fun i ->
+        let r = i / hops and h = i mod hops in
+        let src = if h = 0 then 0 else interior r (h - 1) in
+        let dst = if h = hops - 1 then 1 else interior r h in
+        { src; dst; capacity })
+  in
+  make
+    ~n_nodes:(2 + (routes * (hops - 1)))
+    ~links
+    ~routes:(Array.init routes (fun r -> Array.init hops (fun h -> (r * hops) + h)))
+
+let n_links t = Array.length t.links
+let n_routes t = Array.length t.routes
+let route_lengths t = Array.map Array.length t.routes
+
+let of_json json =
+  let fail what = invalid_arg ("Topology.of_json: " ^ what) in
+  let int = function
+    | Json.Int i -> i
+    | _ -> fail "expected an integer"
+  in
+  let number = function
+    | Json.Int i -> float_of_int i
+    | Json.Float f -> f
+    | _ -> fail "expected a number"
+  in
+  let list = function Json.List l -> l | _ -> fail "expected a list" in
+  let field key obj =
+    match Json.member key obj with
+    | Some v -> v
+    | None -> fail (Printf.sprintf "missing %S" key)
+  in
+  let n_nodes = int (field "nodes" json) in
+  let links =
+    field "links" json |> list
+    |> List.map (fun l ->
+           {
+             src = int (field "src" l);
+             dst = int (field "dst" l);
+             capacity = number (field "capacity" l);
+           })
+    |> Array.of_list
+  in
+  let routes =
+    field "routes" json |> list
+    |> List.map (fun r -> list r |> List.map int |> Array.of_list)
+    |> Array.of_list
+  in
+  make ~n_nodes ~links ~routes
+
+let load path = of_json (Json.load path)
+
+let pp ppf t =
+  Fmt.pf ppf "%d nodes, %d links, %d routes (%a hops)" t.n_nodes
+    (Array.length t.links) (Array.length t.routes)
+    Fmt.(array ~sep:(any "/") int)
+    (route_lengths t)

@@ -3,13 +3,33 @@ module Events = Rcbr_queue.Events
 module Rng = Rcbr_util.Rng
 module Stats = Rcbr_util.Stats
 module Controller = Rcbr_admission.Controller
+module Topology = Rcbr_net.Topology
+module Link = Rcbr_net.Link
+module Session = Rcbr_net.Session
 
-type faults = {
+(* Deprecated alias: the shared network-layer fault record replaced the
+   local near-duplicate ([rm_timeout] became [retx_timeout],
+   [rm_max_retransmits] became [max_retransmits]); [lossy] bridges the
+   historical field names. *)
+type faults = Rcbr_net.Session.faults = {
   rm_drop : float;
-  rm_timeout : float;
-  rm_max_retransmits : int;
+  retx_timeout : float;
+  max_retransmits : int;
+  crashes : (int * float * float) list;
   fault_seed : int;
+  check_invariants : bool;
 }
+
+let lossy ?(crashes = []) ?(check_invariants = false) ~rm_drop ~rm_timeout
+    ~rm_max_retransmits ~fault_seed () =
+  {
+    rm_drop;
+    retx_timeout = rm_timeout;
+    max_retransmits = rm_max_retransmits;
+    crashes;
+    fault_seed;
+    check_invariants;
+  }
 
 type config = {
   schedule : Rcbr_core.Schedule.t;
@@ -54,6 +74,7 @@ type metrics = {
   signalling_dropped : int;
   signalling_retransmits : int;
   signalling_abandoned : int;
+  invariant_failures : int;
   admission : Controller.stats;
 }
 
@@ -85,61 +106,30 @@ let shifted_pieces schedule ~shift =
   push (shift - segs.(!j).Schedule.start_slot) segs.(!j).Schedule.rate;
   Array.of_list (List.rev !pieces)
 
-type link = {
-  capacity : float;
-  mutable demand : float;  (* sum of admitted calls' demanded rates *)
-  mutable last : float;  (* time of last accounting *)
-  mutable offered_bits : float;
-  mutable lost_bits : float;
-  mutable granted_bits : float;
-  mutable call_seconds : float;  (* integral of #calls, for the mean *)
-  mutable n_calls : int;
-}
-
-let advance link ~now =
-  let dt = now -. link.last in
-  if dt > 0. then begin
-    link.offered_bits <- link.offered_bits +. (link.demand *. dt);
-    link.granted_bits <-
-      link.granted_bits +. (Float.min link.demand link.capacity *. dt);
-    link.lost_bits <-
-      link.lost_bits +. (Float.max 0. (link.demand -. link.capacity) *. dt);
-    link.call_seconds <- link.call_seconds +. (float_of_int link.n_calls *. dt);
-    link.last <- now
-  end
-
 let run_with_pieces (c : config) ~make_pieces ~controller =
   assert (c.capacity > 0. && c.arrival_rate > 0.);
   assert (c.warmup_windows >= 0 && c.min_windows >= 1);
   assert (c.max_windows >= c.warmup_windows + c.min_windows);
-  (match c.faults with
-  | None -> ()
-  | Some f ->
-      assert (f.rm_drop >= 0. && f.rm_drop <= 1.);
-      assert (f.rm_timeout > 0. && f.rm_max_retransmits >= 0));
+  (match c.faults with None -> () | Some f -> Session.validate f);
   let rng = Rng.create c.seed in
-  (* Fault randomness lives on its own stream: [faults = None] and
-     [Some { rm_drop = 0.; _ }] give bit-identical metrics. *)
-  let frng =
+  (* Fault randomness lives on its own stream inside the plane:
+     [faults = None] and [Some { rm_drop = 0.; _ }] give bit-identical
+     metrics. *)
+  let plane =
     match c.faults with
     | None -> None
-    | Some f -> Some (f, Rng.create f.fault_seed)
+    | Some f -> Some (Session.plane ~drop:Session.Per_cell f)
   in
-  let sig_dropped = ref 0 and sig_retx = ref 0 and sig_abandoned = ref 0 in
+  let audit_enabled =
+    match c.faults with Some f -> f.check_invariants | None -> false
+  in
   let engine = Events.create () in
   let window = Schedule.duration c.schedule in
-  let link =
-    {
-      capacity = c.capacity;
-      demand = 0.;
-      last = 0.;
-      offered_bits = 0.;
-      lost_bits = 0.;
-      granted_bits = 0.;
-      call_seconds = 0.;
-      n_calls = 0;
-    }
+  let topology = Topology.single_link ~capacity:c.capacity in
+  let crashes =
+    match c.faults with None -> [] | Some f -> f.Session.crashes
   in
+  let link = (Link.of_topology ~crashes topology).(0) in
   let next_call_id = ref 0 in
   let arrivals = ref 0 and blocked = ref 0 in
   let reneg_up = ref 0 and reneg_denied = ref 0 in
@@ -148,78 +138,79 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
   let calls_stats = Stats.Online.create () in
   let windows_done = ref 0 in
   let stop = ref false in
-  (* One call's life: walk its pieces, then depart.  [applied] is the
+  let active = ref [] and applies = ref 0 in
+  let record_audit () =
+    match plane with
+    | Some p ->
+        p.Session.counters.Session.invariant_failures <-
+          p.Session.counters.Session.invariant_failures
+          + Session.audit ~links:[| link |] ~sessions:!active
+    | None -> ()
+  in
+  (* One call's life: walk its pieces, then depart.  [t.applied] is the
      rate the link currently accounts for this call; with a reliable
      signalling plane it always equals the previous piece's rate, but a
      dropped rate-change cell leaves it behind until the retransmission
-     (or the give-up) lands.  [gen] is bumped per rate change and on
+     (or the give-up) lands.  [t.gen] is bumped per rate change and on
      departure, so a newer change or the teardown cancels any pending
      retransmission of a stale one. *)
-  let rec piece_event id applied gen pieces idx engine =
-    let now = Events.now engine in
-    advance link ~now;
-    if idx >= Array.length pieces then begin
-      (* Departure: release whatever rate the link believes.  A change
-         still in retransmission simply never applies. *)
-      link.demand <- link.demand -. !applied;
-      link.n_calls <- link.n_calls - 1;
-      incr gen;
-      Controller.on_depart controller ~now ~call:id
+  let deliver t ~now ~idx ~rate =
+    let new_demand = link.Link.demand -. t.Session.applied +. rate in
+    if idx > 0 && rate > t.Session.applied then begin
+      incr reneg_up;
+      if new_demand > link.Link.capacity || Link.down link ~now then begin
+        incr reneg_denied;
+        if Link.down link ~now then
+          match plane with
+          | Some p ->
+              p.Session.counters.Session.crash_denials <-
+                p.Session.counters.Session.crash_denials + 1
+          | None -> ()
+      end
+    end;
+    link.Link.demand <- new_demand;
+    t.Session.applied <- rate;
+    if idx > 0 then
+      Controller.on_renegotiate controller ~now ~call:t.Session.id ~rate;
+    if audit_enabled then begin
+      incr applies;
+      if !applies mod 64 = 0 then record_audit ()
     end
-    else begin
-      let duration, rate = pieces.(idx) in
-      incr gen;
-      let g = !gen in
-      let apply ~now =
-        let new_demand = link.demand -. !applied +. rate in
-        if idx > 0 && rate > !applied then begin
-          incr reneg_up;
-          if new_demand > link.capacity then incr reneg_denied
-        end;
-        link.demand <- new_demand;
-        applied := rate;
-        if idx > 0 then Controller.on_renegotiate controller ~now ~call:id ~rate
-      in
-      let dropped (f, r) = f.rm_drop > 0. && Rng.float r < f.rm_drop in
-      let rec attempt retx engine =
-        let now = Events.now engine in
-        advance link ~now;
-        match frng with
-        (* Call setup (idx = 0) is signalled reliably: admission already
-           happened at the arrival event. *)
-        | Some ((f, _) as fr) when idx > 0 && dropped fr ->
-            incr sig_dropped;
-            if retx >= f.rm_max_retransmits then begin
-              (* Settle semantics: give up signalling and account the
-                 demanded rate anyway — the excess shows up as lost
-                 bits, exactly as for a denied increase. *)
-              incr sig_abandoned;
-              apply ~now
-            end
-            else
-              Events.schedule_after engine ~delay:f.rm_timeout (fun engine ->
-                  if !gen = g then begin
-                    incr sig_retx;
-                    attempt (retx + 1) engine
-                  end)
-        | _ -> apply ~now
-      in
-      attempt 0 engine;
-      Events.schedule_after engine ~delay:duration
-        (piece_event id applied gen pieces (idx + 1))
-    end
+  in
+  let depart t ~now =
+    (* Departure: release whatever rate the link believes.  A change
+       still in retransmission simply never applies. *)
+    link.Link.demand <- link.Link.demand -. t.Session.applied;
+    link.Link.n_calls <- link.Link.n_calls - 1;
+    Controller.on_depart controller ~now ~call:t.Session.id;
+    if audit_enabled then active := List.filter (fun s -> s != t) !active
+  in
+  let driver =
+    {
+      Session.plane_ = plane;
+      (* Call setup (piece 0) is signalled reliably: admission already
+         happened at the arrival event. *)
+      reliable_setup = true;
+      lifetime = Session.Depart_after_pieces depart;
+      before = (fun ~now -> Link.advance link ~now);
+      on_attempt = (fun ~now -> Link.advance link ~now);
+      retry = (fun ~now:_ -> true);
+      deliver;
+    }
   in
   let rec arrival_event engine =
     let now = Events.now engine in
-    advance link ~now;
+    Link.advance link ~now;
     incr arrivals;
     if Controller.admit controller ~now then begin
       let id = !next_call_id in
       incr next_call_id;
       let pieces = make_pieces rng in
-      link.n_calls <- link.n_calls + 1;
+      link.Link.n_calls <- link.Link.n_calls + 1;
       Controller.on_admit controller ~now ~call:id ~rate:(snd pieces.(0));
-      piece_event id (ref 0.) (ref 0) pieces 0 engine
+      let t = Session.make ~id ~route:[| 0 |] ~transit:false in
+      if audit_enabled then active := t :: !active;
+      Session.play driver t pieces 0 engine
     end
     else incr blocked;
     if not !stop then
@@ -229,21 +220,20 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
   in
   let rec window_event engine =
     let now = Events.now engine in
-    advance link ~now;
+    Link.advance link ~now;
     incr windows_done;
     if !windows_done > c.warmup_windows then begin
       let failure =
-        if link.offered_bits > 0. then link.lost_bits /. link.offered_bits
+        if link.Link.offered_bits > 0. then
+          link.Link.lost_bits /. link.Link.offered_bits
         else 0.
       in
       Stats.Online.add failure_stats failure;
-      Stats.Online.add util_stats (link.granted_bits /. (c.capacity *. window));
-      Stats.Online.add calls_stats (link.call_seconds /. window)
+      Stats.Online.add util_stats
+        (link.Link.granted_bits /. (c.capacity *. window));
+      Stats.Online.add calls_stats (link.Link.call_seconds /. window)
     end;
-    link.offered_bits <- 0.;
-    link.lost_bits <- 0.;
-    link.granted_bits <- 0.;
-    link.call_seconds <- 0.;
+    Link.reset_window link;
     let samples = Stats.Online.count failure_stats in
     let enough_precision =
       samples >= c.min_windows
@@ -268,6 +258,17 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
   while (not !stop) && Events.step engine do
     ()
   done;
+  if audit_enabled then record_audit ();
+  let rm_lost, retransmits, abandoned, invariant_failures =
+    match plane with
+    | Some p ->
+        let k = p.Session.counters in
+        ( k.Session.rm_lost,
+          k.Session.retransmits,
+          k.Session.abandoned,
+          k.Session.invariant_failures )
+    | None -> (0, 0, 0, 0)
+  in
   {
     failure_probability = Stats.Online.mean failure_stats;
     failure_halfwidth = Stats.Online.confidence_halfwidth failure_stats;
@@ -281,9 +282,10 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
        else float_of_int !reneg_denied /. float_of_int !reneg_up);
     mean_calls_in_system = Stats.Online.mean calls_stats;
     windows = Stats.Online.count failure_stats;
-    signalling_dropped = !sig_dropped;
-    signalling_retransmits = !sig_retx;
-    signalling_abandoned = !sig_abandoned;
+    signalling_dropped = rm_lost;
+    signalling_retransmits = retransmits;
+    signalling_abandoned = abandoned;
+    invariant_failures;
     admission = Controller.stats controller;
   }
 

@@ -11,6 +11,12 @@
     are simulated — the efficiency gain the paper points out in
     footnote 4.
 
+    Since the [lib/net] refactor this module is a thin driver: the link
+    state is an {!Rcbr_net.Link} on a {!Rcbr_net.Topology.single_link}
+    and each call is an {!Rcbr_net.Session} played on the shared event
+    engine; only the MBAC-specific accounting (controller callbacks,
+    denial counting, window sampling) lives here.
+
     Sampling follows the paper: every interval of one schedule duration
     yields one sample of the renegotiation-failure probability (the
     fraction of demanded bits lost) and of the link utilization
@@ -19,16 +25,37 @@
     when the failure estimate is confidently below [target], or at
     [max_windows]. *)
 
-type faults = {
+type faults = Rcbr_net.Session.faults = {
   rm_drop : float;  (** loss probability per signalling (rate-change) cell *)
-  rm_timeout : float;  (** seconds before a lost cell is re-sent *)
-  rm_max_retransmits : int;
+  retx_timeout : float;  (** seconds before a lost cell is re-sent *)
+  max_retransmits : int;
       (** per rate change; after that the change is accounted anyway
           (settle semantics, as for a denied increase) *)
+  crashes : (int * float * float) list;
+      (** [(link, at, recover)] blackouts; the MBAC link is id 0.
+          Increases attempted while the link is down count as denied. *)
   fault_seed : int;
       (** separate stream: [rm_drop = 0.] reproduces the fault-free run
           bit for bit *)
+  check_invariants : bool;
+      (** periodically audit demand = sum of active calls' rates *)
 }
+(** Deprecated alias of the shared {!Rcbr_net.Session.faults} record
+    (the historical local record named the timeout [rm_timeout] and the
+    cap [rm_max_retransmits]); use {!lossy} to construct it with the
+    historical argument names. *)
+
+val lossy :
+  ?crashes:(int * float * float) list ->
+  ?check_invariants:bool ->
+  rm_drop:float ->
+  rm_timeout:float ->
+  rm_max_retransmits:int ->
+  fault_seed:int ->
+  unit ->
+  faults
+(** Compatibility constructor carrying the historical field names onto
+    the shared record (no crashes, no auditing by default). *)
 
 type config = {
   schedule : Rcbr_core.Schedule.t;  (** reference call schedule *)
@@ -43,7 +70,7 @@ type config = {
   faults : faults option;
       (** [None] (the default): reliable signalling, historical
           behaviour.  [Some]: each renegotiation cell is dropped with
-          [rm_drop] and retransmitted after [rm_timeout]; a newer rate
+          [rm_drop] and retransmitted after [retx_timeout]; a newer rate
           change for the same call, or its departure, cancels the
           pending retransmission, and a departing call releases the rate
           the link actually believes — bandwidth stays conserved under
@@ -73,9 +100,12 @@ type metrics = {
   denial_fraction : float;  (** renegotiation increases denied / issued *)
   mean_calls_in_system : float;
   windows : int;
-  signalling_dropped : int;  (** RM cells lost to the fault plan; 0 without faults *)
+  signalling_dropped : int;  (** RM cells lost to the fault plane; 0 without faults *)
   signalling_retransmits : int;
   signalling_abandoned : int;  (** changes applied only after give-up *)
+  invariant_failures : int;
+      (** conservation-audit violations; 0 unless [check_invariants]
+          found a bookkeeping bug *)
   admission : Rcbr_admission.Controller.stats;
       (** the controller's decision and solver counters at the end of
           the run — in particular [decision_hash], an order-sensitive

@@ -1,7 +1,9 @@
 module Schedule = Rcbr_core.Schedule
 module Events = Rcbr_queue.Events
 module Rng = Rcbr_util.Rng
-module Invariant = Rcbr_fault.Invariant
+module Topology = Rcbr_net.Topology
+module Link = Rcbr_net.Link
+module Session = Rcbr_net.Session
 
 type config = {
   schedule : Rcbr_core.Schedule.t;
@@ -19,28 +21,29 @@ type balanced_config = {
   balance : bool;  (** least-loaded route choice vs uniform random *)
 }
 
-type faults = {
-  rm_drop : float;  (** per-hop loss probability of a signalling cell *)
-  retx_timeout : float;  (** seconds before a lost request is re-sent *)
-  max_retransmits : int;  (** per rate change, before applying anyway *)
-  crashes : (int * float * float) list;
-      (** (hop, at, recover): during the window the hop (on every
-          route) is a signalling blackout — all increases through it
-          are denied *)
-  fault_seed : int;
-  check_invariants : bool;
-      (** audit demand = sum of call rates as the simulation runs *)
+type net_config = {
+  schedule : Rcbr_core.Schedule.t;
+  topology : Topology.t;
+  transit_calls : int;  (** spread across the topology's routes *)
+  local_calls_per_link : int;  (** single-hop cross traffic on every link *)
+  horizon : float;
+  seed : int;
+  balance : bool;
 }
 
-let no_faults =
-  {
-    rm_drop = 0.;
-    retx_timeout = 0.25;
-    max_retransmits = 4;
-    crashes = [];
-    fault_seed = 0;
-    check_invariants = false;
-  }
+(* Deprecated alias: the shared network-layer fault record replaced the
+   local near-duplicate.  [crashes] here are (hop, at, recover) across
+   every route; [run_net] takes them as plain link ids. *)
+type faults = Rcbr_net.Session.faults = {
+  rm_drop : float;
+  retx_timeout : float;
+  max_retransmits : int;
+  crashes : (int * float * float) list;
+  fault_seed : int;
+  check_invariants : bool;
+}
+
+let no_faults = Session.no_faults
 
 type metrics = {
   transit_attempts : int;
@@ -51,7 +54,7 @@ type metrics = {
 }
 
 type fault_metrics = {
-  rm_lost : int;  (** signalling cells the fault plan swallowed *)
+  rm_lost : int;  (** signalling cells the fault plane swallowed *)
   retransmits : int;
   abandoned : int;  (** rate changes applied only after give-up *)
   superseded : int;  (** retransmissions cancelled by a newer change *)
@@ -63,253 +66,170 @@ let denial_fraction m =
   if m.transit_attempts = 0 then 0.
   else float_of_int m.transit_denials /. float_of_int m.transit_attempts
 
-(* A call's route is a list of (route index, hop index) links. *)
-type call = {
-  links : (int * int) list;
-  mutable rate : float;
-  transit : bool;
-  mutable gen : int;  (* bumped per rate change; cancels stale retransmits *)
-}
-
-let run_faulty bc fc =
-  let c = bc.base in
-  assert (c.hops >= 1 && c.capacity_per_hop > 0. && c.horizon > 0.);
-  assert (c.transit_calls >= 1 && c.local_calls_per_hop >= 0);
-  assert (bc.routes >= 1);
-  assert (fc.rm_drop >= 0. && fc.rm_drop <= 1.);
-  assert (fc.retx_timeout > 0. && fc.max_retransmits >= 0);
-  let rng = Rng.create c.seed in
-  (* Fault randomness is a separate stream so that a null fault spec
-     reproduces the fault-free run bit for bit. *)
-  let frng = Rng.create fc.fault_seed in
+let run_net (nc : net_config) fc =
+  let topo = nc.topology in
+  let n_links = Topology.n_links topo in
+  assert (nc.horizon > 0.);
+  assert (nc.transit_calls >= 1 && nc.local_calls_per_link >= 0);
+  Session.validate fc;
+  let rng = Rng.create nc.seed in
+  (* Fault randomness is a separate stream inside the plane, so a null
+     fault spec reproduces the fault-free run bit for bit. *)
+  let plane = Session.plane ~drop:Session.Per_link fc in
+  let counters = plane.Session.counters in
   let engine = Events.create () in
-  let demand = Array.init bc.routes (fun _ -> Array.make c.hops 0.) in
-  let calls = ref [] in
+  let links = Link.of_topology ~crashes:fc.crashes topo in
+  let sessions = ref [] in
   let util_integral = ref 0. and last = ref 0. in
   let advance now =
     let dt = now -. !last in
     if dt > 0. then begin
       let acc = ref 0. in
       Array.iter
-        (Array.iter (fun d -> acc := !acc +. Float.min 1. (d /. c.capacity_per_hop)))
-        demand;
-      util_integral :=
-        !util_integral +. (!acc /. float_of_int (bc.routes * c.hops) *. dt);
+        (fun l ->
+          acc := !acc +. Float.min 1. (l.Link.demand /. l.Link.capacity))
+        links;
+      util_integral := !util_integral +. (!acc /. float_of_int n_links *. dt);
       last := now
     end
   in
   let transit_attempts = ref 0 and transit_denials = ref 0 in
   let local_attempts = ref 0 and local_denials = ref 0 in
-  let rm_lost = ref 0 and retransmits = ref 0 in
-  let abandoned = ref 0 and superseded = ref 0 in
-  let crash_denials = ref 0 and invariant_failures = ref 0 in
   let applies = ref 0 in
-  let n_slots = Schedule.n_slots c.schedule in
-  (* The fault plan is fixed for the whole run, so compile the crash
-     list into per-hop start-sorted arrays of merged [at, recover)
-     blackout windows once: the per-renegotiation liveness check is
-     then a binary search over that hop's windows instead of a scan of
-     the whole plan on every hop of every attempt.  Merging overlapping
-     windows keeps the membership test equal to the original
-     [List.exists]. *)
-  let crash_table =
-    let tbl = Array.make c.hops [||] in
-    if fc.crashes <> [] then begin
-      let per_hop = Array.make c.hops [] in
-      List.iter
-        (fun (h, a, r) ->
-          if h >= 0 && h < c.hops && r > a then
-            per_hop.(h) <- (a, r) :: per_hop.(h))
-        fc.crashes;
-      Array.iteri
-        (fun h windows ->
-          let windows = List.sort compare windows in
-          let merged =
-            List.fold_left
-              (fun acc (a, r) ->
-                match acc with
-                | (a0, r0) :: rest when a <= r0 ->
-                    (a0, Float.max r0 r) :: rest
-                | _ -> (a, r) :: acc)
-              [] windows
-          in
-          tbl.(h) <- Array.of_list (List.rev merged))
-        per_hop
-    end;
-    tbl
-  in
-  let hop_down h now =
-    let windows = crash_table.(h) in
-    let n = Array.length windows in
-    n > 0
-    && begin
-         (* Rightmost window starting at or before [now]. *)
-         let lo = ref 0 and hi = ref n in
-         while !lo < !hi do
-           let mid = (!lo + !hi) / 2 in
-           if fst windows.(mid) <= now then lo := mid + 1 else hi := mid
-         done;
-         !lo > 0 && now < snd windows.(!lo - 1)
-       end
-  in
-  let fits call new_rate ~now =
-    let delta = new_rate -. call.rate in
-    List.for_all
-      (fun (r, h) ->
-        (not (hop_down h now))
-        && demand.(r).(h) +. delta <= c.capacity_per_hop +. 1e-9)
-      call.links
-  in
-  let crash_blocked call ~now =
-    List.exists (fun (_, h) -> hop_down h now) call.links
-  in
-  (* Audit: every link's demand must equal the sum of the rates of the
-     calls crossing it — conservation of (desired) bandwidth under any
-     interleaving of changes, retransmissions and give-ups. *)
+  let n_slots = Schedule.n_slots nc.schedule in
   let check_invariant () =
-    let expect = Array.init bc.routes (fun _ -> Array.make c.hops 0.) in
-    List.iter
-      (fun call ->
-        List.iter
-          (fun (r, h) -> expect.(r).(h) <- expect.(r).(h) +. call.rate)
-          call.links)
-      !calls;
-    let views =
-      Array.init (bc.routes * c.hops) (fun i ->
-          let r = i / c.hops and h = i mod c.hops in
-          {
-            Invariant.index = i;
-            capacity = c.capacity_per_hop;
-            reserved = demand.(r).(h);
-            (* One pseudo-VCI holding the recomputed expectation: the
-               checker then flags aggregate/sum mismatches for us. *)
-            vci_rates = Some [ (0, expect.(r).(h)) ];
-          })
-    in
-    invariant_failures :=
-      !invariant_failures
-      + List.length (Invariant.check ~check_capacity:false views)
+    counters.Session.invariant_failures <-
+      counters.Session.invariant_failures
+      + Session.audit ~links ~sessions:!sessions
   in
-  let apply_change call rate ~now ~count =
-    if count && rate > call.rate then begin
-      if call.transit then incr transit_attempts else incr local_attempts;
-      if not (fits call rate ~now) then begin
-        if call.transit then incr transit_denials else incr local_denials;
-        if crash_blocked call ~now then incr crash_denials
+  (* Demand is the *desired* rate (settle semantics): a denied increase
+     is counted and the demand still rises — the overload shows up in
+     the utilization cap. *)
+  let apply_change t rate ~now ~count =
+    if count && rate > t.Session.applied then begin
+      if t.Session.transit then incr transit_attempts else incr local_attempts;
+      if not (Session.fits ~links t ~rate ~now) then begin
+        if t.Session.transit then incr transit_denials else incr local_denials;
+        if Session.blocked ~links t ~now then
+          counters.Session.crash_denials <- counters.Session.crash_denials + 1
       end
     end;
-    let delta = rate -. call.rate in
-    List.iter (fun (r, h) -> demand.(r).(h) <- demand.(r).(h) +. delta) call.links;
-    call.rate <- rate;
+    Session.settle ~links t ~rate;
     if fc.check_invariants then begin
       incr applies;
       if !applies mod 64 = 0 then check_invariant ()
     end
   in
-  (* One transmission attempt of the rate-change cell across the call's
-     links; a drop anywhere loses it and arms a retransmission, which a
-     newer change (next piece) supersedes. *)
-  let rec signal call rate gen ~retx engine =
-    let now = Events.now engine in
-    let lost =
-      fc.rm_drop > 0.
-      && List.exists (fun _ -> Rng.float frng < fc.rm_drop) call.links
-    in
-    if not lost then apply_change call rate ~now ~count:true
-    else begin
-      incr rm_lost;
-      if retx >= fc.max_retransmits then begin
-        (* Give up signalling and settle on the desired demand anyway:
-           the overload shows up in the utilization cap, as for a denied
-           increase. *)
-        incr abandoned;
-        apply_change call rate ~now ~count:true
-      end
-      else
-        Events.schedule_after engine ~delay:fc.retx_timeout (fun engine ->
-            let now = Events.now engine in
-            if call.gen <> gen then incr superseded
-            else if now <= c.horizon then begin
-              advance now;
-              incr retransmits;
-              signal call rate gen ~retx:(retx + 1) engine
-            end)
-    end
+  let driver =
+    {
+      Session.plane_ = Some plane;
+      reliable_setup = false;
+      lifetime = Session.Hold_until nc.horizon;
+      before = (fun ~now -> advance now);
+      on_attempt = (fun ~now:_ -> ());
+      retry =
+        (fun ~now ->
+          now <= nc.horizon
+          && begin
+               advance now;
+               true
+             end);
+      deliver =
+        (fun t ~now ~idx:_ ~rate -> apply_change t rate ~now ~count:true);
+    }
   in
-  (* Each call loops over its shifted pieces for the whole horizon.
-     Demand is the *desired* rate (settle semantics): a denied increase
-     is counted and the demand still rises — the overload shows up in
-     the utilization cap. *)
-  let rec piece_event call pieces idx engine =
-    let now = Events.now engine in
-    if now <= c.horizon then begin
-      advance now;
-      let idx = if idx >= Array.length pieces then 0 else idx in
-      let duration, rate = pieces.(idx) in
-      call.gen <- call.gen + 1;
-      signal call rate call.gen ~retx:0 engine;
-      Events.schedule_after engine ~delay:duration
-        (piece_event call pieces (idx + 1))
-    end
-  in
-  let start_call ~links ~transit =
+  let start_call ~route ~transit =
     let shift = Rng.int rng n_slots in
-    let pieces = Mbac.shifted_pieces c.schedule ~shift in
-    let call = { links; rate = 0.; transit; gen = 0 } in
-    calls := call :: !calls;
+    let pieces = Mbac.shifted_pieces nc.schedule ~shift in
+    let t = Session.make ~id:0 ~route ~transit in
+    sessions := t :: !sessions;
     (* Reserve the setup rate immediately so later placement decisions
        (the load balancer) see it; the first piece event is then a
        no-op rate-wise.  Call setup is signalled reliably and is not a
        renegotiation attempt. *)
-    apply_change call (snd pieces.(0)) ~now:0. ~count:false;
+    apply_change t (snd pieces.(0)) ~now:0. ~count:false;
     (* Desynchronize call starts within the first pieces. *)
     let offset = Rng.float rng in
-    Events.schedule engine ~at:offset (piece_event call pieces 0)
+    Events.schedule engine ~at:offset (Session.play driver t pieces 0)
   in
-  let route_load r = Array.fold_left ( +. ) 0. demand.(r) in
+  let route_load route =
+    Array.fold_left (fun acc id -> acc +. links.(id).Link.demand) 0. route
+  in
   let pick_route () =
-    if not bc.balance then Rng.int rng bc.routes
+    if not nc.balance then Rng.int rng (Topology.n_routes topo)
     else begin
       (* Call-level load balancing: the least-loaded alternative. *)
       let best = ref 0 in
-      for r = 1 to bc.routes - 1 do
-        if route_load r < route_load !best then best := r
+      for r = 1 to Topology.n_routes topo - 1 do
+        if
+          route_load topo.Topology.routes.(r)
+          < route_load topo.Topology.routes.(!best)
+        then best := r
       done;
       !best
     end
   in
   (* Interleave transit starts with tiny local warm-up so the balancer
      sees evolving loads; all calls start within the first second. *)
-  for _ = 1 to c.transit_calls do
+  for _ = 1 to nc.transit_calls do
     let r = pick_route () in
-    let links = List.init c.hops (fun h -> (r, h)) in
-    start_call ~links ~transit:true
+    start_call ~route:topo.Topology.routes.(r) ~transit:true
   done;
-  for r = 0 to bc.routes - 1 do
-    for h = 0 to c.hops - 1 do
-      for _ = 1 to c.local_calls_per_hop do
-        start_call ~links:[ (r, h) ] ~transit:false
-      done
+  for id = 0 to n_links - 1 do
+    for _ = 1 to nc.local_calls_per_link do
+      start_call ~route:[| id |] ~transit:false
     done
   done;
-  Events.run ~until:c.horizon engine;
-  advance c.horizon;
+  Events.run ~until:nc.horizon engine;
+  advance nc.horizon;
   if fc.check_invariants then check_invariant ();
   ( {
       transit_attempts = !transit_attempts;
       transit_denials = !transit_denials;
       local_attempts = !local_attempts;
       local_denials = !local_denials;
-      mean_hop_utilization = !util_integral /. c.horizon;
+      mean_hop_utilization = !util_integral /. nc.horizon;
     },
     {
-      rm_lost = !rm_lost;
-      retransmits = !retransmits;
-      abandoned = !abandoned;
-      superseded = !superseded;
-      crash_denials = !crash_denials;
-      invariant_failures = !invariant_failures;
+      rm_lost = counters.Session.rm_lost;
+      retransmits = counters.Session.retransmits;
+      abandoned = counters.Session.abandoned;
+      superseded = counters.Session.superseded;
+      crash_denials = counters.Session.crash_denials;
+      invariant_failures = counters.Session.invariant_failures;
     } )
+
+let run_faulty bc fc =
+  let c = bc.base in
+  assert (c.hops >= 1 && c.capacity_per_hop > 0. && c.horizon > 0.);
+  assert (c.transit_calls >= 1 && c.local_calls_per_hop >= 0);
+  assert (bc.routes >= 1);
+  let topology =
+    Topology.parallel_routes ~routes:bc.routes ~hops:c.hops
+      ~capacity:c.capacity_per_hop
+  in
+  (* The historical fault record names hops; the blackout applies to
+     that hop on every route.  Expand to link ids for the general core
+     (the historical hop-range filter included). *)
+  let crashes =
+    List.concat_map
+      (fun (h, a, r) ->
+        if h >= 0 && h < c.hops then
+          List.init bc.routes (fun rt -> ((rt * c.hops) + h, a, r))
+        else [])
+      fc.crashes
+  in
+  run_net
+    {
+      schedule = c.schedule;
+      topology;
+      transit_calls = c.transit_calls;
+      local_calls_per_link = c.local_calls_per_hop;
+      horizon = c.horizon;
+      seed = c.seed;
+      balance = bc.balance;
+    }
+    { fc with crashes }
 
 let run_balanced bc = fst (run_faulty bc no_faults)
 let run c = run_balanced { base = c; routes = 1; balance = false }

@@ -6,7 +6,13 @@
     [hops] links, each also carrying its own single-hop cross traffic;
     a transit rate increase succeeds only if {e every} hop can fit it.
     The experiment measures the denial fraction of transit
-    renegotiations as the path grows. *)
+    renegotiations as the path grows.
+
+    Since the [lib/net] refactor this module is a thin driver over
+    {!Rcbr_net}: the topology-general engine is {!run_net} (any
+    {!Rcbr_net.Topology.t} — meshes, routes of different lengths,
+    shared links), and the historical entry points map onto it through
+    {!Rcbr_net.Topology.parallel_routes} bit-identically. *)
 
 type config = {
   schedule : Rcbr_core.Schedule.t;  (** played by transit and local calls *)
@@ -26,7 +32,18 @@ type balanced_config = {
           "load balancing at the call level") vs uniformly at random *)
 }
 
-type faults = {
+type net_config = {
+  schedule : Rcbr_core.Schedule.t;
+  topology : Rcbr_net.Topology.t;
+  transit_calls : int;
+      (** spread across the topology's routes (least-loaded or random) *)
+  local_calls_per_link : int;  (** single-hop cross traffic on every link *)
+  horizon : float;
+  seed : int;
+  balance : bool;
+}
+
+type faults = Rcbr_net.Session.faults = {
   rm_drop : float;  (** per-hop loss probability of a signalling cell *)
   retx_timeout : float;  (** seconds before a lost request is re-sent *)
   max_retransmits : int;
@@ -34,9 +51,11 @@ type faults = {
           (settle semantics — the overload shows up in the capped
           utilization, as for a denied increase) *)
   crashes : (int * float * float) list;
-      (** [(hop, at, recover)]: during the window the hop (on every
-          route) is a signalling blackout — every increase crossing it
-          is denied *)
+      (** for the historical entry points ({!run_faulty}):
+          [(hop, at, recover)] — during the window the hop (on every
+          route) is a signalling blackout and every increase crossing it
+          is denied.  {!run_net} reads the first component as a plain
+          link id instead. *)
   fault_seed : int;
       (** faults draw from their own stream, so any run with
           [rm_drop = 0] and no crashes is bit-identical to {!run_balanced} *)
@@ -44,6 +63,8 @@ type faults = {
       (** periodically audit that every link's demand equals the sum of
           the rates of the calls crossing it *)
 }
+(** Deprecated alias of the shared {!Rcbr_net.Session.faults} record
+    (same fields; kept so existing callers compile unchanged). *)
 
 val no_faults : faults
 (** No loss, no crashes, no auditing: [run_faulty bc no_faults] gives
@@ -58,7 +79,7 @@ type metrics = {
 }
 
 type fault_metrics = {
-  rm_lost : int;  (** signalling cells the fault plan swallowed *)
+  rm_lost : int;  (** signalling cells the fault plane swallowed *)
   retransmits : int;
   abandoned : int;  (** rate changes applied only after give-up *)
   superseded : int;  (** retransmissions cancelled by a newer change *)
@@ -96,3 +117,11 @@ val run_faulty : balanced_config -> faults -> metrics * fault_metrics
     them while down.  Fault randomness comes from a separate
     [fault_seed]ed stream, so [run_faulty bc no_faults =
     (run_balanced bc, zeros)] bit for bit. *)
+
+val run_net : net_config -> faults -> metrics * fault_metrics
+(** The topology-general experiment the historical entry points are
+    built on: transit calls pick among [topology]'s routes (which may
+    have different lengths and share links) and every link carries its
+    own local cross traffic.  [faults.crashes] name link ids.  On a
+    {!Rcbr_net.Topology.parallel_routes} topology this is exactly
+    {!run_faulty}. *)

@@ -437,12 +437,8 @@ let test_mbac_null_faults_identical () =
   let b =
     run
       (Some
-         {
-           Mbac.rm_drop = 0.;
-           rm_timeout = 0.25;
-           rm_max_retransmits = 4;
-           fault_seed = 1;
-         })
+         (Mbac.lossy ~rm_drop:0. ~rm_timeout:0.25 ~rm_max_retransmits:4
+            ~fault_seed:1 ()))
   in
   check_close 1e-12 "failure probability" a.Mbac.failure_probability
     b.Mbac.failure_probability;
@@ -460,12 +456,8 @@ let test_mbac_lossy_signalling () =
         cfg with
         Mbac.faults =
           Some
-            {
-              Mbac.rm_drop = 0.3;
-              rm_timeout = 0.1;
-              rm_max_retransmits = 3;
-              fault_seed = 13;
-            };
+            (Mbac.lossy ~rm_drop:0.3 ~rm_timeout:0.1 ~rm_max_retransmits:3
+               ~fault_seed:13 ());
       }
       ~controller:(Controller.always_admit ())
   in

@@ -194,6 +194,64 @@ let test_r001_suppressed () =
     {|(* lint: allow R001 -- fixture: mutex-guarded, idempotent cache *)
 let counter = ref 0|}
 
+let test_r001_zone_transitive () =
+  (* The Pool-reachable zone follows the dune library graph: a library
+     that never mentions the pool itself is still in zone when a
+     Pool-using stanza depends on it (the lib/net case — rcbr_sim's
+     sweeps fan out over simulations that run rcbr_net sessions). *)
+  let tmp = Filename.temp_file "rcbr_zone" "" in
+  Sys.remove tmp;
+  let dir sub =
+    let d = Filename.concat tmp sub in
+    Sys.mkdir (Filename.dirname d) 0o755;
+    Sys.mkdir d 0o755;
+    d
+  in
+  Sys.mkdir tmp 0o755;
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  let net = dir "lib/net" in
+  write (Filename.concat net "dune") "(library (name fix_net))";
+  write (Filename.concat net "state.ml") "let version = 1";
+  let sim = Filename.concat tmp "lib/sim" in
+  Sys.mkdir sim 0o755;
+  write (Filename.concat sim "dune")
+    "(library (name fix_sim) (libraries fix_net))";
+  write (Filename.concat sim "sweep.ml") "let version = 1";
+  let solo = Filename.concat tmp "lib/solo" in
+  Sys.mkdir solo 0o755;
+  write (Filename.concat solo "dune") "(library (name fix_solo))";
+  write (Filename.concat solo "quiet.ml") "let version = 2";
+  (* The Pool user: an executable fanning fix_sim simulations out. *)
+  let bench = Filename.concat tmp "bench" in
+  Sys.mkdir bench 0o755;
+  write (Filename.concat bench "dune")
+    "(executable (name fix_bench) (libraries fix_sim))";
+  write (Filename.concat bench "main.ml") "let go pool = Pool.map pool";
+  Fun.protect ~finally:(fun () ->
+      List.iter Sys.remove
+        [
+          Filename.concat net "dune"; Filename.concat net "state.ml";
+          Filename.concat sim "dune"; Filename.concat sim "sweep.ml";
+          Filename.concat solo "dune"; Filename.concat solo "quiet.ml";
+          Filename.concat bench "dune"; Filename.concat bench "main.ml";
+        ];
+      List.iter Sys.rmdir
+        [ net; sim; solo; bench; Filename.concat tmp "lib"; tmp ])
+  @@ fun () ->
+  let config = Lint.repo_config ~roots:[ tmp ] () in
+  Alcotest.(check bool) "library the Pool user runs is in zone" true
+    (config.Lint.r001_zone (Filename.concat sim "sweep.ml"));
+  Alcotest.(check bool) "transitive dependency is in zone" true
+    (config.Lint.r001_zone (Filename.concat net "state.ml"));
+  Alcotest.(check bool) "unreachable library is out of zone" false
+    (config.Lint.r001_zone (Filename.concat solo "quiet.ml"));
+  Alcotest.(check bool) "the executable's own dir is not a library zone" false
+    (config.Lint.r001_zone (Filename.concat bench "main.ml"))
+
 (* --- P001: Obj.magic -------------------------------------------------- *)
 
 let test_p001_fires () =
@@ -283,6 +341,7 @@ let () =
           t "clean" test_r001_clean;
           t "out of zone" test_r001_out_of_zone;
           t "suppressed" test_r001_suppressed;
+          t "zone is dune-graph transitive" test_r001_zone_transitive;
         ] );
       ( "p001",
         [

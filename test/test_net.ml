@@ -1,0 +1,354 @@
+(* Unit tests for Rcbr_net: topology construction and validation, link
+   accounting and blackout windows, session fit/settle/audit, and the
+   equivalence of the topology-general simulator with the historical
+   Multihop entry points. *)
+
+module Topology = Rcbr_net.Topology
+module Link = Rcbr_net.Link
+module Session = Rcbr_net.Session
+module Multihop = Rcbr_sim.Multihop
+module Schedule = Rcbr_core.Schedule
+module Optimal = Rcbr_core.Optimal
+
+let check_exact = Alcotest.(check (float 0.))
+
+let raises_invalid f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+(* --- Topology ------------------------------------------------------- *)
+
+let link src dst capacity = { Topology.src; dst; capacity }
+
+let diamond () =
+  (* 0 -> 1 direct; 0 -> 2 -> 1; 0 -> 3 -> 2 -> 1 (sharing link 2). *)
+  Topology.make ~n_nodes:4
+    ~links:[| link 0 1 1e6; link 0 2 1e6; link 2 1 1e6; link 0 3 1e6; link 3 2 1e6 |]
+    ~routes:[| [| 0 |]; [| 1; 2 |]; [| 3; 4; 2 |] |]
+
+let test_topology_constructors () =
+  let t = Topology.single_link ~capacity:2e6 in
+  Alcotest.(check int) "single link count" 1 (Topology.n_links t);
+  Alcotest.(check int) "single route count" 1 (Topology.n_routes t);
+  Alcotest.(check (array int)) "single route lengths" [| 1 |]
+    (Topology.route_lengths t);
+  let t = Topology.linear ~hops:4 ~capacity:1e6 in
+  Alcotest.(check int) "linear links" 4 (Topology.n_links t);
+  Alcotest.(check (array int)) "linear route lengths" [| 4 |]
+    (Topology.route_lengths t);
+  Alcotest.(check (array int)) "linear route walks the chain" [| 0; 1; 2; 3 |]
+    t.Topology.routes.(0);
+  let t = Topology.parallel_routes ~routes:3 ~hops:2 ~capacity:1e6 in
+  Alcotest.(check int) "parallel links" 6 (Topology.n_links t);
+  Alcotest.(check int) "parallel routes" 3 (Topology.n_routes t);
+  (* The historical flattening: route r is links r*hops .. r*hops+hops-1. *)
+  Alcotest.(check (array int)) "route 2 layout" [| 4; 5 |] t.Topology.routes.(2);
+  let d = diamond () in
+  Alcotest.(check (array int)) "diamond route lengths" [| 1; 2; 3 |]
+    (Topology.route_lengths d)
+
+let test_topology_validation () =
+  Alcotest.(check bool) "nonpositive capacity rejected" true
+    (raises_invalid (fun () ->
+         Topology.make ~n_nodes:2 ~links:[| link 0 1 0. |] ~routes:[| [| 0 |] |]));
+  Alcotest.(check bool) "endpoint out of range rejected" true
+    (raises_invalid (fun () ->
+         Topology.make ~n_nodes:2 ~links:[| link 0 2 1e6 |] ~routes:[| [| 0 |] |]));
+  Alcotest.(check bool) "no routes rejected" true
+    (raises_invalid (fun () ->
+         Topology.make ~n_nodes:2 ~links:[| link 0 1 1e6 |] ~routes:[||]));
+  Alcotest.(check bool) "bad link id rejected" true
+    (raises_invalid (fun () ->
+         Topology.make ~n_nodes:2 ~links:[| link 0 1 1e6 |] ~routes:[| [| 1 |] |]));
+  Alcotest.(check bool) "disconnected chain rejected" true
+    (raises_invalid (fun () ->
+         (* Link 1 starts at node 0, not where link 0 ended (node 1). *)
+         Topology.make ~n_nodes:3
+           ~links:[| link 0 1 1e6; link 0 2 1e6 |]
+           ~routes:[| [| 0; 1 |] |]))
+
+let test_topology_json () =
+  let file = Filename.temp_file "rcbr_topo" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let oc = open_out file in
+  output_string oc
+    {|{ "nodes": 3,
+        "links": [ {"src": 0, "dst": 2, "capacity": 1e6},
+                   {"src": 2, "dst": 1, "capacity": 2e6} ],
+        "routes": [ [0, 1] ] }|};
+  close_out oc;
+  let t = Topology.load file in
+  Alcotest.(check int) "nodes" 3 t.Topology.n_nodes;
+  Alcotest.(check int) "links" 2 (Topology.n_links t);
+  check_exact "capacity read" 2e6 t.Topology.links.(1).Topology.capacity;
+  Alcotest.(check (array int)) "route read" [| 0; 1 |] t.Topology.routes.(0);
+  Alcotest.(check bool) "shape errors rejected" true
+    (raises_invalid (fun () -> Topology.of_json (Rcbr_util.Json.Int 3)))
+
+(* --- Link ----------------------------------------------------------- *)
+
+let test_link_advance () =
+  let l = Link.create ~capacity:10. () in
+  l.Link.demand <- 15.;
+  l.Link.n_calls <- 3;
+  Link.advance l ~now:2.;
+  check_exact "offered integrates demand" 30. l.Link.offered_bits;
+  check_exact "granted capped at capacity" 20. l.Link.granted_bits;
+  check_exact "lost is the excess" 10. l.Link.lost_bits;
+  check_exact "call seconds" 6. l.Link.call_seconds;
+  (* Going backwards (or nowhere) is a no-op. *)
+  Link.advance l ~now:1.;
+  check_exact "no retro-integration" 30. l.Link.offered_bits;
+  check_exact "last stays" 2. l.Link.last;
+  Link.reset_window l;
+  check_exact "window reset zeroes offered" 0. l.Link.offered_bits;
+  check_exact "window reset keeps demand" 15. l.Link.demand
+
+let test_link_blackouts () =
+  let windows = Link.compile_blackouts [ (5., 7.); (1., 2.); (1.5, 3.); (9., 9.) ] in
+  (* (9,9) is empty; (1,2) and (1.5,3) merge. *)
+  Alcotest.(check int) "merged window count" 2 (Array.length windows);
+  Alcotest.(check (pair (float 0.) (float 0.))) "merged window" (1., 3.) windows.(0);
+  let l = Link.create ~blackouts:windows ~capacity:1. () in
+  List.iter
+    (fun (now, expect) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "down at %g" now)
+        expect (Link.down l ~now))
+    [
+      (0.5, false);
+      (1., true) (* inclusive start *);
+      (2.5, true) (* inside the merged window *);
+      (3., false) (* exclusive end *);
+      (4., false);
+      (5., true);
+      (6.99, true);
+      (7., false);
+      (9., false) (* the empty window was dropped *);
+    ];
+  (* Merged membership must agree with List.exists on the raw list. *)
+  let raw = [ (5., 7.); (1., 2.); (1.5, 3.) ] in
+  for i = 0 to 100 do
+    let now = float_of_int i /. 10. in
+    Alcotest.(check bool)
+      (Printf.sprintf "membership at %g" now)
+      (List.exists (fun (a, r) -> a <= now && now < r) raw)
+      (Link.down l ~now)
+  done
+
+let test_link_of_topology () =
+  let links =
+    Link.of_topology
+      ~crashes:[ (1, 10., 20.); (1, 15., 30.); (99, 0., 1.); (-1, 0., 1.) ]
+      (diamond ())
+  in
+  Alcotest.(check int) "one state per link" 5 (Array.length links);
+  Alcotest.(check bool) "link 0 clean" false (Link.down links.(0) ~now:15.);
+  Alcotest.(check bool) "link 1 crashed (merged)" true
+    (Link.down links.(1) ~now:25.);
+  Alcotest.(check bool) "out-of-range crash ids ignored" true
+    (Array.for_all (fun l -> Array.length l.Link.blackouts = 0)
+       [| links.(0); links.(2); links.(3); links.(4) |])
+
+(* --- Session -------------------------------------------------------- *)
+
+let test_session_fit_settle_audit () =
+  let topo = diamond () in
+  let links = Link.of_topology topo in
+  let s2 = Session.make ~id:0 ~route:topo.Topology.routes.(1) ~transit:true in
+  let s3 = Session.make ~id:1 ~route:topo.Topology.routes.(2) ~transit:true in
+  Alcotest.(check bool) "fits within capacity" true
+    (Session.fits ~links s2 ~rate:9e5 ~now:0.);
+  Session.settle ~links s2 ~rate:9e5;
+  check_exact "applied recorded" 9e5 s2.Session.applied;
+  check_exact "demand on route link" 9e5 links.(1).Link.demand;
+  check_exact "demand on shared link" 9e5 links.(2).Link.demand;
+  check_exact "other links untouched" 0. links.(0).Link.demand;
+  (* The shared link 2 is nearly full now, so the 3-hop route is
+     blocked on its last hop even though links 3 and 4 are empty. *)
+  Alcotest.(check bool) "shared link rejects" false
+    (Session.fits ~links s3 ~rate:2e5 ~now:0.);
+  Alcotest.(check bool) "small rate still fits" true
+    (Session.fits ~links s3 ~rate:0.5e5 ~now:0.);
+  (* Settle semantics: demand moves even when it does not fit. *)
+  Session.settle ~links s3 ~rate:2e5;
+  check_exact "overloaded shared demand" 11e5 links.(2).Link.demand;
+  let sessions = [ s2; s3 ] in
+  Alcotest.(check int) "conservation holds" 0 (Session.audit ~links ~sessions);
+  links.(2).Link.demand <- 42.;
+  Alcotest.(check bool) "tampering caught" true
+    (Session.audit ~links ~sessions > 0)
+
+let test_session_blocked () =
+  let topo = diamond () in
+  let links = Link.of_topology ~crashes:[ (2, 10., 20.) ] topo in
+  let s = Session.make ~id:0 ~route:topo.Topology.routes.(2) ~transit:true in
+  Alcotest.(check bool) "clean before crash" false
+    (Session.blocked ~links s ~now:5.);
+  Alcotest.(check bool) "blocked during crash" true
+    (Session.blocked ~links s ~now:15.);
+  Alcotest.(check bool) "down route never fits" false
+    (Session.fits ~links s ~rate:1. ~now:15.);
+  let direct = Session.make ~id:1 ~route:topo.Topology.routes.(0) ~transit:false in
+  Alcotest.(check bool) "other route unaffected" false
+    (Session.blocked ~links direct ~now:15.)
+
+(* --- run_net vs the historical entry points ------------------------- *)
+
+let trace = Rcbr_traffic.Synthetic.star_wars ~frames:2_000 ~seed:42 ()
+let schedule = Optimal.solve (Optimal.default_params ~cost_ratio:3e5 trace) trace
+let capacity = 10. *. Rcbr_traffic.Trace.mean_rate trace
+
+let check_metrics tag (a : Multihop.metrics) (b : Multihop.metrics) =
+  Alcotest.(check int) (tag ^ " transit attempts") a.Multihop.transit_attempts
+    b.Multihop.transit_attempts;
+  Alcotest.(check int) (tag ^ " transit denials") a.Multihop.transit_denials
+    b.Multihop.transit_denials;
+  Alcotest.(check int) (tag ^ " local attempts") a.Multihop.local_attempts
+    b.Multihop.local_attempts;
+  Alcotest.(check int) (tag ^ " local denials") a.Multihop.local_denials
+    b.Multihop.local_denials;
+  check_exact (tag ^ " utilization bit-identical")
+    a.Multihop.mean_hop_utilization b.Multihop.mean_hop_utilization
+
+let base_config hops =
+  {
+    Multihop.schedule;
+    hops;
+    capacity_per_hop = capacity;
+    transit_calls = 3;
+    local_calls_per_hop = 4;
+    horizon = 2. *. Schedule.duration schedule;
+    seed = 11;
+  }
+
+let test_run_net_linear_equivalence () =
+  let c = base_config 3 in
+  let reference = Multihop.run c in
+  let m, f =
+    Multihop.run_net
+      {
+        Multihop.schedule;
+        topology = Topology.linear ~hops:3 ~capacity;
+        transit_calls = c.Multihop.transit_calls;
+        local_calls_per_link = c.Multihop.local_calls_per_hop;
+        horizon = c.Multihop.horizon;
+        seed = c.Multihop.seed;
+        balance = false;
+      }
+      Multihop.no_faults
+  in
+  check_metrics "linear" reference m;
+  Alcotest.(check int) "no faults recorded" 0
+    (f.Multihop.rm_lost + f.Multihop.crash_denials)
+
+let test_run_net_parallel_equivalence () =
+  let bc =
+    {
+      Multihop.base = { (base_config 2) with Multihop.transit_calls = 6 };
+      routes = 3;
+      balance = true;
+    }
+  in
+  let reference = Multihop.run_balanced bc in
+  let m, _ =
+    Multihop.run_net
+      {
+        Multihop.schedule;
+        topology = Topology.parallel_routes ~routes:3 ~hops:2 ~capacity;
+        transit_calls = 6;
+        local_calls_per_link = bc.Multihop.base.Multihop.local_calls_per_hop;
+        horizon = bc.Multihop.base.Multihop.horizon;
+        seed = bc.Multihop.base.Multihop.seed;
+        balance = true;
+      }
+      Multihop.no_faults
+  in
+  check_metrics "parallel" reference m
+
+let test_run_net_mesh_faulty () =
+  (* The new capability: routes of different lengths sharing a link,
+     surviving signalling loss and a crash of the shared link with the
+     conservation audit on throughout. *)
+  let topology =
+    Topology.make ~n_nodes:4
+      ~links:
+        [|
+          link 0 1 capacity; link 0 2 capacity; link 2 1 capacity;
+          link 0 3 capacity; link 3 2 capacity;
+        |]
+      ~routes:[| [| 0 |]; [| 1; 2 |]; [| 3; 4; 2 |] |]
+  in
+  let nc =
+    {
+      Multihop.schedule;
+      topology;
+      transit_calls = 6;
+      local_calls_per_link = 3;
+      horizon = 2. *. Schedule.duration schedule;
+      seed = 11;
+      balance = true;
+    }
+  in
+  let faults =
+    {
+      Multihop.no_faults with
+      Multihop.rm_drop = 0.2;
+      retx_timeout = 0.05;
+      crashes = [ (2, 50., 200.) ];
+      fault_seed = 99;
+      check_invariants = true;
+    }
+  in
+  let m, f = Multihop.run_net nc faults in
+  Alcotest.(check bool) "transit traffic ran" true
+    (m.Multihop.transit_attempts > 0);
+  Alcotest.(check bool) "local traffic ran" true (m.Multihop.local_attempts > 0);
+  Alcotest.(check bool) "fault plane active" true (f.Multihop.rm_lost > 0);
+  Alcotest.(check bool) "crash denials observed" true
+    (f.Multihop.crash_denials > 0);
+  Alcotest.(check int) "conservation invariants clean" 0
+    f.Multihop.invariant_failures;
+  (* Null faults on the same mesh reproduce the fault-free run. *)
+  let clean, zeros = Multihop.run_net nc Multihop.no_faults in
+  let audited, _ =
+    Multihop.run_net nc
+      { Multihop.no_faults with Multihop.check_invariants = true }
+  in
+  check_metrics "audit is bit-neutral" clean audited;
+  Alcotest.(check int) "null faults, zero counters" 0
+    (zeros.Multihop.rm_lost + zeros.Multihop.retransmits
+   + zeros.Multihop.abandoned + zeros.Multihop.crash_denials)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "constructors" `Quick test_topology_constructors;
+          Alcotest.test_case "validation" `Quick test_topology_validation;
+          Alcotest.test_case "json" `Quick test_topology_json;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "advance" `Quick test_link_advance;
+          Alcotest.test_case "blackouts" `Quick test_link_blackouts;
+          Alcotest.test_case "of_topology" `Quick test_link_of_topology;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "fit/settle/audit" `Quick
+            test_session_fit_settle_audit;
+          Alcotest.test_case "blocked" `Quick test_session_blocked;
+        ] );
+      ( "run_net",
+        [
+          Alcotest.test_case "linear = Multihop.run" `Quick
+            test_run_net_linear_equivalence;
+          Alcotest.test_case "parallel = run_balanced" `Quick
+            test_run_net_parallel_equivalence;
+          Alcotest.test_case "mesh under faults" `Quick test_run_net_mesh_faulty;
+        ] );
+    ]

@@ -158,6 +158,70 @@ let test_events_step () =
   Alcotest.(check bool) "one step" true (Events.step e);
   Alcotest.(check bool) "drained" false (Events.step e)
 
+let test_events_exactly_at_until () =
+  (* The boundary the simulators rely on for their horizons: events at
+     exactly [until] still fire, later ones stay pending. *)
+  let e = Events.create () in
+  let log = ref [] in
+  Events.schedule e ~at:1. (fun _ -> log := 1 :: !log);
+  Events.schedule e ~at:2. (fun _ -> log := 2 :: !log);
+  Events.schedule e ~at:2. (fun _ -> log := 3 :: !log);
+  Events.schedule e ~at:(2. +. epsilon_float *. 4.) (fun _ -> log := 4 :: !log);
+  Events.run ~until:2. e;
+  Alcotest.(check (list int)) "boundary events fired" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int) "just-after stays pending" 1 (Events.pending e);
+  check_close 1e-9 "clock at the boundary" 2. (Events.now e)
+
+let test_events_fifo_ties_many () =
+  (* Equal-time events fire in scheduling order even when interleaved
+     with other times and added mid-run by an earlier tied event. *)
+  let e = Events.create () in
+  let log = ref [] in
+  let mark v _ = log := v :: !log in
+  Events.schedule e ~at:2. (mark "t2-a");
+  Events.schedule e ~at:1. (fun e ->
+      log := "t1-a" :: !log;
+      (* A same-time event scheduled mid-run goes after the existing
+         t = 1 entries (FIFO by scheduling order, not insertion time). *)
+      Events.schedule e ~at:1. (mark "t1-d"));
+  Events.schedule e ~at:2. (mark "t2-b");
+  Events.schedule e ~at:1. (mark "t1-b");
+  Events.schedule e ~at:1. (mark "t1-c");
+  Events.run e;
+  Alcotest.(check (list string)) "stable tie order"
+    [ "t1-a"; "t1-b"; "t1-c"; "t1-d"; "t2-a"; "t2-b" ]
+    (List.rev !log)
+
+let test_events_pending_counts () =
+  let e = Events.create () in
+  Alcotest.(check int) "empty" 0 (Events.pending e);
+  Events.schedule e ~at:1. (fun e ->
+      Events.schedule_after e ~delay:1. (fun _ -> ()));
+  Events.schedule e ~at:3. (fun _ -> ());
+  Alcotest.(check int) "two scheduled" 2 (Events.pending e);
+  ignore (Events.step e);
+  Alcotest.(check int) "fired one, spawned one" 2 (Events.pending e);
+  ignore (Events.step e);
+  Alcotest.(check int) "one left" 1 (Events.pending e);
+  Events.run e;
+  Alcotest.(check int) "drained" 0 (Events.pending e)
+
+let test_events_past_rejected () =
+  let asserts f = try f (); false with Assert_failure _ -> true in
+  let e = Events.create () in
+  Events.schedule e ~at:2. (fun _ -> ());
+  ignore (Events.step e);
+  check_close 1e-9 "clock advanced" 2. (Events.now e);
+  Alcotest.(check bool) "scheduling in the past rejected" true
+    (asserts (fun () -> Events.schedule e ~at:1. (fun _ -> ())));
+  Alcotest.(check bool) "negative delay rejected" true
+    (asserts (fun () -> Events.schedule_after e ~delay:(-1.) (fun _ -> ())));
+  (* Scheduling at exactly [now] is allowed and fires immediately. *)
+  let fired = ref false in
+  Events.schedule e ~at:2. (fun _ -> fired := true);
+  Events.run e;
+  Alcotest.(check bool) "at = now fires" true !fired
+
 (* --- Properties --- *)
 
 let arrivals_gen =
@@ -238,6 +302,13 @@ let () =
             test_events_schedule_during_run;
           Alcotest.test_case "until" `Quick test_events_until;
           Alcotest.test_case "step" `Quick test_events_step;
+          Alcotest.test_case "exactly at until" `Quick
+            test_events_exactly_at_until;
+          Alcotest.test_case "fifo ties interleaved" `Quick
+            test_events_fifo_ties_many;
+          Alcotest.test_case "pending counts" `Quick test_events_pending_counts;
+          Alcotest.test_case "past scheduling rejected" `Quick
+            test_events_past_rejected;
         ] );
       ( "properties",
         q

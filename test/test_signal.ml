@@ -171,6 +171,50 @@ let prop_renegotiate_conserves =
       List.iter (fun p -> if Port.reserved p > 1e-9 then ok := false) ports;
       !ok)
 
+let prop_setup_denial_rolls_back =
+  (* A mid-path denial during Path.create must release every hop that
+     had already granted the setup: each port's free capacity (and its
+     per-VCI table) is exactly what it was before the attempt.  Random
+     per-hop capacities and pre-existing load make the denial hop (if
+     any) land anywhere along the path. *)
+  let gen =
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 1 8) (float_range 10. 100.))
+        (float_range 0. 80.) (float_range 1. 120.))
+  in
+  QCheck.Test.make ~name:"mid-path setup denial rolls back every hop"
+    ~count:300 (QCheck.make gen) (fun (capacities, preload, rate) ->
+      let ports = List.map (fun c -> Port.create ~capacity:c ()) capacities in
+      (* Background connection where it fits, so ports start uneven. *)
+      List.iter
+        (fun p ->
+          ignore (Port.process p (Rm_cell.delta ~vci:9 preload) : [ `Granted | `Denied ]))
+        ports;
+      let before = List.map (fun p -> (Port.reserved p, Port.vci_rate p 1)) ports in
+      match Path.create ports ~vci:1 ~initial_rate:rate with
+      | Error (`Denied_at hop) ->
+          (* The denying hop really could not fit the rate... *)
+          let denier = List.nth ports hop in
+          Port.capacity denier -. Port.reserved denier < rate
+          (* ...and no hop kept any trace of the attempt. *)
+          && List.for_all2
+               (fun p (r, v) ->
+                 Float.abs (Port.reserved p -. r) <= 1e-9
+                 && Float.abs (Port.vci_rate p 1 -. v) <= 1e-9)
+               ports before
+      | Ok path ->
+          let granted =
+            List.for_all2
+              (fun p (r, _) -> Float.abs (Port.reserved p -. (r +. rate)) <= 1e-9)
+              ports before
+          in
+          Path.teardown path;
+          granted
+          && List.for_all2
+               (fun p (r, _) -> Float.abs (Port.reserved p -. r) <= 1e-9)
+               ports before)
+
 (* --- Latency --- *)
 
 let sched () =
@@ -261,6 +305,7 @@ let () =
           Alcotest.test_case "renegotiate" `Quick test_path_renegotiate;
           Alcotest.test_case "contention" `Quick test_path_contention;
           QCheck_alcotest.to_alcotest prop_renegotiate_conserves;
+          QCheck_alcotest.to_alcotest prop_setup_denial_rolls_back;
         ] );
       ( "latency",
         [

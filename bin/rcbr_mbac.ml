@@ -71,6 +71,13 @@ let run_net_experiment ~schedule ~seed ~transit_calls ~local_calls ~rm_drop
 let run seed frames cost_ratio capacity_mult load target controller_name
     admission_name admission_stats rm_drop rm_timeout rm_max_retx topo_spec
     transit_calls local_calls =
+  (* Ctrl-C mid-run: flush the stats printed so far, then exit with the
+     interrupt convention instead of dying with a truncated buffer. *)
+  Rcbr_util.Interrupt.install_exit
+    ~on_signal:(fun _ ->
+      Format.pp_print_flush Format.std_formatter ();
+      prerr_endline "rcbr_mbac: interrupted, partial output flushed")
+    ();
   let trace = Rcbr_traffic.Synthetic.star_wars ~frames ~seed () in
   let mean = Trace.mean_rate trace in
   let schedule =
@@ -82,9 +89,14 @@ let run seed frames cost_ratio capacity_mult load target controller_name
       run_net_experiment ~schedule ~seed ~transit_calls ~local_calls ~rm_drop
         ~rm_timeout ~rm_max_retx
         (Topology.linear ~hops ~capacity)
-  | Mesh file ->
-      run_net_experiment ~schedule ~seed ~transit_calls ~local_calls ~rm_drop
-        ~rm_timeout ~rm_max_retx (Topology.load file)
+  | Mesh file -> (
+      match Topology.load file with
+      | Ok topology ->
+          run_net_experiment ~schedule ~seed ~transit_calls ~local_calls
+            ~rm_drop ~rm_timeout ~rm_max_retx topology
+      | Error msg ->
+          Format.eprintf "rcbr_mbac: %s@." msg;
+          exit 2)
   | Single ->
   let arrival_rate =
     load *. capacity /. (Schedule.mean_rate schedule *. Schedule.duration schedule)

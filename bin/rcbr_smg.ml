@@ -13,6 +13,13 @@ module Chernoff = Rcbr_effbw.Chernoff
 
 let run seed frames cost_ratio buffer target replications streams jobs chernoff
     =
+  (* Ctrl-C mid-sweep: flush whatever rows are already printed so the
+     partial table survives, then exit with the interrupt convention. *)
+  Rcbr_util.Interrupt.install_exit
+    ~on_signal:(fun _ ->
+      Format.pp_print_flush Format.std_formatter ();
+      prerr_endline "rcbr_smg: interrupted, partial output flushed")
+    ();
   let trace = Rcbr_traffic.Synthetic.star_wars ~frames ~seed () in
   let mean = Trace.mean_rate trace in
   Format.printf "trace: %d frames, mean %.0f kb/s@." frames (mean /. 1e3);

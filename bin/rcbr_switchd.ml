@@ -1,0 +1,247 @@
+(* CLI: RCBR switch daemon.
+
+   Serves the Rcbr_wire signalling protocol on a Unix-domain socket,
+   applying setups / renegotiations / teardowns / RM cells to real
+   Rcbr_net.Link accounting over a chosen topology.  Protocol logic
+   lives in Rcbr_wire.Switchd; this file is only the socket pump.
+
+   SIGINT/SIGTERM starts a graceful drain: stop accepting, deny new
+   setups, keep serving live connections for a grace period, then run
+   the final rate-conservation audit and exit 0 iff it is clean.
+
+   Example:
+     rcbr_switchd --socket /tmp/rcbr.sock --topology linear:3 --capacity 2e6 *)
+
+open Cmdliner
+module Topology = Rcbr_net.Topology
+module Controller = Rcbr_admission.Controller
+module Codec = Rcbr_wire.Codec
+module Switchd = Rcbr_wire.Switchd
+module Interrupt = Rcbr_util.Interrupt
+
+type topo_spec = Single | Linear of int | Mesh of string
+
+type client = { fd : Unix.file_descr; conn : Switchd.conn; out : Buffer.t }
+
+let run socket_path topo_spec capacity controller_name target grace =
+  let topology =
+    match topo_spec with
+    | Single -> Topology.single_link ~capacity
+    | Linear hops -> Topology.linear ~hops ~capacity
+    | Mesh file -> (
+        match Topology.load file with
+        | Ok t -> t
+        | Error msg ->
+            Format.eprintf "rcbr_switchd: %s@." msg;
+            exit 2)
+  in
+  let controller =
+    match controller_name with
+    | "none" -> None
+    | "memoryless" -> Some (Controller.memoryless ~capacity ~target)
+    | "memory" -> Some (Controller.memory ~capacity ~target)
+    | "always" -> Some (Controller.always_admit ())
+    | other -> Fmt.failwith "unknown controller %S" other
+  in
+  let t =
+    Switchd.create { (Switchd.default_config topology) with Switchd.controller }
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Interrupt.install_flag ();
+  if Sys.file_exists socket_path then Unix.unlink socket_path;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket_path);
+  Unix.listen listener 16;
+  Unix.set_nonblock listener;
+  let start = Unix.gettimeofday () in
+  let now () = Unix.gettimeofday () -. start in
+  let clients = ref [] in
+  let buf = Bytes.create 65536 in
+  let close_client c =
+    clients := List.filter (fun c' -> c'.fd != c.fd) !clients;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let flush_out c =
+    let len = Buffer.length c.out in
+    if len > 0 then
+      let s = Buffer.to_bytes c.out in
+      match Unix.write c.fd s 0 len with
+      | n ->
+          Buffer.clear c.out;
+          if n < len then Buffer.add_subbytes c.out s n (len - n)
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          close_client c
+  in
+  let handle_read c =
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_client c
+    | 0 ->
+        flush_out c;
+        close_client c
+    | n -> (
+        match Switchd.input t c.conn ~now:(now ()) (Bytes.sub_string buf 0 n) with
+        | Ok frames ->
+            List.iter (Buffer.add_string c.out) frames;
+            flush_out c
+        | Error e ->
+            (* Framing is lost: no way back into sync on a byte stream. *)
+            Format.eprintf "rcbr_switchd: closing connection: %a@."
+              Codec.pp_error e;
+            flush_out c;
+            close_client c)
+  in
+  let rec accept_all () =
+    match Unix.accept ~cloexec:true listener with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        clients :=
+          { fd; conn = Switchd.connect t; out = Buffer.create 256 } :: !clients;
+        accept_all ()
+  in
+  let serve_round ~accepting =
+    let rds =
+      (if accepting then [ listener ] else [])
+      @ List.map (fun c -> c.fd) !clients
+    in
+    let wrs =
+      List.filter_map
+        (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
+        !clients
+    in
+    match Unix.select rds wrs [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+        if accepting && List.memq listener readable then accept_all ();
+        List.iter
+          (fun c ->
+            if List.memq c !clients && List.memq c.fd readable then
+              handle_read c)
+          !clients;
+        List.iter
+          (fun c ->
+            if List.memq c !clients && List.memq c.fd writable then
+              flush_out c)
+          !clients
+  in
+  Format.printf "rcbr_switchd: listening on %s (%a)@." socket_path Topology.pp
+    topology;
+  while not (Interrupt.requested ()) do
+    serve_round ~accepting:true
+  done;
+  (* Drain: no new connections, no new setups; live connections get
+     [grace] seconds to finish their business and hang up. *)
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  (try Unix.unlink socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  ignore (Switchd.drain t);
+  let deadline = Unix.gettimeofday () +. grace in
+  while !clients <> [] && Unix.gettimeofday () < deadline do
+    serve_round ~accepting:false
+  done;
+  List.iter
+    (fun c ->
+      flush_out c;
+      try Unix.close c.fd with Unix.Unix_error _ -> ())
+    !clients;
+  let report = Switchd.drain t in
+  let s = Switchd.stats t in
+  Format.printf "rcbr_switchd: drained: sessions=%d violations=%d demand=%.6g@."
+    report.Switchd.live_sessions report.Switchd.violations
+    report.Switchd.demand;
+  Format.printf
+    "rcbr_switchd: stats: setups=%d renegotiations=%d teardowns=%d deltas=%d \
+     resyncs=%d audits=%d denials=%d duplicates=%d decode-errors=%d \
+     stray-cells=%d unexpected=%d underflows=%d@."
+    s.Switchd.setups s.Switchd.renegotiations s.Switchd.teardowns
+    s.Switchd.deltas s.Switchd.resyncs s.Switchd.audits s.Switchd.denials
+    s.Switchd.duplicates s.Switchd.decode_errors s.Switchd.stray_cells
+    s.Switchd.unexpected s.Switchd.underflows;
+  exit (if report.Switchd.violations = 0 then 0 else 1)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path to listen on.")
+
+let topo_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "single" ] -> Ok Single
+    | [ "linear"; h ] -> (
+        match int_of_string_opt h with
+        | Some hops when hops >= 1 -> Ok (Linear hops)
+        | _ -> Error (`Msg (Printf.sprintf "bad hop count in %S" s)))
+    | "mesh" :: (_ :: _ as rest) -> Ok (Mesh (String.concat ":" rest))
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "topology %S is not single, linear:HOPS or mesh:FILE" s))
+  in
+  let print ppf = function
+    | Single -> Format.pp_print_string ppf "single"
+    | Linear h -> Format.fprintf ppf "linear:%d" h
+    | Mesh f -> Format.fprintf ppf "mesh:%s" f
+  in
+  Arg.conv (parse, print)
+
+let topology_arg =
+  Arg.(
+    value & opt topo_conv Single
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:
+          "Network shape: $(b,single), $(b,linear:HOPS) or $(b,mesh:FILE) — \
+           the same specs rcbr_mbac accepts.  Clients must be configured \
+           with the matching topology so their route link ids line up.")
+
+let capacity_arg =
+  Arg.(
+    value & opt float 1e6
+    & info [ "capacity" ] ~docv:"BPS"
+        ~doc:"Per-link capacity for the built-in single/linear shapes.")
+
+let controller_arg =
+  Arg.(
+    value & opt string "none"
+    & info [ "controller" ] ~docv:"NAME"
+        ~doc:
+          "Admission gate applied to setups on top of the capacity fit: \
+           $(b,none), $(b,memoryless), $(b,memory) or $(b,always).")
+
+let target_arg =
+  Arg.(
+    value & opt float 1e-3
+    & info [ "target" ] ~docv:"P" ~doc:"Overflow target for the controller.")
+
+let grace_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "grace" ] ~docv:"SECONDS"
+        ~doc:
+          "After SIGINT/SIGTERM, keep serving live connections this long \
+           before the final audit.")
+
+let () =
+  let info =
+    Cmd.info "rcbr_switchd" ~version:"1.0"
+      ~doc:"RCBR signalling switch daemon on a Unix-domain socket."
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ topology_arg $ capacity_arg $ controller_arg
+      $ target_arg $ grace_arg)
+  in
+  exit (Cmd.eval (Cmd.v info term))

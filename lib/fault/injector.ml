@@ -69,6 +69,18 @@ let fate t ~hop =
       t.delayed <- t.delayed + 1;
       Delay (1 + Rng.int rng l.Plan.max_extra_slots)
     end
+    else if
+      u
+      < l.Plan.drop +. l.Plan.duplicate +. l.Plan.reorder +. l.Plan.delay
+        +. l.Plan.corrupt
+    then begin
+      (* At the cell level a corrupted cell fails its CRC on arrival and
+         is discarded — indistinguishable from a drop for the protocol
+         machinery above.  The byte-level mangler delivers the damage
+         instead (Rcbr_wire.Mangle). *)
+      t.dropped <- t.dropped + 1;
+      Drop
+    end
     else Deliver
 
 let jitter t n =

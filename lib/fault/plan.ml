@@ -3,15 +3,23 @@ type link = {
   duplicate : float;
   reorder : float;
   delay : float;
+  corrupt : float;
   max_extra_slots : int;
 }
 
 let reliable =
-  { drop = 0.; duplicate = 0.; reorder = 0.; delay = 0.; max_extra_slots = 0 }
+  {
+    drop = 0.;
+    duplicate = 0.;
+    reorder = 0.;
+    delay = 0.;
+    corrupt = 0.;
+    max_extra_slots = 0;
+  }
 
 let lossy ?(drop = 0.) ?(duplicate = 0.) ?(reorder = 0.) ?(delay = 0.)
-    ?(max_extra_slots = 4) () =
-  { drop; duplicate; reorder; delay; max_extra_slots }
+    ?(corrupt = 0.) ?(max_extra_slots = 4) () =
+  { drop; duplicate; reorder; delay; corrupt; max_extra_slots }
 
 type crash = { hop : int; at_slot : int; recover_slot : int }
 type t = { seed : int; links : link array; crashes : crash list }
@@ -20,6 +28,7 @@ let null ~hops = { seed = 0; links = Array.make hops reliable; crashes = [] }
 
 let link_is_reliable l =
   Float.equal l.drop 0. && Float.equal l.duplicate 0. && Float.equal l.reorder 0. && Float.equal l.delay 0.
+  && Float.equal l.corrupt 0.
 
 let is_null t = t.crashes = [] && Array.for_all link_is_reliable t.links
 
@@ -34,7 +43,8 @@ let validate t =
       prob "duplicate" l.duplicate;
       prob "reorder" l.reorder;
       prob "delay" l.delay;
-      if l.drop +. l.duplicate +. l.reorder +. l.delay > 1. then
+      prob "corrupt" l.corrupt;
+      if l.drop +. l.duplicate +. l.reorder +. l.delay +. l.corrupt > 1. then
         invalid_arg "Fault plan: per-link fault probabilities sum past 1";
       if l.delay > 0. && l.max_extra_slots < 1 then
         invalid_arg "Fault plan: delaying link needs max_extra_slots >= 1")
@@ -48,12 +58,13 @@ let validate t =
     t.crashes
 
 let uniform ?(drop = 0.) ?(duplicate = 0.) ?(reorder = 0.) ?(delay = 0.)
-    ?(max_extra_slots = 4) ?(crashes = []) ~hops ~seed () =
+    ?(corrupt = 0.) ?(max_extra_slots = 4) ?(crashes = []) ~hops ~seed () =
   let t =
     {
       seed;
       links =
-        Array.make hops (lossy ~drop ~duplicate ~reorder ~delay ~max_extra_slots ());
+        Array.make hops
+          (lossy ~drop ~duplicate ~reorder ~delay ~corrupt ~max_extra_slots ());
       crashes;
     }
   in

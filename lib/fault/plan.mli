@@ -14,6 +14,12 @@ type link = {
   reorder : float;  (** probability the cell falls behind its successor
                         (delivered one slot late) *)
   delay : float;  (** probability of queueing delay on this link *)
+  corrupt : float;
+      (** probability the payload is bit-flipped in transit.  At the
+          cell level ({!Injector}) a corrupted cell fails its CRC and is
+          discarded like a drop; at the byte level
+          ({!Rcbr_wire.Mangle}) the mangled frame is delivered and must
+          be rejected by the parser. *)
   max_extra_slots : int;  (** delayed cells lag 1..max extra slots *)
 }
 
@@ -25,6 +31,7 @@ val lossy :
   ?duplicate:float ->
   ?reorder:float ->
   ?delay:float ->
+  ?corrupt:float ->
   ?max_extra_slots:int ->
   unit ->
   link
@@ -57,6 +64,7 @@ val uniform :
   ?duplicate:float ->
   ?reorder:float ->
   ?delay:float ->
+  ?corrupt:float ->
   ?max_extra_slots:int ->
   ?crashes:crash list ->
   hops:int ->

@@ -63,42 +63,72 @@ let n_links t = Array.length t.links
 let n_routes t = Array.length t.routes
 let route_lengths t = Array.map Array.length t.routes
 
+(* Shape errors inside the JSON walk carry their own descriptions; the
+   local exception turns the walk into a result without threading [let*]
+   through every field access. *)
+exception Shape of string
+
 let of_json json =
-  let fail what = invalid_arg ("Topology.of_json: " ^ what) in
-  let int = function
+  let fail what = raise (Shape what) in
+  let int what = function
     | Json.Int i -> i
-    | _ -> fail "expected an integer"
+    | _ -> fail (what ^ ": expected an integer")
   in
-  let number = function
+  let number what = function
     | Json.Int i -> float_of_int i
     | Json.Float f -> f
-    | _ -> fail "expected a number"
+    | _ -> fail (what ^ ": expected a number")
   in
-  let list = function Json.List l -> l | _ -> fail "expected a list" in
+  let list what = function
+    | Json.List l -> l
+    | _ -> fail (what ^ ": expected a list")
+  in
   let field key obj =
     match Json.member key obj with
     | Some v -> v
     | None -> fail (Printf.sprintf "missing %S" key)
   in
-  let n_nodes = int (field "nodes" json) in
-  let links =
-    field "links" json |> list
-    |> List.map (fun l ->
-           {
-             src = int (field "src" l);
-             dst = int (field "dst" l);
-             capacity = number (field "capacity" l);
-           })
-    |> Array.of_list
-  in
-  let routes =
-    field "routes" json |> list
-    |> List.map (fun r -> list r |> List.map int |> Array.of_list)
-    |> Array.of_list
-  in
-  make ~n_nodes ~links ~routes
+  match
+    let n_nodes = int "nodes" (field "nodes" json) in
+    let links =
+      field "links" json
+      |> list "links"
+      |> List.mapi (fun i l ->
+             let what key = Printf.sprintf "links[%d].%s" i key in
+             {
+               src = int (what "src") (field "src" l);
+               dst = int (what "dst") (field "dst" l);
+               capacity = number (what "capacity") (field "capacity" l);
+             })
+      |> Array.of_list
+    in
+    let routes =
+      field "routes" json
+      |> list "routes"
+      |> List.mapi (fun r route ->
+             list (Printf.sprintf "routes[%d]" r) route
+             |> List.map (int (Printf.sprintf "routes[%d] entry" r))
+             |> Array.of_list)
+      |> Array.of_list
+    in
+    make ~n_nodes ~links ~routes
+  with
+  | t -> Ok t
+  | exception Shape msg -> Error ("bad topology: " ^ msg)
+  | exception Invalid_argument msg ->
+      (* [make]'s semantic checks: nonpositive capacities, endpoints or
+         route hops out of range, broken chains, no routes. *)
+      Error ("bad topology: " ^ msg)
 
-let load path = of_json (Json.load path)
+let load path =
+  match Json.load path with
+  | exception Json.Parse_error msg ->
+      Error (Printf.sprintf "%s: not valid JSON: %s" path msg)
+  | exception Sys_error msg -> Error msg
+  | json -> (
+      match of_json json with
+      | Ok t -> Ok t
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
 
 let pp ppf t =
   Fmt.pf ppf "%d nodes, %d links, %d routes (%a hops)" t.n_nodes

@@ -49,13 +49,17 @@ val n_routes : t -> int
 val route_lengths : t -> int array
 (** Hops per route, in route order. *)
 
-val of_json : Rcbr_util.Json.t -> t
+val of_json : Rcbr_util.Json.t -> (t, string) result
 (** Build from [{ "nodes": n, "links": [{"src","dst","capacity"}...],
-    "routes": [[link ids]...] }].  Raises [Invalid_argument] on shape
-    errors (and lets {!make} validate the result). *)
+    "routes": [[link ids]...] }].  Total: every malformed input —
+    missing or mistyped fields, nonpositive capacities, out-of-range
+    link ids or endpoints, dangling route hops, empty route lists —
+    maps to a descriptive [Error], never an exception. *)
 
-val load : string -> t
-(** {!of_json} on a JSON file — the [--topology mesh:FILE] loader. *)
+val load : string -> (t, string) result
+(** {!of_json} on a JSON file — the [--topology mesh:FILE] loader.
+    Unreadable files and non-JSON bytes also land in [Error], with the
+    path prefixed to the message. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: nodes, links, routes with their lengths. *)

@@ -1,0 +1,32 @@
+(** Cooperative signal handling for the CLIs.
+
+    Two styles, both defaulting to SIGINT + SIGTERM:
+
+    {!install_flag} records the signal in a flag the program polls
+    ([{!requested} ()]) at safe points — the daemon's select loop uses
+    this to stop accepting, drain, and audit before exiting.
+
+    {!install_exit} runs a flush callback and exits immediately from
+    the handler — the batch simulators use this so an interrupted run
+    still emits whatever stats it has printed so far instead of dying
+    with a truncated stdout buffer.
+
+    Handlers installed here replace any previous disposition for the
+    chosen signals; {!reset} restores [Sys.Signal_default] (used by
+    tests so a later real Ctrl-C still kills the runner). *)
+
+val install_flag : ?signals:int list -> unit -> unit
+(** Record delivery of any of [signals] (default
+    [[Sys.sigint; Sys.sigterm]]); poll with {!requested}. *)
+
+val requested : unit -> bool
+(** [true] once a flagged signal has been delivered. *)
+
+val install_exit :
+  ?signals:int list -> ?code:int -> on_signal:(int -> unit) -> unit -> unit
+(** On delivery, call [on_signal signal] (flush partial output here —
+    keep it simple: the handler runs at an arbitrary safe point) and
+    [exit code] (default 130, the shell convention for death-by-SIGINT). *)
+
+val reset : ?signals:int list -> unit -> unit
+(** Restore [Sys.Signal_default] for [signals] and clear the flag. *)

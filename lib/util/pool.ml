@@ -58,7 +58,18 @@ let create ?jobs () =
       workers = [];
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <-
+    List.init (jobs - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            (* Workers park in [Condition.wait]; a process signal the
+               kernel happens to deliver to a parked thread sits pending
+               until that thread next wakes, so an interrupt could be
+               delayed indefinitely (or lost to a Ctrl-C retry).  Mask
+               the interactive-shutdown signals here so the kernel must
+               deliver them to the submitting thread instead. *)
+            ignore
+              (Unix.sigprocmask SIG_BLOCK [ Sys.sigint; Sys.sigterm ]);
+            worker t));
   t
 
 let shutdown t =

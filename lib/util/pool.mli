@@ -18,7 +18,9 @@ type t
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs >= 1]).
     [jobs = 1] spawns none and every map runs sequentially in the
-    caller.  Default: {!default_jobs}. *)
+    caller.  Default: {!default_jobs}.  Workers mask SIGINT/SIGTERM so
+    those signals are always delivered to (and handled by) the
+    submitting thread — see {!Interrupt}. *)
 
 val default_jobs : unit -> int
 (** [max 1 (Domain.recommended_domain_count () - 1)]: leave one

@@ -1,0 +1,115 @@
+module Plan = Rcbr_fault.Plan
+module Rng = Rcbr_util.Rng
+
+type stats = {
+  sent : int;
+  dropped : int;
+  duplicated : int;
+  reordered : int;
+  delayed : int;
+  corrupted : int;
+}
+
+type t = {
+  link : Plan.link;
+  rng : Rng.t;
+  mutable held : (int * string) list;  (* (slots left, frame), oldest first *)
+  mutable sent : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable delayed : int;
+  mutable corrupted : int;
+}
+
+let create ~seed link =
+  Plan.validate { Plan.seed; links = [| link |]; crashes = [] };
+  {
+    link;
+    rng = Rng.create seed;
+    held = [];
+    sent = 0;
+    dropped = 0;
+    duplicated = 0;
+    reordered = 0;
+    delayed = 0;
+    corrupted = 0;
+  }
+
+(* Flip one bit of the payload, sparing the 4-byte length prefix so the
+   stream stays framed — the damage must be caught downstream, by the
+   parser or by the protocol. *)
+let corrupt_frame t frame =
+  let n = String.length frame in
+  if n <= 4 then frame
+  else begin
+    let byte = 4 + Rng.int t.rng (n - 4) in
+    let bit = Rng.int t.rng 8 in
+    let b = Bytes.of_string frame in
+    Bytes.set b byte (Char.chr (Char.code frame.[byte] lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+
+(* One send slot has passed: age the held frames and release the due
+   ones (oldest first, after the frames of this slot). *)
+let tick_held t =
+  let due, rest =
+    List.partition (fun (slots, _) -> slots <= 1) t.held
+  in
+  t.held <- List.map (fun (slots, f) -> (slots - 1, f)) rest;
+  List.map snd due
+
+let send t frame =
+  t.sent <- t.sent + 1;
+  let l = t.link in
+  let this_slot =
+    if Plan.link_is_reliable l then [ frame ]
+    else begin
+      let u = Rng.float t.rng in
+      if u < l.Plan.drop then begin
+        t.dropped <- t.dropped + 1;
+        []
+      end
+      else if u < l.Plan.drop +. l.Plan.duplicate then begin
+        t.duplicated <- t.duplicated + 1;
+        [ frame; frame ]
+      end
+      else if u < l.Plan.drop +. l.Plan.duplicate +. l.Plan.reorder then begin
+        t.reordered <- t.reordered + 1;
+        t.held <- t.held @ [ (1, frame) ];
+        []
+      end
+      else if
+        u < l.Plan.drop +. l.Plan.duplicate +. l.Plan.reorder +. l.Plan.delay
+      then begin
+        t.delayed <- t.delayed + 1;
+        t.held <- t.held @ [ (1 + Rng.int t.rng l.Plan.max_extra_slots, frame) ];
+        []
+      end
+      else if
+        u
+        < l.Plan.drop +. l.Plan.duplicate +. l.Plan.reorder +. l.Plan.delay
+          +. l.Plan.corrupt
+      then begin
+        t.corrupted <- t.corrupted + 1;
+        [ corrupt_frame t frame ]
+      end
+      else [ frame ]
+    end
+  in
+  this_slot @ tick_held t
+
+let flush t =
+  let all = List.map snd t.held in
+  t.held <- [];
+  all
+
+let stats t =
+  {
+    sent = t.sent;
+    dropped = t.dropped;
+    duplicated = t.duplicated;
+    reordered = t.reordered;
+    delayed = t.delayed;
+    corrupted = t.corrupted;
+  }

@@ -1,0 +1,36 @@
+(** Deterministic byte-level fault injection for framed streams.
+
+    A mangler sits between a sender and its socket and applies one
+    {!Rcbr_fault.Plan.link}'s fault draws to every outbound frame:
+    drop, duplicate, reorder (the frame falls behind its successor),
+    delay (held for 1..max_extra_slots later sends), or corrupt (one
+    payload bit flipped — the length prefix is spared, so framing
+    survives and the damage must be caught by {!Codec.decode} or show
+    up as a misdelivered message).  All draws come from a seeded
+    {!Rcbr_util.Rng} stream, so a mangled run is exactly reproducible:
+    same plan, same seed, same frame sequence → same wire bytes. *)
+
+type stats = {
+  sent : int;  (** frames offered to the mangler *)
+  dropped : int;
+  duplicated : int;
+  reordered : int;
+  delayed : int;
+  corrupted : int;
+}
+
+type t
+
+val create : seed:int -> Rcbr_fault.Plan.link -> t
+(** Validates the link's probabilities (as {!Rcbr_fault.Plan.validate}
+    does) and seeds the draw stream. *)
+
+val send : t -> string -> string list
+(** The frames to put on the wire for this offered frame, in order —
+    possibly none (dropped or held), possibly several (a duplicate, or
+    held frames whose slot arrived). *)
+
+val flush : t -> string list
+(** Release every held frame (end of stream). *)
+
+val stats : t -> stats

@@ -1,0 +1,264 @@
+module Topology = Rcbr_net.Topology
+module Link = Rcbr_net.Link
+module Session = Rcbr_net.Session
+module Controller = Rcbr_admission.Controller
+module Tables = Rcbr_util.Tables
+
+type config = {
+  topology : Topology.t;
+  controller : Controller.t option;
+  max_frame : int;
+}
+
+let default_config topology =
+  { topology; controller = None; max_frame = Codec.max_frame }
+
+type stats = {
+  mutable setups : int;
+  mutable renegotiations : int;
+  mutable teardowns : int;
+  mutable deltas : int;
+  mutable resyncs : int;
+  mutable audits : int;
+  mutable denials : int;
+  mutable duplicates : int;
+  mutable decode_errors : int;
+  mutable stray_cells : int;
+  mutable unexpected : int;
+  mutable underflows : int;
+}
+
+type t = {
+  config : config;
+  links : Link.t array;
+  sessions : (int, Session.t) Hashtbl.t;
+  stats : stats;
+  mutable draining : bool;
+}
+
+let create config =
+  {
+    config;
+    links = Link.of_topology config.topology;
+    sessions = Hashtbl.create 64;
+    stats =
+      {
+        setups = 0;
+        renegotiations = 0;
+        teardowns = 0;
+        deltas = 0;
+        resyncs = 0;
+        audits = 0;
+        denials = 0;
+        duplicates = 0;
+        decode_errors = 0;
+        stray_cells = 0;
+        unexpected = 0;
+        underflows = 0;
+      };
+    draining = false;
+  }
+
+let stats t = t.stats
+let links t = t.links
+let sessions t = Hashtbl.length t.sessions
+let draining t = t.draining
+
+(* Sorted call order makes the float sums (and hence the audit verdict)
+   a pure function of the daemon's state, not of hash-bucket history. *)
+let session_list t = List.map snd (Tables.sorted_bindings t.sessions)
+
+let audit t = Session.audit ~links:t.links ~sessions:(session_list t)
+
+let total_demand t =
+  Array.fold_left (fun acc l -> acc +. l.Link.demand) 0. t.links
+
+(* --- connections ------------------------------------------------------ *)
+
+type conn = {
+  reader : Frame.Reader.t;
+  seen : (int, Codec.t) Hashtbl.t;  (* request id -> cached reply *)
+}
+
+let connect t =
+  {
+    reader = Frame.Reader.create ~max_frame:t.config.max_frame ();
+    seen = Hashtbl.create 32;
+  }
+
+(* --- dispatch --------------------------------------------------------- *)
+
+let advance_links t ~now =
+  Array.iter (fun l -> Link.advance l ~now) t.links
+
+let route_valid t route =
+  Array.for_all
+    (fun id -> id >= 0 && id < Array.length t.links)
+    route
+
+let deny t ~req reason =
+  t.stats.denials <- t.stats.denials + 1;
+  Some (Codec.Deny { req; reason })
+
+let do_setup t ~now ~req ~call ~route ~transit ~rate =
+  t.stats.setups <- t.stats.setups + 1;
+  if t.draining then deny t ~req Codec.Draining
+  else if Hashtbl.mem t.sessions call then deny t ~req Codec.Duplicate_call
+  else if not (route_valid t route) then deny t ~req Codec.Bad_route
+  else begin
+    let s = Session.make ~id:call ~route ~transit in
+    if Session.blocked ~links:t.links s ~now then deny t ~req Codec.Blackout
+    else
+      let admitted =
+        match t.config.controller with
+        | Some c -> Controller.admit c ~now
+        | None -> true
+      in
+      if not (admitted && Session.fits ~links:t.links s ~rate ~now) then
+        deny t ~req Codec.Capacity
+      else begin
+        advance_links t ~now;
+        Session.settle ~links:t.links s ~rate;
+        Array.iter
+          (fun id ->
+            t.links.(id).Link.n_calls <- t.links.(id).Link.n_calls + 1)
+          route;
+        Hashtbl.replace t.sessions call s;
+        (match t.config.controller with
+        | Some c -> Controller.on_admit c ~now ~call ~rate
+        | None -> ());
+        Some (Codec.Ack { req; applied = rate })
+      end
+  end
+
+let do_renegotiate t ~now ~req ~call ~rate =
+  t.stats.renegotiations <- t.stats.renegotiations + 1;
+  match Hashtbl.find_opt t.sessions call with
+  | None -> deny t ~req Codec.Unknown_call
+  | Some s ->
+      if Session.blocked ~links:t.links s ~now then deny t ~req Codec.Blackout
+      else if rate > s.Session.applied
+              && not (Session.fits ~links:t.links s ~rate ~now)
+      then deny t ~req Codec.Capacity
+      else begin
+        advance_links t ~now;
+        Session.settle ~links:t.links s ~rate;
+        (match t.config.controller with
+        | Some c -> Controller.on_renegotiate c ~now ~call ~rate
+        | None -> ());
+        Some (Codec.Ack { req; applied = rate })
+      end
+
+let do_teardown t ~now ~req ~call =
+  t.stats.teardowns <- t.stats.teardowns + 1;
+  match Hashtbl.find_opt t.sessions call with
+  | None -> deny t ~req Codec.Unknown_call
+  | Some s ->
+      advance_links t ~now;
+      Session.cancel_pending s;
+      Session.settle ~links:t.links s ~rate:0.;
+      Array.iter
+        (fun id -> t.links.(id).Link.n_calls <- t.links.(id).Link.n_calls - 1)
+        s.Session.route;
+      Hashtbl.remove t.sessions call;
+      (match t.config.controller with
+      | Some c -> Controller.on_depart c ~now ~call
+      | None -> ());
+      Some (Codec.Ack { req; applied = 0. })
+
+(* RM cells apply with settle semantics — the demand moves whether or
+   not it fits, exactly as in the simulators' fault path; overload shows
+   up in the link accounting, never as a lost update. *)
+let do_delta t ~now ~vci ~delta =
+  t.stats.deltas <- t.stats.deltas + 1;
+  (match Hashtbl.find_opt t.sessions vci with
+  | None -> t.stats.stray_cells <- t.stats.stray_cells + 1
+  | Some s ->
+      let next = s.Session.applied +. delta in
+      let next =
+        if next < 0. then begin
+          t.stats.underflows <- t.stats.underflows + 1;
+          0.
+        end
+        else next
+      in
+      advance_links t ~now;
+      Session.settle ~links:t.links s ~rate:next);
+  None
+
+let do_resync t ~now ~vci ~rate =
+  t.stats.resyncs <- t.stats.resyncs + 1;
+  (match Hashtbl.find_opt t.sessions vci with
+  | None -> t.stats.stray_cells <- t.stats.stray_cells + 1
+  | Some s ->
+      advance_links t ~now;
+      Session.settle ~links:t.links s ~rate);
+  None
+
+let do_audit t ~req =
+  t.stats.audits <- t.stats.audits + 1;
+  Some
+    (Codec.Audit_reply
+       {
+         req;
+         sessions = Hashtbl.length t.sessions;
+         violations = audit t;
+         demand = total_demand t;
+       })
+
+let dispatch t ~now (msg : Codec.t) =
+  match msg with
+  | Codec.Delta { vci; delta } -> do_delta t ~now ~vci ~delta
+  | Codec.Resync { vci; rate } -> do_resync t ~now ~vci ~rate
+  | Codec.Setup { req; call; route; transit; rate } ->
+      do_setup t ~now ~req ~call ~route ~transit ~rate
+  | Codec.Renegotiate { req; call; rate } -> do_renegotiate t ~now ~req ~call ~rate
+  | Codec.Teardown { req; call } -> do_teardown t ~now ~req ~call
+  | Codec.Audit_request { req } -> do_audit t ~req
+  | Codec.Ack _ | Codec.Deny _ | Codec.Audit_reply _ ->
+      (* Reply-typed traffic from a client is protocol misuse; drop it
+         rather than guessing. *)
+      t.stats.unexpected <- t.stats.unexpected + 1;
+      None
+
+let handle t conn ~now msg =
+  match Codec.req msg with
+  | Some req when Hashtbl.mem conn.seen req ->
+      t.stats.duplicates <- t.stats.duplicates + 1;
+      Hashtbl.find_opt conn.seen req
+  | req ->
+      let reply = dispatch t ~now msg in
+      (match (req, reply) with
+      | Some req, Some reply -> Hashtbl.replace conn.seen req reply
+      | _ -> ());
+      reply
+
+let input t conn ~now bytes_str =
+  Frame.Reader.feed_string conn.reader bytes_str;
+  let out = ref [] in
+  let rec pump () =
+    match Frame.Reader.next conn.reader with
+    | `Await -> Ok (List.rev !out)
+    | `Fatal e -> Error e
+    | `Error _ ->
+        t.stats.decode_errors <- t.stats.decode_errors + 1;
+        pump ()
+    | `Msg msg ->
+        (match handle t conn ~now msg with
+        | None -> ()
+        | Some reply -> out := Codec.frame reply :: !out);
+        pump ()
+  in
+  pump ()
+
+(* --- drain ------------------------------------------------------------ *)
+
+type drain_report = { live_sessions : int; violations : int; demand : float }
+
+let drain t =
+  t.draining <- true;
+  {
+    live_sessions = Hashtbl.length t.sessions;
+    violations = audit t;
+    demand = total_demand t;
+  }

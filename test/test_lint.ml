@@ -276,6 +276,25 @@ let test_allowlist_grants () =
   check_hits ~config ~filename:"lib/other.ml" "grant is per-file"
     [ (1, "D002") ] fold_fixture
 
+(* The daemon pump reads wall time under an explicit whole-file grant,
+   like the one tools/lint/allowlist ships for bin/rcbr_switchd.ml:
+   D003 goes quiet for exactly that file, and only D003. *)
+let test_allowlist_grants_switchd_d003 () =
+  let config =
+    {
+      Lint.strict_config with
+      Lint.allowlist = [ ("bin/rcbr_switchd.ml", "D003") ];
+    }
+  in
+  let clock_fixture = {|let now () = Unix.gettimeofday ()|} in
+  check_hits ~config ~filename:"bin/rcbr_switchd.ml" "granted daemon is clean"
+    [] clock_fixture;
+  check_hits ~config ~filename:"bin/rcbr_other.ml" "grant is per-file"
+    [ (1, "D003") ] clock_fixture;
+  check_hits ~config ~filename:"bin/rcbr_switchd.ml"
+    "grant covers only D003" [ (1, "D001") ]
+    {|let draw () = Random.float 1.0|}
+
 let test_mli_parses_as_interface () =
   (* [val] is only legal in an interface: this proves the suffix routes
      the source through [Parse.interface]. *)
@@ -352,6 +371,7 @@ let () =
       ( "plumbing",
         [
           t "allowlist grants" test_allowlist_grants;
+          t "allowlist grants switchd D003" test_allowlist_grants_switchd_d003;
           t "mli parses as interface" test_mli_parses_as_interface;
           t "parse failure reported" test_parse_failure_reported;
         ] );

@@ -79,13 +79,62 @@ let test_topology_json () =
                    {"src": 2, "dst": 1, "capacity": 2e6} ],
         "routes": [ [0, 1] ] }|};
   close_out oc;
-  let t = Topology.load file in
+  let t =
+    match Topology.load file with
+    | Ok t -> t
+    | Error msg -> Alcotest.failf "good file rejected: %s" msg
+  in
   Alcotest.(check int) "nodes" 3 t.Topology.n_nodes;
   Alcotest.(check int) "links" 2 (Topology.n_links t);
   check_exact "capacity read" 2e6 t.Topology.links.(1).Topology.capacity;
-  Alcotest.(check (array int)) "route read" [| 0; 1 |] t.Topology.routes.(0);
-  Alcotest.(check bool) "shape errors rejected" true
-    (raises_invalid (fun () -> Topology.of_json (Rcbr_util.Json.Int 3)))
+  Alcotest.(check (array int)) "route read" [| 0; 1 |] t.Topology.routes.(0)
+
+(* One check per malformed-input class: each must land in a descriptive
+   [Error], never an exception (ISSUE 6 satellite). *)
+let test_topology_json_errors () =
+  let expect_error name json =
+    match Topology.of_json json with
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+    | Error msg ->
+        Alcotest.(check bool)
+          (name ^ " message nonempty")
+          true
+          (String.length msg > 0)
+  in
+  let parse s = Rcbr_util.Json.parse s in
+  expect_error "non-object" (Rcbr_util.Json.Int 3);
+  expect_error "missing routes"
+    (parse {|{ "nodes": 2, "links": [{"src":0,"dst":1,"capacity":1.0}] }|});
+  expect_error "mistyped nodes"
+    (parse
+       {|{ "nodes": "two",
+           "links": [{"src":0,"dst":1,"capacity":1.0}], "routes": [[0]] }|});
+  expect_error "negative capacity"
+    (parse
+       {|{ "nodes": 2,
+           "links": [{"src":0,"dst":1,"capacity":-5.0}], "routes": [[0]] }|});
+  expect_error "bad link endpoint"
+    (parse
+       {|{ "nodes": 2,
+           "links": [{"src":0,"dst":7,"capacity":1.0}], "routes": [[0]] }|});
+  expect_error "dangling route hop"
+    (parse
+       {|{ "nodes": 2,
+           "links": [{"src":0,"dst":1,"capacity":1.0}], "routes": [[0, 3]] }|});
+  (* Non-JSON bytes and missing files go through [load]. *)
+  let file = Filename.temp_file "rcbr_topo" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let oc = open_out file in
+  output_string oc "this is not json {";
+  close_out oc;
+  (match Topology.load file with
+  | Ok _ -> Alcotest.fail "non-JSON bytes accepted"
+  | Error msg ->
+      Alcotest.(check bool) "non-JSON error names the file" true
+        (String.length msg > 0));
+  match Topology.load (file ^ ".does-not-exist") with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error _ -> ()
 
 (* --- Link ----------------------------------------------------------- *)
 
@@ -194,6 +243,106 @@ let test_session_blocked () =
   let direct = Session.make ~id:1 ~route:topo.Topology.routes.(0) ~transit:false in
   Alcotest.(check bool) "other route unaffected" false
     (Session.blocked ~links direct ~now:15.)
+
+(* --- Session settle-path edge cases --------------------------------- *)
+
+(* A driver that just settles on delivery — the minimal honest client of
+   the state machine, no simulator accounting on top. *)
+let settle_driver ~links plane lifetime =
+  {
+    Session.plane_ = Some plane;
+    reliable_setup = false;
+    lifetime;
+    before = (fun ~now:_ -> ());
+    on_attempt = (fun ~now:_ -> ());
+    retry = (fun ~now:_ -> true);
+    deliver = (fun s ~now:_ ~idx:_ ~rate -> Session.settle ~links s ~rate);
+  }
+
+let lossy_plane ~max_retransmits =
+  Session.plane ~drop:Session.Per_cell
+    {
+      Session.no_faults with
+      Session.rm_drop = 1.0;
+      retx_timeout = 0.2;
+      max_retransmits;
+      fault_seed = 5;
+    }
+
+(* Give-up exactly at max_retransmits: initial cell + 2 retransmissions
+   all lost, then the change is applied anyway (settle semantics) and
+   conservation still holds. *)
+let test_session_give_up_at_cap () =
+  let topo = Topology.single_link ~capacity:1e6 in
+  let links = Link.of_topology topo in
+  let plane = lossy_plane ~max_retransmits:2 in
+  let s = Session.make ~id:0 ~route:topo.Topology.routes.(0) ~transit:false in
+  let d = settle_driver ~links plane (Session.Hold_until infinity) in
+  let engine = Rcbr_queue.Events.create () in
+  Session.signal d s ~idx:0 ~rate:5e4 engine;
+  Rcbr_queue.Events.run engine;
+  let c = plane.Session.counters in
+  Alcotest.(check int) "all three transmissions lost" 3 c.Session.rm_lost;
+  Alcotest.(check int) "exactly max retransmits" 2 c.Session.retransmits;
+  Alcotest.(check int) "one abandoned change" 1 c.Session.abandoned;
+  Alcotest.(check int) "nothing superseded" 0 c.Session.superseded;
+  check_exact "applied anyway after give-up" 5e4 s.Session.applied;
+  check_exact "demand follows" 5e4 links.(0).Link.demand;
+  Alcotest.(check int) "conservation holds" 0
+    (Session.audit ~links ~sessions:[ s ])
+
+(* A newer renegotiation supersedes the pending retransmission of an
+   older one: the old retx dies at the gen check, the new change runs
+   its own retransmit budget, and only the new rate lands. *)
+let test_session_superseded_resync () =
+  let topo = Topology.single_link ~capacity:1e6 in
+  let links = Link.of_topology topo in
+  let plane = lossy_plane ~max_retransmits:1 in
+  let s = Session.make ~id:0 ~route:topo.Topology.routes.(0) ~transit:false in
+  let d = settle_driver ~links plane (Session.Hold_until infinity) in
+  let engine = Rcbr_queue.Events.create () in
+  (* t=0: change A (lost, retx armed for t=0.2).  t=0.1: change B
+     supersedes it (lost, retx armed for t=0.3).  t=0.2: A's retx finds
+     gen moved on.  t=0.3: B's retx is lost too -> give up, B lands. *)
+  Session.signal d s ~idx:0 ~rate:3e4 engine;
+  Rcbr_queue.Events.schedule engine ~at:0.1 (fun engine ->
+      Session.signal d s ~idx:1 ~rate:8e4 engine);
+  Rcbr_queue.Events.run engine;
+  let c = plane.Session.counters in
+  Alcotest.(check int) "A, B and B's retx lost" 3 c.Session.rm_lost;
+  Alcotest.(check int) "only B retransmits" 1 c.Session.retransmits;
+  Alcotest.(check int) "A's retx superseded" 1 c.Session.superseded;
+  Alcotest.(check int) "B abandoned" 1 c.Session.abandoned;
+  check_exact "the superseding rate lands" 8e4 s.Session.applied;
+  Alcotest.(check int) "conservation holds" 0
+    (Session.audit ~links ~sessions:[ s ])
+
+(* Departure while a retransmission is in flight: cancel_pending bumps
+   gen, the timer fires into the superseded branch, and the links end
+   the run empty. *)
+let test_session_depart_with_retx_in_flight () =
+  let topo = Topology.single_link ~capacity:1e6 in
+  let links = Link.of_topology topo in
+  let plane = lossy_plane ~max_retransmits:3 in
+  let s = Session.make ~id:0 ~route:topo.Topology.routes.(0) ~transit:false in
+  let d = settle_driver ~links plane (Session.Hold_until infinity) in
+  let engine = Rcbr_queue.Events.create () in
+  Session.signal d s ~idx:0 ~rate:6e4 engine;
+  Rcbr_queue.Events.schedule engine ~at:0.1 (fun _ ->
+      (* The departure path every simulator uses: kill the pending
+         retransmission, then account the session down to zero. *)
+      Session.cancel_pending s;
+      Session.settle ~links s ~rate:0.);
+  Rcbr_queue.Events.run engine;
+  let c = plane.Session.counters in
+  Alcotest.(check int) "only the first cell was lost" 1 c.Session.rm_lost;
+  Alcotest.(check int) "no retransmission ran" 0 c.Session.retransmits;
+  Alcotest.(check int) "the armed retx was superseded" 1 c.Session.superseded;
+  Alcotest.(check int) "nothing abandoned" 0 c.Session.abandoned;
+  check_exact "departed clean" 0. s.Session.applied;
+  check_exact "link empty" 0. links.(0).Link.demand;
+  Alcotest.(check int) "conservation holds" 0
+    (Session.audit ~links ~sessions:[ s ])
 
 (* --- run_net vs the historical entry points ------------------------- *)
 
@@ -330,6 +479,7 @@ let () =
           Alcotest.test_case "constructors" `Quick test_topology_constructors;
           Alcotest.test_case "validation" `Quick test_topology_validation;
           Alcotest.test_case "json" `Quick test_topology_json;
+          Alcotest.test_case "json errors" `Quick test_topology_json_errors;
         ] );
       ( "link",
         [
@@ -342,6 +492,12 @@ let () =
           Alcotest.test_case "fit/settle/audit" `Quick
             test_session_fit_settle_audit;
           Alcotest.test_case "blocked" `Quick test_session_blocked;
+          Alcotest.test_case "give-up at max retransmits" `Quick
+            test_session_give_up_at_cap;
+          Alcotest.test_case "superseded renegotiation" `Quick
+            test_session_superseded_resync;
+          Alcotest.test_case "depart with retx in flight" `Quick
+            test_session_depart_with_retx_in_flight;
         ] );
       ( "run_net",
         [

@@ -498,6 +498,31 @@ let test_json_save () =
   close_in ic;
   Alcotest.(check string) "saved line" {|{"k": 3}|} line
 
+(* --- Interrupt --- *)
+
+(* SIGUSR1 rather than SIGINT so a failing test can still be Ctrl-C'd.
+   OCaml delivers signals at safe points (allocations), so poll with an
+   allocating no-op until the handler has run. *)
+let test_interrupt_flag () =
+  Fun.protect ~finally:(fun () ->
+      Rcbr_util.Interrupt.reset ~signals:[ Sys.sigusr1 ] ())
+  @@ fun () ->
+  Rcbr_util.Interrupt.install_flag ~signals:[ Sys.sigusr1 ] ();
+  Alcotest.(check bool) "clean before" false (Rcbr_util.Interrupt.requested ());
+  Unix.kill (Unix.getpid ()) Sys.sigusr1;
+  let rec wait n =
+    if Rcbr_util.Interrupt.requested () then true
+    else if n = 0 then false
+    else begin
+      ignore (Sys.opaque_identity (String.make 16 'x'));
+      wait (n - 1)
+    end
+  in
+  Alcotest.(check bool) "flag set after signal" true (wait 100_000);
+  Rcbr_util.Interrupt.reset ~signals:[ Sys.sigusr1 ] ();
+  Alcotest.(check bool) "reset clears the flag" false
+    (Rcbr_util.Interrupt.requested ())
+
 (* --- Properties --- *)
 
 let prop_heap_sorts =
@@ -617,6 +642,8 @@ let () =
           Alcotest.test_case "shutdown idempotent" `Quick
             test_pool_shutdown_idempotent;
         ] );
+      ( "interrupt",
+        [ Alcotest.test_case "flag set and reset" `Quick test_interrupt_flag ] );
       ( "json",
         [
           Alcotest.test_case "to_string" `Quick test_json_to_string;

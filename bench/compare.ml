@@ -12,9 +12,9 @@
    - any decision/identity field present in both records differs:
      [decision_hashes], [result_checksum], [decisions],
      [decisions_identical], [results_identical], [grid_points],
-     [queries].  These capture the admit/deny sequences and solver
-     answers, so a mismatch means the numerics changed, not just the
-     machine.
+     [queries], [concurrent_calls], [audit_violations].  These capture
+     the admit/deny sequences and solver answers, so a mismatch means
+     the numerics changed, not just the machine.
 
    Timing fields other than wall_s (bechamel ns, per-sweep wall_s
    inside extras) are informational and not gated. *)
@@ -30,6 +30,8 @@ let identity_fields =
     "results_identical";
     "grid_points";
     "queries";
+    "concurrent_calls";
+    "audit_violations";
   ]
 
 let failures = ref 0

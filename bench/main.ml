@@ -1161,6 +1161,80 @@ let mixture ctx =
       ("memory", fun () -> Controller.memory ~capacity ~target:1e-3);
     ]
 
+(* --- Megacall: the million-call engine ------------------------------ *)
+
+(* Peak resident set from /proc/self/status (VmHWM, kB).  Linux-only;
+   [None] elsewhere, and the BENCH field is simply absent. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
+            String.to_seq line
+            |> Seq.filter (fun c -> c >= '0' && c <= '9')
+            |> String.of_seq |> int_of_string_opt
+        | _ -> scan ()
+      in
+      scan ()
+
+(* 2^20 concurrent calls on sharded grid meshes: the SoA session store,
+   the calendar-queue scheduler driven with integer handles, batched
+   admission and link-sharded Pool runs, all at once (DESIGN.md §12).
+   The outcome hash is bit-identical for every -j; CI additionally
+   diffs the rcbr_megacall CLI at -j1 vs -j4. *)
+let megacall ctx =
+  section "Megacall -- 10^6 concurrent calls (SoA store + wheel + batching)";
+  let module Megacall = Rcbr_sim.Megacall in
+  let concurrent = 1 lsl 20 in
+  let cfg = Megacall.default ~concurrent () in
+  pf "%d shards x (%dx%d mesh, %d calls each), %d rate changes per call@."
+    cfg.Megacall.shards cfg.Megacall.rows cfg.Megacall.cols
+    cfg.Megacall.calls_per_shard cfg.Megacall.pieces_per_call;
+  let t0 = Unix.gettimeofday () in
+  let m = Megacall.run ?pool:ctx.pool cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  pf "arrivals %d, admitted %d, denied %d, departures %d@."
+    m.Megacall.total_arrivals m.Megacall.total_admitted
+    m.Megacall.total_denied m.Megacall.total_departures;
+  pf "concurrent %d (peak %d), %d wheel events@." m.Megacall.concurrent_calls
+    m.Megacall.peak_concurrent m.Megacall.total_events;
+  pf "batch hits %d, solver memo hits %d, audit violations %d@."
+    m.Megacall.total_batch_hits m.Megacall.total_memo_hits
+    m.Megacall.audit_violations;
+  pf "outcome hash %d (identical for every -j)@." m.Megacall.outcome_hash;
+  pf "wall %.3f s: %.0f calls/s, %.0f events/s@." wall
+    (float_of_int m.Megacall.total_admitted /. wall)
+    (float_of_int m.Megacall.total_events /. wall);
+  (match peak_rss_kb () with
+  | Some kb ->
+      pf "peak RSS %.1f MB (%.0f bytes/concurrent call, process-wide)@."
+        (float_of_int kb /. 1024.)
+        (float_of_int kb *. 1024. /. float_of_int m.Megacall.concurrent_calls);
+      emit ctx "peak_rss_kb" (Json.Int kb)
+  | None -> pf "peak RSS unavailable (no /proc/self/status)@.");
+  emit ctx "concurrent_calls" (Json.Int m.Megacall.concurrent_calls);
+  emit ctx "peak_concurrent" (Json.Int m.Megacall.peak_concurrent);
+  emit ctx "decisions" (Json.Int m.Megacall.total_arrivals);
+  emit ctx "result_checksum" (Json.Int m.Megacall.outcome_hash);
+  emit ctx "decision_hashes"
+    (Json.List
+       (Array.to_list
+          (Array.map
+             (fun s -> Json.Int s.Megacall.decision_hash)
+             m.Megacall.shards_)));
+  emit ctx "audit_violations" (Json.Int m.Megacall.audit_violations);
+  emit ctx "events" (Json.Int m.Megacall.total_events);
+  emit ctx "batch_hits" (Json.Int m.Megacall.total_batch_hits);
+  emit ctx "memo_hits" (Json.Int m.Megacall.total_memo_hits);
+  emit ctx "calls_per_s"
+    (Json.Float (float_of_int m.Megacall.total_admitted /. wall));
+  emit ctx "events_per_s"
+    (Json.Float (float_of_int m.Megacall.total_events /. wall))
+
 (* --- driver --------------------------------------------------------- *)
 
 let experiments =
@@ -1174,6 +1248,7 @@ let experiments =
     ("fig9", fig9);
     ("mbac-admit", mbac_admit);
     ("chernoff-sweep", chernoff_sweep);
+    ("megacall", megacall);
     ("analysis", analysis);
     ("predictors", predictors);
     ("latency", latency);
@@ -1201,6 +1276,7 @@ let smoke_set =
     "fig7";
     "mbac-admit";
     "chernoff-sweep";
+    "megacall";
     "multihop";
     "mesh";
     "micro";

@@ -53,6 +53,7 @@ type stats = {
   decision_hash : int;
   legacy_evals : int;
   mismatches : int;
+  batch_hits : int;
   solver : Chernoff.Solver.stats;
 }
 
@@ -70,19 +71,37 @@ type t = {
   cur_count : Histogram.t;
   since_sum : Histogram.t;
   mutable hist_segments : int;  (* total finalized segments in [hist] *)
+  (* Lower bound on the minimum [since] over active calls (infinity
+     when none was ever admitted; never raised by departures, so it can
+     only be stale *downward* — see [all_fresh]). *)
+  mutable since_floor : float;
   solver : Chernoff.Solver.t;
+  (* Batched decisions: while [batching] and nothing has mutated the
+     call population since the last fast-path load at the same [now],
+     the committed solver distribution is still exact, so a decision is
+     the O(1) integer compare against the memoized [max_calls]. *)
+  mutable batching : bool;
+  mutable cache_valid : bool;
+  mutable cache_now : float;
+  mutable cache_empty : bool;  (* the load saw an empty distribution *)
   (* Instrumentation. *)
   mutable decisions : int;
   mutable admits : int;
   mutable decision_hash : int;
   mutable legacy_evals : int;
   mutable mismatches : int;
+  mutable batch_hits : int;
 }
 
 let name t = t.name
 let n_in_system t = Hashtbl.length t.calls
 let mode t = t.mode
 let set_mode t mode = t.mode <- mode
+let batched t = t.batching
+
+let set_batched t on =
+  t.batching <- on;
+  if not on then t.cache_valid <- false
 
 let stats t =
   {
@@ -91,6 +110,7 @@ let stats t =
     decision_hash = t.decision_hash;
     legacy_evals = t.legacy_evals;
     mismatches = t.mismatches;
+    batch_hits = t.batch_hits;
     solver = Chernoff.Solver.stats t.solver;
   }
 
@@ -123,6 +143,7 @@ let accumulate t state ~now =
 
 let on_admit t ~now ~call ~rate =
   assert (not (Hashtbl.mem t.calls call));
+  t.cache_valid <- false;
   let level = level_of t rate in
   let state =
     {
@@ -134,10 +155,12 @@ let on_admit t ~now ~call ~rate =
     }
   in
   Hashtbl.replace t.calls call state;
+  if now < t.since_floor then t.since_floor <- now;
   Histogram.add t.cur_count level 1.;
   Histogram.add t.since_sum level now
 
 let on_renegotiate t ~now ~call ~rate =
+  t.cache_valid <- false;
   match Hashtbl.find_opt t.calls call with
   | None -> ()
   | Some st ->
@@ -154,6 +177,7 @@ let on_renegotiate t ~now ~call ~rate =
 
 let on_depart t ~now ~call =
   ignore now;
+  t.cache_valid <- false;
   match Hashtbl.find_opt t.calls call with
   | None -> ()
   | Some st ->
@@ -192,8 +216,15 @@ let load_history t ~now =
    finalized history at all. *)
 let all_fresh t ~now =
   t.hist_segments = 0
-  (* lint: allow D002 — conjunction over all calls, order-independent *)
-  && Hashtbl.fold (fun _ st acc -> acc && now -. st.since <= 0.) t.calls true
+  && ((* [since_floor] is a lower bound on every active [since]
+         (departures never raise it), so [now <= since_floor] proves
+         every call fresh in O(1) — the common case during a batched
+         ramp tick, where the fold below would be O(calls) per
+         decision.  When the bound is inconclusive the exact fold
+         decides, as the seed did. *)
+      now <= t.since_floor
+     (* lint: allow D002 — conjunction over all calls, order-independent *)
+     || Hashtbl.fold (fun _ st acc -> acc && now -. st.since <= 0.) t.calls true)
 
 let solver_admit t ~capacity ~target ~n =
   if Chernoff.Solver.n_levels t.solver = 0 then true
@@ -202,12 +233,27 @@ let solver_admit t ~capacity ~target ~n =
     n + 1 <= Chernoff.Solver.max_calls t.solver ~capacity ~target
   end
 
+(* Batched fast path.  A cache hit means no [on_admit]/[on_renegotiate]/
+   [on_depart] ran since the last load and [now] is bit-equal, so
+   reloading would push the identical floats and re-derive the identical
+   [max_calls] — the decision below is therefore *exactly* the
+   per-decision one (property-tested in test/test_admission.ml), served
+   by the solver's memo without redoing the load or the search. *)
 let fast_admit t ~now ~capacity ~target =
   let n = n_in_system t in
-  (match t.kind with
-  | Memory _ when not (all_fresh t ~now) -> load_history t ~now
-  | _ -> load_instantaneous t);
-  solver_admit t ~capacity ~target ~n
+  if t.batching && t.cache_valid && Float.equal t.cache_now now then begin
+    t.batch_hits <- t.batch_hits + 1;
+    t.cache_empty || n + 1 <= Chernoff.Solver.max_calls t.solver ~capacity ~target
+  end
+  else begin
+    (match t.kind with
+    | Memory _ when not (all_fresh t ~now) -> load_history t ~now
+    | _ -> load_instantaneous t);
+    t.cache_now <- now;
+    t.cache_valid <- t.batching;
+    t.cache_empty <- Chernoff.Solver.n_levels t.solver = 0;
+    solver_admit t ~capacity ~target ~n
+  end
 
 (* --- legacy (seed) decision path ------------------------------------ *)
 
@@ -325,12 +371,18 @@ let make ~name ~kind () =
     cur_count = Histogram.create ~levels:16;
     since_sum = Histogram.create ~levels:16;
     hist_segments = 0;
+    since_floor = infinity;
     solver = Chernoff.Solver.create ();
+    batching = false;
+    cache_valid = false;
+    cache_now = 0.;
+    cache_empty = false;
     decisions = 0;
     admits = 0;
     decision_hash = 0;
     legacy_evals = 0;
     mismatches = 0;
+    batch_hits = 0;
   }
 
 let perfect ~descriptor ~capacity ~target =

@@ -45,6 +45,19 @@ val mode : t -> mode
 val set_mode : t -> mode -> unit
 (** Controllers start in [Fast]; switch before feeding events. *)
 
+val batched : t -> bool
+
+val set_batched : t -> bool -> unit
+(** Batched decisions (off by default): while on, the fast path caches
+    the solver load keyed on the decision's exact [now] and invalidates
+    it on any {!on_admit}/{!on_renegotiate}/{!on_depart}, so repeat
+    decisions inside one tick — e.g. an arrival burst being denied
+    against an unchanged population — reduce to an O(1) integer
+    compare against the solver's memoized [max_calls].  The admit/deny
+    sequence is exactly the per-decision one: a cache hit implies a
+    reload would push bit-identical weights (property-tested in
+    test/test_admission.ml). *)
+
 val name : t -> string
 
 val admit : t -> now:float -> bool
@@ -69,6 +82,7 @@ type stats = {
           across runs mean identical decision sequences *)
   legacy_evals : int;  (** from-scratch rebuilds ([Legacy]/[Check]) *)
   mismatches : int;  (** [Check]-mode fast/legacy disagreements *)
+  batch_hits : int;  (** decisions served from the batched-tick cache *)
   solver : Rcbr_effbw.Chernoff.Solver.stats;
 }
 

@@ -115,10 +115,19 @@ module Solver = struct
     (* Warm-start state. *)
     mutable bracket_hint : int;  (* exponent k of the last 2^k theta bracket *)
     mutable calls_hint : int;  (* last [max_calls] answer; 0 = none *)
+    (* Memoized [max_calls]: valid while the committed distribution is
+       unchanged ([stamp]) and the query point repeats exactly.  This is
+       what makes a batched admission tick O(1) per repeat decision. *)
+    mutable stamp : int;  (* bumped whenever the distribution changes *)
+    mutable memo_stamp : int;  (* -1: no memo *)
+    mutable memo_capacity : float;
+    mutable memo_target : float;
+    mutable memo_answer : int;
     (* Instrumentation. *)
     mutable mgf_evals : int;
     mutable fits_evals : int;
     mutable queries : int;
+    mutable memo_hits : int;
   }
 
   let create () =
@@ -131,9 +140,15 @@ module Solver = struct
       loading = false;
       bracket_hint = -1;
       calls_hint = 0;
+      stamp = 0;
+      memo_stamp = -1;
+      memo_capacity = 0.;
+      memo_target = 0.;
+      memo_answer = 0;
       mgf_evals = 0;
       fits_evals = 0;
       queries = 0;
+      memo_hits = 0;
     }
 
   let grow t =
@@ -159,6 +174,7 @@ module Solver = struct
   let commit t =
     assert (t.loading);
     t.loading <- false;
+    t.stamp <- t.stamp + 1;
     let mu = ref 0. and top = ref neg_infinity in
     for i = 0 to t.n - 1 do
       let p = exp t.logp.(i) in
@@ -172,6 +188,7 @@ module Solver = struct
     reset t;
     Array.iter (fun (p, e) -> if p > 0. then push_log t ~level:e ~logp:(log p)) m;
     t.loading <- false;
+    t.stamp <- t.stamp + 1;
     (* Mean and max over the raw marginal, matching the cold functions
        bit for bit (p = 0 entries add an exact 0.). *)
     t.mean <- mean m;
@@ -298,7 +315,15 @@ module Solver = struct
   let max_calls t ~capacity ~target =
     assert (capacity >= 0.);
     assert (not t.loading);
-    if t.mean <= 0. then max_int
+    if
+      t.memo_stamp = t.stamp
+      && Float.equal t.memo_capacity capacity
+      && Float.equal t.memo_target target
+    then begin
+      t.memo_hits <- t.memo_hits + 1;
+      t.memo_answer
+    end
+    else if t.mean <= 0. then max_int
     else begin
       let fits n =
         t.fits_evals <- t.fits_evals + 1;
@@ -346,11 +371,25 @@ module Solver = struct
         end
       in
       if answer > 0 && answer < max_int then t.calls_hint <- answer;
+      t.memo_stamp <- t.stamp;
+      t.memo_capacity <- capacity;
+      t.memo_target <- target;
+      t.memo_answer <- answer;
       answer
     end
 
-  type stats = { mgf_evals : int; fits_evals : int; queries : int }
+  type stats = {
+    mgf_evals : int;
+    fits_evals : int;
+    queries : int;
+    memo_hits : int;
+  }
 
   let stats (t : t) =
-    { mgf_evals = t.mgf_evals; fits_evals = t.fits_evals; queries = t.queries }
+    {
+      mgf_evals = t.mgf_evals;
+      fits_evals = t.fits_evals;
+      queries = t.queries;
+      memo_hits = t.memo_hits;
+    }
 end

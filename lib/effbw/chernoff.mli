@@ -105,12 +105,17 @@ module Solver : sig
 
   val max_calls : t -> capacity:float -> target:float -> int
   (** Warm-started admission limit; equal to {!val:max_calls} on the
-      loaded distribution for every (capacity, target). *)
+      loaded distribution for every (capacity, target).  Memoized on
+      the committed distribution: repeating the query without an
+      intervening load returns the stored answer in O(1), which makes
+      a batched admission tick (many decisions against one commit)
+      cost one search total. *)
 
   type stats = {
     mgf_evals : int;  (** log-MGF evaluations (the innermost kernel) *)
     fits_evals : int;  (** admission-predicate probes across searches *)
     queries : int;  (** rate-function queries *)
+    memo_hits : int;  (** [max_calls] answers served from the memo *)
   }
 
   val stats : t -> stats

@@ -59,19 +59,39 @@ let plane ~drop faults =
       };
   }
 
+type pending = {
+  tok : Events.token;
+  at : float;
+  bound : float;
+  owner : counters;
+}
+
 type t = {
   id : int;
   route : int array;
   transit : bool;
   mutable applied : float;
   mutable gen : int;
+  mutable pending : pending option;
 }
 
 let make ~id ~route ~transit =
   assert (Array.length route > 0);
-  { id; route; transit; applied = 0.; gen = 0 }
+  { id; route; transit; applied = 0.; gen = 0; pending = None }
 
-let cancel_pending t = t.gen <- t.gen + 1
+(* Cancelling an armed retransmission counts it as superseded exactly
+   when the timer would have popped under the seed engine: always for
+   run-to-exhaustion drivers ([bound = infinity]), and only for timers
+   at or before the horizon under [Hold_until] (a bounded [Events.run]
+   never pops later timers, so the seed never counted them). *)
+let cancel_pending t =
+  t.gen <- t.gen + 1;
+  match t.pending with
+  | None -> ()
+  | Some p ->
+      Events.cancel p.tok;
+      t.pending <- None;
+      if p.at <= p.bound then p.owner.superseded <- p.owner.superseded + 1
 
 let fits ~(links : Link.t array) t ~rate ~now =
   let delta = rate -. t.applied in
@@ -139,10 +159,15 @@ let dropped p t =
 
 (* One transmission attempt of the rate-change cell across the session's
    route; a drop loses it and arms a retransmission, which a newer
-   change (or the departure) supersedes via [gen]. *)
+   change (or the departure) cancels out of the queue. *)
 let signal d t ~idx ~rate engine =
-  t.gen <- t.gen + 1;
+  cancel_pending t;
   let gen = t.gen in
+  let bound =
+    match d.lifetime with
+    | Hold_until horizon -> horizon
+    | Depart_after_pieces _ -> infinity
+  in
   let rec attempt retx engine =
     let now = Events.now engine in
     d.on_attempt ~now;
@@ -156,18 +181,23 @@ let signal d t ~idx ~rate engine =
           p.counters.abandoned <- p.counters.abandoned + 1;
           d.deliver t ~now ~idx ~rate
         end
-        else
-          Events.schedule_after engine ~delay:p.faults.retx_timeout
-            (fun engine ->
-              if t.gen <> gen then
-                p.counters.superseded <- p.counters.superseded + 1
-              else begin
-                let now = Events.now engine in
-                if d.retry ~now then begin
-                  p.counters.retransmits <- p.counters.retransmits + 1;
-                  attempt (retx + 1) engine
-                end
-              end)
+        else begin
+          let at = now +. p.faults.retx_timeout in
+          let tok =
+            Events.schedule_token engine ~at (fun engine ->
+                t.pending <- None;
+                (* Newer changes cancel the token eagerly, so a firing
+                   timer is never stale; the guard is pure defence. *)
+                if t.gen = gen then begin
+                  let now = Events.now engine in
+                  if d.retry ~now then begin
+                    p.counters.retransmits <- p.counters.retransmits + 1;
+                    attempt (retx + 1) engine
+                  end
+                end)
+          in
+          t.pending <- Some { tok; at; bound; owner = p.counters }
+        end
     | _ -> d.deliver t ~now ~idx ~rate
   in
   attempt 0 engine

@@ -72,6 +72,16 @@ val plane : drop:drop_model -> faults -> plane
 
 (** {1 Sessions} *)
 
+type pending = {
+  tok : Rcbr_queue.Events.token;  (** the armed retransmission timer *)
+  at : float;  (** when it would fire *)
+  bound : float;
+      (** horizon up to which a cancelled timer counts as superseded
+          (the seed engine only counted timers that actually popped,
+          i.e. those at or before the driver's run bound) *)
+  owner : counters;
+}
+
 type t = {
   id : int;  (** caller's label (the MBAC call id) *)
   route : int array;  (** link ids, in hop order *)
@@ -80,14 +90,19 @@ type t = {
       (** the rate the links currently account for this session; lags
           the demanded rate while a change cell is in retransmission *)
   mutable gen : int;
-      (** bumped per rate change and on departure; cancels stale
-          retransmissions *)
+      (** bumped per rate change and on departure; guards against
+          stale retransmissions *)
+  mutable pending : pending option;
+      (** the armed retransmission, if any; cancelled out of the event
+          queue by the next change or the departure, so dead timers
+          never accumulate under storm workloads *)
 }
 
 val make : id:int -> route:int array -> transit:bool -> t
 
 val cancel_pending : t -> unit
-(** Bump [gen] so any in-flight retransmission is superseded. *)
+(** Bump [gen] and cancel any armed retransmission out of the event
+    queue (counting it as superseded per [pending.bound]). *)
 
 (** {1 Route queries} *)
 

@@ -1,0 +1,224 @@
+(* Struct-of-arrays session store for the million-call engine.
+
+   One {!Session.t} record per call costs a heap block, a route array
+   and pointer-chasing per event; at 10^6 concurrent calls that is the
+   hot loop.  Here every per-call field lives in a packed parallel
+   array indexed by an integer handle, routes are slices of one shared
+   int arena, and freed handles recycle through a stack — so steady
+   state allocates nothing.
+
+   The route queries ([fits]/[blocked]/[settle]/[audit]) evaluate the
+   exact float expressions of their {!Session} counterparts, in the
+   same order, so a store-backed run is bit-identical to a
+   record-backed one (property-tested in test/test_net.ml via
+   {!to_session}). *)
+
+type handle = int
+
+type t = {
+  mutable applied : float array;
+  mutable level : int array;  (* current rate-level id *)
+  mutable cursor : int array;  (* schedule cursor (piece index) *)
+  mutable gen : int array;
+  mutable id : int array;
+  mutable route_off : int array;  (* slice into [routes] *)
+  mutable route_len : int array;
+  mutable flags : Bytes.t;  (* bit 0: live, bit 1: transit *)
+  mutable routes : int array;  (* shared route arena, append-only *)
+  mutable routes_len : int;
+  mutable routes_dead : int;  (* arena words owned by freed handles *)
+  mutable free : int array;  (* free-handle stack *)
+  mutable free_len : int;
+  mutable hwm : int;  (* handles ever touched: live + free *)
+  mutable live : int;
+}
+
+let create ?(capacity_hint = 16) () =
+  let cap = max 16 capacity_hint in
+  {
+    applied = Array.make cap 0.;
+    level = Array.make cap 0;
+    cursor = Array.make cap 0;
+    gen = Array.make cap 0;
+    id = Array.make cap 0;
+    route_off = Array.make cap 0;
+    route_len = Array.make cap 0;
+    flags = Bytes.make cap '\000';
+    routes = Array.make (4 * cap) 0;
+    routes_len = 0;
+    routes_dead = 0;
+    free = Array.make cap 0;
+    free_len = 0;
+    hwm = 0;
+    live = 0;
+  }
+
+let live_count t = t.live
+let high_water t = t.hwm
+let is_live t h = Char.code (Bytes.get t.flags h) land 1 <> 0
+
+let grow_handles t =
+  let cap = Array.length t.applied in
+  let ncap = 2 * cap in
+  let gf a fill =
+    let n = Array.make ncap fill in
+    Array.blit a 0 n 0 cap;
+    n
+  in
+  t.applied <- gf t.applied 0.;
+  t.level <- gf t.level 0;
+  t.cursor <- gf t.cursor 0;
+  t.gen <- gf t.gen 0;
+  t.id <- gf t.id 0;
+  t.route_off <- gf t.route_off 0;
+  t.route_len <- gf t.route_len 0;
+  t.free <- gf t.free 0;
+  let nflags = Bytes.make ncap '\000' in
+  Bytes.blit t.flags 0 nflags 0 cap;
+  t.flags <- nflags
+
+(* Reclaim arena words owned by freed handles: rewrite the arena with
+   the live routes in handle order.  Deterministic — depends only on
+   the live handle set. *)
+let compact_routes t =
+  let narena = Array.make (max 64 (Array.length t.routes / 2)) 0 in
+  let narena = ref narena in
+  let k = ref 0 in
+  for h = 0 to t.hwm - 1 do
+    if is_live t h then begin
+      let len = t.route_len.(h) in
+      if !k + len > Array.length !narena then begin
+        let bigger = Array.make (max (2 * Array.length !narena) (!k + len)) 0 in
+        Array.blit !narena 0 bigger 0 !k;
+        narena := bigger
+      end;
+      Array.blit t.routes t.route_off.(h) !narena !k len;
+      t.route_off.(h) <- !k;
+      k := !k + len
+    end
+  done;
+  t.routes <- !narena;
+  t.routes_len <- !k;
+  t.routes_dead <- 0
+
+let acquire t ~id ~route ~transit =
+  assert (Array.length route > 0);
+  let h =
+    if t.free_len > 0 then begin
+      t.free_len <- t.free_len - 1;
+      t.free.(t.free_len)
+    end
+    else begin
+      if t.hwm = Array.length t.applied then grow_handles t;
+      let h = t.hwm in
+      t.hwm <- t.hwm + 1;
+      h
+    end
+  in
+  let rlen = Array.length route in
+  if t.routes_dead > 4096 && t.routes_dead > t.routes_len / 2 then
+    compact_routes t;
+  if t.routes_len + rlen > Array.length t.routes then begin
+    let bigger =
+      Array.make (max (2 * Array.length t.routes) (t.routes_len + rlen)) 0
+    in
+    Array.blit t.routes 0 bigger 0 t.routes_len;
+    t.routes <- bigger
+  end;
+  Array.blit route 0 t.routes t.routes_len rlen;
+  t.route_off.(h) <- t.routes_len;
+  t.route_len.(h) <- rlen;
+  t.routes_len <- t.routes_len + rlen;
+  t.applied.(h) <- 0.;
+  t.level.(h) <- 0;
+  t.cursor.(h) <- 0;
+  t.gen.(h) <- 0;
+  t.id.(h) <- id;
+  Bytes.set t.flags h (Char.chr (1 lor if transit then 2 else 0));
+  t.live <- t.live + 1;
+  h
+
+let release t h =
+  assert (is_live t h);
+  Bytes.set t.flags h '\000';
+  t.routes_dead <- t.routes_dead + t.route_len.(h);
+  t.free.(t.free_len) <- h;
+  t.free_len <- t.free_len + 1;
+  t.live <- t.live - 1
+
+let id t h = t.id.(h)
+let applied t h = t.applied.(h)
+let level t h = t.level.(h)
+let set_level t h l = t.level.(h) <- l
+let cursor t h = t.cursor.(h)
+let set_cursor t h c = t.cursor.(h) <- c
+let gen t h = t.gen.(h)
+let bump_gen t h = t.gen.(h) <- t.gen.(h) + 1
+let transit t h = Char.code (Bytes.get t.flags h) land 2 <> 0
+
+let route_iter t h f =
+  let off = t.route_off.(h) and len = t.route_len.(h) in
+  for i = off to off + len - 1 do
+    f t.routes.(i)
+  done
+
+(* The queries below are the Session ones verbatim, with the record
+   field reads swapped for array reads. *)
+
+let fits ~(links : Link.t array) t h ~rate ~now =
+  let delta = rate -. t.applied.(h) in
+  let off = t.route_off.(h) and len = t.route_len.(h) in
+  let ok = ref true in
+  let i = ref off in
+  while !ok && !i < off + len do
+    let l = links.(t.routes.(!i)) in
+    ok :=
+      (not (Link.down l ~now)) && l.Link.demand +. delta <= l.Link.capacity +. 1e-9;
+    incr i
+  done;
+  !ok
+
+let blocked ~(links : Link.t array) t h ~now =
+  let off = t.route_off.(h) and len = t.route_len.(h) in
+  let hit = ref false in
+  let i = ref off in
+  while (not !hit) && !i < off + len do
+    hit := Link.down links.(t.routes.(!i)) ~now;
+    incr i
+  done;
+  !hit
+
+let settle ~(links : Link.t array) t h ~rate =
+  let delta = rate -. t.applied.(h) in
+  route_iter t h (fun lid ->
+      let l = links.(lid) in
+      l.Link.demand <- l.Link.demand +. delta);
+  t.applied.(h) <- rate
+
+let iter_live t f =
+  for h = 0 to t.hwm - 1 do
+    if is_live t h then f h
+  done
+
+let audit ~(links : Link.t array) t =
+  let expect = Array.make (Array.length links) 0. in
+  iter_live t (fun h ->
+      route_iter t h (fun lid -> expect.(lid) <- expect.(lid) +. t.applied.(h)));
+  let views =
+    Array.init (Array.length links) (fun i ->
+        {
+          Rcbr_fault.Invariant.index = i;
+          capacity = links.(i).Link.capacity;
+          reserved = links.(i).Link.demand;
+          vci_rates = Some [ (0, expect.(i)) ];
+        })
+  in
+  List.length (Rcbr_fault.Invariant.check ~check_capacity:false views)
+
+let to_session t h =
+  let route = Array.make t.route_len.(h) 0 in
+  Array.blit t.routes t.route_off.(h) route 0 t.route_len.(h);
+  let s = Session.make ~id:t.id.(h) ~route ~transit:(transit t h) in
+  s.Session.applied <- t.applied.(h);
+  s.Session.gen <- t.gen.(h);
+  s

@@ -1,0 +1,73 @@
+(** Struct-of-arrays session store for 10^6+ concurrent calls.
+
+    Per-call state lives in packed parallel arrays indexed by an
+    integer {!handle} — applied rate, rate-level id, schedule cursor,
+    generation counter, caller id — with routes stored as slices of a
+    shared int arena and freed handles recycled through a stack, so
+    the steady-state hot loop allocates nothing.  The route queries
+    evaluate the exact float expressions of their {!Session}
+    counterparts in the same order, making a store-backed simulation
+    bit-identical to a record-backed one; {!to_session} materializes
+    the equivalent {!Session.t} record view for tests and debugging.
+
+    Handles are only valid between their {!acquire} and {!release};
+    the store does not check for stale handles beyond the [is_live]
+    assertion in [release]. *)
+
+type t
+
+type handle = int
+(** Dense index into the parallel arrays. *)
+
+val create : ?capacity_hint:int -> unit -> t
+
+val live_count : t -> int
+(** Currently acquired handles. *)
+
+val high_water : t -> int
+(** Handles ever touched; valid handles are [< high_water]. *)
+
+val is_live : t -> handle -> bool
+
+val acquire : t -> id:int -> route:int array -> transit:bool -> handle
+(** Fresh call with [applied = 0], level/cursor/gen zeroed; the route
+    (non-empty, link ids in hop order) is copied into the arena. *)
+
+val release : t -> handle -> unit
+(** Free the handle for reuse.  Requires it live. *)
+
+(** {1 Field access} *)
+
+val id : t -> handle -> int
+val applied : t -> handle -> float
+val level : t -> handle -> int
+val set_level : t -> handle -> int -> unit
+val cursor : t -> handle -> int
+val set_cursor : t -> handle -> int -> unit
+val gen : t -> handle -> int
+val bump_gen : t -> handle -> unit
+val transit : t -> handle -> bool
+val route_iter : t -> handle -> (int -> unit) -> unit
+(** Route link ids in hop order, without materializing an array. *)
+
+(** {1 Route queries — Session semantics} *)
+
+val fits : links:Link.t array -> t -> handle -> rate:float -> now:float -> bool
+(** Exactly {!Session.fits}. *)
+
+val blocked : links:Link.t array -> t -> handle -> now:float -> bool
+(** Exactly {!Session.blocked}. *)
+
+val settle : links:Link.t array -> t -> handle -> rate:float -> unit
+(** Exactly {!Session.settle}. *)
+
+val audit : links:Link.t array -> t -> int
+(** Conservation check over the live population, as {!Session.audit}
+    (live handles visited in ascending handle order). *)
+
+val iter_live : t -> (handle -> unit) -> unit
+(** Live handles in ascending order. *)
+
+val to_session : t -> handle -> Session.t
+(** Record view of the handle (fresh arrays; mutating it does not
+    affect the store). *)

@@ -59,6 +59,56 @@ let parallel_routes ~routes ~hops ~capacity =
     ~links
     ~routes:(Array.init routes (fun r -> Array.init hops (fun h -> (r * hops) + h)))
 
+let grid ~rows ~cols ~capacity =
+  if rows < 2 || cols < 2 then invalid_arg "Topology.grid: need rows, cols >= 2";
+  let node r c = (r * cols) + c in
+  let n_east = rows * (cols - 1) in
+  (* East link (r,c) -> (r,c+1) is id [r*(cols-1) + c]; south link
+     (r,c) -> (r+1,c) is id [n_east + r*cols + c]. *)
+  let east r c = (r * (cols - 1)) + c in
+  let south r c = n_east + (r * cols) + c in
+  let links =
+    Array.init (n_east + ((rows - 1) * cols)) (fun i ->
+        if i < n_east then
+          let r = i / (cols - 1) and c = i mod (cols - 1) in
+          { src = node r c; dst = node r (c + 1); capacity }
+        else
+          let j = i - n_east in
+          let r = j / cols and c = j mod cols in
+          { src = node r c; dst = node (r + 1) c; capacity })
+  in
+  let row_route r = Array.init (cols - 1) (fun c -> east r c) in
+  let col_route c = Array.init (rows - 1) (fun r -> south r c) in
+  (* Corner-to-corner staircase alternating east/south steps (or
+     south/east), so some routes cross both the row and column sets. *)
+  let stair first_east =
+    let buf = ref [] in
+    let r = ref 0 and c = ref 0 in
+    let go_east = ref first_east in
+    while !r < rows - 1 || !c < cols - 1 do
+      let can_e = !c < cols - 1 and can_s = !r < rows - 1 in
+      if (!go_east && can_e) || not can_s then begin
+        buf := east !r !c :: !buf;
+        incr c
+      end
+      else begin
+        buf := south !r !c :: !buf;
+        incr r
+      end;
+      go_east := not !go_east
+    done;
+    Array.of_list (List.rev !buf)
+  in
+  let routes =
+    Array.concat
+      [
+        Array.init rows row_route;
+        Array.init cols col_route;
+        [| stair true; stair false |];
+      ]
+  in
+  make ~n_nodes:(rows * cols) ~links ~routes
+
 let n_links t = Array.length t.links
 let n_routes t = Array.length t.routes
 let route_lengths t = Array.map Array.length t.routes

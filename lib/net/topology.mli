@@ -43,6 +43,15 @@ val parallel_routes : routes:int -> hops:int -> capacity:float -> t
     [r * hops .. r * hops + hops - 1] in hop order — the layout the
     Section III-C experiment historically hard-coded. *)
 
+val grid : rows:int -> cols:int -> capacity:float -> t
+(** A [rows x cols] city-style mesh: east links [(r,c) -> (r,c+1)]
+    (ids [r*(cols-1)+c]) and south links [(r,c) -> (r+1,c)] (ids
+    [rows*(cols-1) + r*cols + c]).  Routes: every full west-to-east
+    row, every full north-to-south column, and the two corner-to-corner
+    staircases (east-first and south-first), so cross-cutting paths
+    share links with the row/column sets — [rows + cols + 2] routes
+    total.  Requires [rows, cols >= 2]. *)
+
 val n_links : t -> int
 val n_routes : t -> int
 

@@ -1,20 +1,24 @@
-module Heap = Rcbr_util.Heap
+type t = { mutable clock : float; queue : (t -> unit) Wheel.t }
+type token = { q : (t -> unit) Wheel.t; h : (t -> unit) Wheel.handle }
 
-type t = { mutable clock : float; queue : (t -> unit) Heap.t }
-
-let create () = { clock = 0.; queue = Heap.create () }
+let create () = { clock = 0.; queue = Wheel.create () }
 let now t = t.clock
 
-let schedule t ~at f =
+let schedule_token t ~at f =
   assert (at >= t.clock);
-  Heap.push t.queue ~priority:at f
+  { q = t.queue; h = Wheel.push t.queue ~time:at f }
+
+let schedule t ~at f = ignore (schedule_token t ~at f)
 
 let schedule_after t ~delay f =
   assert (delay >= 0.);
   schedule t ~at:(t.clock +. delay) f
 
+let cancel tok = Wheel.cancel tok.q tok.h
+let cancelled tok = not (Wheel.live tok.h)
+
 let step t =
-  match Heap.pop t.queue with
+  match Wheel.pop t.queue with
   | None -> false
   | Some (at, f) ->
       t.clock <- at;
@@ -24,11 +28,16 @@ let step t =
 let run ?(until = infinity) t =
   let continue_ = ref true in
   while !continue_ do
-    match Heap.peek t.queue with
+    match Wheel.peek t.queue with
     | None -> continue_ := false
     | Some (at, _) ->
         if at > until then continue_ := false
         else ignore (step t)
   done
 
-let pending t = Heap.length t.queue
+let advance_to t ~at =
+  assert (at >= t.clock);
+  run ~until:at t;
+  if at > t.clock then t.clock <- at
+
+let pending t = Wheel.length t.queue

@@ -1,0 +1,46 @@
+(** Calendar-queue priority queue (flat timing wheel with an adaptive
+    day width) for massive event populations.
+
+    Drop-in order-compatible with {!Rcbr_util.Heap}: entries are keyed
+    by a float time, ties fire in push order (a global sequence
+    number), and the (time, seq) pop order is identical to the heap's
+    — property-tested in [test/test_queue.ml].  Unlike the heap it
+    hands out a {!handle} per entry, so pending events can be
+    cancelled in O(1) without tombstone closures; cancelled entries
+    are skipped lazily and flushed when they outnumber live ones.
+
+    Push and pop are O(1) amortized when the population's event times
+    are spread over the active window (the calendar-queue regime);
+    the structure rebuilds its bucket count and day width from the
+    live population as it grows or drains.  Times must be finite and
+    non-negative. *)
+
+type 'a t
+
+type 'a handle
+(** One scheduled entry; valid for the queue that returned it. *)
+
+val create : unit -> 'a t
+val length : 'a t -> int
+(** Live (not cancelled, not yet popped) entries. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> 'a handle
+(** Schedule a value.  Requires a finite [time >= 0].  Entries pushed
+    at equal times pop in push order. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Earliest live entry without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest live entry. *)
+
+val cancel : 'a t -> 'a handle -> unit
+(** Remove the entry if it is still pending; no-op after it has popped
+    or been cancelled already (safe to call twice). *)
+
+val live : 'a handle -> bool
+(** Whether the entry is still pending (not popped, not cancelled). *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,297 @@
+(* Million-call simulation engine.
+
+   Scale comes from four pieces working together: the {!Rcbr_net.Store}
+   struct-of-arrays session store (no per-call heap records), the
+   {!Rcbr_queue.Wheel} calendar queue driven directly with integer
+   session handles (no per-event closures), batched admission
+   ({!Rcbr_admission.Controller.set_batched}: one solver load per tick
+   mutation, O(1) repeat decisions), and link-sharding across the
+   Domain {!Rcbr_util.Pool}.
+
+   Sharding model: each shard owns a disjoint [rows x cols] grid mesh
+   (its own links, store, controller, wheel and pre-split RNG) and
+   simulates the same timeline independently — shard-by-link ownership
+   with no cross-shard routes, so no cross-shard synchronization can
+   reorder float operations.  The merge is an ordered reduction over
+   the shard array returned by the order-preserving [Pool.map_array],
+   making every metric and the outcome hash bit-identical for any
+   [-j] (the PR 2/3 invariant).
+
+   Timeline per shard: arrivals come in batches at tick boundaries
+   (ramp quota plus replacements for departures since the previous
+   tick); each admitted call schedules its renegotiations on the wheel
+   at exponential holding times, walks [pieces_per_call] rate changes
+   and departs.  Renegotiation events between ticks fire at their own
+   event times, in exact (time, seq) order. *)
+
+module Rng = Rcbr_util.Rng
+module Pool = Rcbr_util.Pool
+module Wheel = Rcbr_queue.Wheel
+module Topology = Rcbr_net.Topology
+module Link = Rcbr_net.Link
+module Store = Rcbr_net.Store
+module Controller = Rcbr_admission.Controller
+
+type config = {
+  shards : int;  (** independent sub-meshes, one Pool task each *)
+  rows : int;
+  cols : int;  (** per-shard grid (see {!Topology.grid}) *)
+  calls_per_shard : int;  (** ramp target population per shard *)
+  levels : float array;  (** rate levels calls renegotiate among, b/s *)
+  link_load_factor : float;
+      (** per-link capacity as a multiple of the expected per-link load
+          at the ramp target *)
+  admit_margin : float;
+      (** controller capacity as a multiple of [calls * mean level] *)
+  target : float;  (** admission overflow target *)
+  mean_hold : float;  (** mean seconds between a call's rate changes *)
+  pieces_per_call : int;  (** rate changes before departure *)
+  tick : float;  (** arrival-batch period, s *)
+  ramp_ticks : int;  (** ticks over which the ramp quota is spread *)
+  horizon : float;  (** churn seconds simulated after the ramp *)
+  seed : int;
+}
+
+let default ~concurrent () =
+  let shards = 8 in
+  let calls_per_shard = (concurrent + shards - 1) / shards in
+  {
+    shards;
+    rows = 8;
+    cols = 8;
+    calls_per_shard;
+    levels = [| 64_000.; 256_000.; 1_024_000. |];
+    link_load_factor = 1.05;
+    admit_margin = 1.1;
+    target = 1e-6;
+    mean_hold = 50.;
+    pieces_per_call = 4;
+    tick = 1.;
+    ramp_ticks = 8;
+    horizon = 8.;
+    seed = 42;
+  }
+
+type shard_metrics = {
+  arrivals : int;
+  admitted : int;
+  admission_denied : int;
+  reneg_attempts : int;
+  reneg_denied : int;
+  departures : int;
+  events_fired : int;
+  peak_concurrent : int;
+  final_concurrent : int;
+  decision_hash : int;
+  batch_hits : int;
+  memo_hits : int;
+  audit_violations : int;
+  shard_hash : int;
+}
+
+type metrics = {
+  shards_ : shard_metrics array;  (** per shard, in shard order *)
+  total_arrivals : int;
+  total_admitted : int;
+  total_denied : int;
+  total_reneg_attempts : int;
+  total_reneg_denied : int;
+  total_departures : int;
+  total_events : int;
+  concurrent_calls : int;  (** sum of final per-shard populations *)
+  peak_concurrent : int;  (** sum of per-shard peaks *)
+  total_batch_hits : int;
+  total_memo_hits : int;
+  audit_violations : int;
+  outcome_hash : int;  (** ordered FNV fold of the shard hashes *)
+}
+
+let fnv h v = (h lxor v) * 0x100000001b3 land max_int
+let fnv_float h x = fnv h (Int64.to_int (Int64.bits_of_float x) land max_int)
+
+let mean_level levels =
+  Array.fold_left ( +. ) 0. levels /. float_of_int (Array.length levels)
+
+let run_shard cfg rng =
+  let topo = Topology.grid ~rows:cfg.rows ~cols:cfg.cols ~capacity:1. in
+  let n_routes = Topology.n_routes topo in
+  let hops = Array.fold_left ( + ) 0 (Topology.route_lengths topo) in
+  let mean_route = float_of_int hops /. float_of_int n_routes in
+  let mean_rate = mean_level cfg.levels in
+  (* Expected per-link load at the ramp target, assuming uniform route
+     choice: calls * mean_rate * mean_route_len / n_links. *)
+  let n_links = Topology.n_links topo in
+  let per_link =
+    float_of_int cfg.calls_per_shard *. mean_rate *. mean_route
+    /. float_of_int n_links
+  in
+  let link_capacity = cfg.link_load_factor *. per_link in
+  let topo =
+    Topology.grid ~rows:cfg.rows ~cols:cfg.cols ~capacity:link_capacity
+  in
+  let links = Link.of_topology topo in
+  let store = Store.create ~capacity_hint:cfg.calls_per_shard () in
+  let ctrl =
+    Controller.memory
+      ~capacity:
+        (cfg.admit_margin *. float_of_int cfg.calls_per_shard *. mean_rate)
+      ~target:cfg.target
+  in
+  Controller.set_batched ctrl true;
+  let wheel : Store.handle Wheel.t = Wheel.create () in
+  let arrivals = ref 0
+  and admitted = ref 0
+  and admission_denied = ref 0
+  and reneg_attempts = ref 0
+  and reneg_denied = ref 0
+  and departures = ref 0
+  and events_fired = ref 0
+  and peak = ref 0
+  and next_id = ref 0
+  and replacements = ref 0 in
+  let n_levels = Array.length cfg.levels in
+  let routes = (topo : Topology.t).routes in
+  let try_arrival now =
+    incr arrivals;
+    if Controller.admit ctrl ~now then begin
+      incr admitted;
+      let id = !next_id in
+      incr next_id;
+      let route = routes.(Rng.int rng n_routes) in
+      let h = Store.acquire store ~id ~route ~transit:(Array.length route > 1) in
+      let lvl = Rng.int rng n_levels in
+      let rate = cfg.levels.(lvl) in
+      Store.set_level store h lvl;
+      Store.set_cursor store h 0;
+      Store.settle ~links store h ~rate;
+      Controller.on_admit ctrl ~now ~call:id ~rate;
+      if Store.live_count store > !peak then peak := Store.live_count store;
+      ignore
+        (Wheel.push wheel
+           ~time:(now +. Rng.exponential rng (1. /. cfg.mean_hold))
+           h)
+    end
+    else incr admission_denied
+  in
+  let fire h now =
+    incr events_fired;
+    let cursor = Store.cursor store h + 1 in
+    Store.set_cursor store h cursor;
+    if cursor > cfg.pieces_per_call then begin
+      (* Departure: free the capacity and queue a replacement arrival
+         for the next tick batch. *)
+      Controller.on_depart ctrl ~now ~call:(Store.id store h);
+      Store.settle ~links store h ~rate:0.;
+      Store.release store h;
+      incr departures;
+      incr replacements
+    end
+    else begin
+      let lvl = Rng.int rng n_levels in
+      let rate = cfg.levels.(lvl) in
+      let applied = Store.applied store h in
+      if rate > applied then begin
+        incr reneg_attempts;
+        if not (Store.fits ~links store h ~rate ~now) then incr reneg_denied
+      end;
+      (* Settle semantics, as everywhere in this repo: the demand moves
+         whether or not it fits; overload shows up in the accounting. *)
+      Store.set_level store h lvl;
+      Store.settle ~links store h ~rate;
+      Controller.on_renegotiate ctrl ~now ~call:(Store.id store h) ~rate;
+      ignore
+        (Wheel.push wheel
+           ~time:(now +. Rng.exponential rng (1. /. cfg.mean_hold))
+           h)
+    end
+  in
+  let fire_until bound =
+    let continue_ = ref true in
+    while !continue_ do
+      match Wheel.peek wheel with
+      | Some (at, _) when at <= bound -> (
+          match Wheel.pop wheel with
+          | Some (at, h) -> fire h at
+          | None -> continue_ := false)
+      | _ -> continue_ := false
+    done
+  in
+  let quota = (cfg.calls_per_shard + cfg.ramp_ticks - 1) / cfg.ramp_ticks in
+  let n_ticks =
+    cfg.ramp_ticks + int_of_float (Float.ceil (cfg.horizon /. cfg.tick))
+  in
+  for k = 1 to n_ticks do
+    let now = float_of_int k *. cfg.tick in
+    fire_until now;
+    let ramp =
+      if k <= cfg.ramp_ticks then
+        min quota (cfg.calls_per_shard - (quota * (k - 1)))
+      else 0
+    in
+    let batch = max 0 ramp + !replacements in
+    replacements := 0;
+    for _ = 1 to batch do
+      try_arrival now
+    done
+  done;
+  let audit_violations = Store.audit ~links store in
+  let stats = Controller.stats ctrl in
+  let demand_hash =
+    Array.fold_left (fun h l -> fnv_float h l.Link.demand) 0 links
+  in
+  let shard_hash =
+    List.fold_left fnv demand_hash
+      [
+        stats.Controller.decision_hash;
+        !arrivals;
+        !admitted;
+        !reneg_denied;
+        !departures;
+        !events_fired;
+        Store.live_count store;
+      ]
+  in
+  {
+    arrivals = !arrivals;
+    admitted = !admitted;
+    admission_denied = !admission_denied;
+    reneg_attempts = !reneg_attempts;
+    reneg_denied = !reneg_denied;
+    departures = !departures;
+    events_fired = !events_fired;
+    peak_concurrent = !peak;
+    final_concurrent = Store.live_count store;
+    decision_hash = stats.Controller.decision_hash;
+    batch_hits = stats.Controller.batch_hits;
+    memo_hits = stats.Controller.solver.Rcbr_effbw.Chernoff.Solver.memo_hits;
+    audit_violations;
+    shard_hash;
+  }
+
+let run ?pool cfg =
+  assert (cfg.shards > 0 && cfg.calls_per_shard > 0);
+  assert (cfg.pieces_per_call >= 1 && cfg.ramp_ticks >= 1);
+  assert (Array.length cfg.levels > 0);
+  (* Pre-split one RNG per shard *before* submission, so the streams —
+     and with them every shard result — do not depend on scheduling. *)
+  let root = Rng.create cfg.seed in
+  let rngs = Array.init cfg.shards (fun _ -> Rng.split root) in
+  let shards_ = Pool.map_array ?pool (run_shard cfg) rngs in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shards_ in
+  {
+    shards_;
+    total_arrivals = sum (fun s -> s.arrivals);
+    total_admitted = sum (fun s -> s.admitted);
+    total_denied = sum (fun s -> s.admission_denied);
+    total_reneg_attempts = sum (fun s -> s.reneg_attempts);
+    total_reneg_denied = sum (fun s -> s.reneg_denied);
+    total_departures = sum (fun s -> s.departures);
+    total_events = sum (fun s -> s.events_fired);
+    concurrent_calls = sum (fun s -> s.final_concurrent);
+    peak_concurrent = sum (fun s -> s.peak_concurrent);
+    total_batch_hits = sum (fun s -> s.batch_hits);
+    total_memo_hits = sum (fun s -> s.memo_hits);
+    audit_violations = sum (fun s -> s.audit_violations);
+    outcome_hash =
+      Array.fold_left (fun h s -> fnv h s.shard_hash) 0 shards_;
+  }

@@ -180,7 +180,10 @@ let run_net (nc : net_config) fc =
       start_call ~route:[| id |] ~transit:false
     done
   done;
-  Events.run ~until:nc.horizon engine;
+  (* [advance_to] (not bare [run ~until]) so the engine clock lands on
+     the horizon rather than the last fired event; the utilization
+     integral below closes its own window with [advance]. *)
+  Events.advance_to engine ~at:nc.horizon;
   advance nc.horizon;
   if fc.check_invariants then check_invariant ();
   ( {

@@ -250,6 +250,92 @@ let prop_check_mode_no_mismatch =
       st.Controller.mismatches = 0
       && st.Controller.legacy_evals = st.Controller.decisions)
 
+(* --- Batched admission: tick cache vs per-decision ------------------- *)
+
+(* Same-tick arrival storm: denials repeat at one timestamp, so the
+   batched controller must serve them from its tick cache while
+   producing the exact per-decision admit/deny sequence. *)
+let test_batched_admission () =
+  let capacity = 100. and target = 1e-6 in
+  let plain = Controller.memory ~capacity ~target in
+  let batched = Controller.memory ~capacity ~target in
+  Alcotest.(check bool) "off by default" false (Controller.batched batched);
+  Controller.set_batched batched true;
+  Alcotest.(check bool) "flag reads back" true (Controller.batched batched);
+  let now = ref 0. and denied = ref 0 in
+  for call = 1 to 40 do
+    let a = Controller.admit plain ~now:!now in
+    let b = Controller.admit batched ~now:!now in
+    Alcotest.(check bool) "same decision" a b;
+    if a then begin
+      Controller.on_admit plain ~now:!now ~call ~rate:25.;
+      Controller.on_admit batched ~now:!now ~call ~rate:25.
+    end
+    else incr denied;
+    if call mod 10 = 0 then now := !now +. 1.
+  done;
+  let sp = Controller.stats plain and sb = Controller.stats batched in
+  Alcotest.(check int) "decision hash identical" sp.Controller.decision_hash
+    sb.Controller.decision_hash;
+  Alcotest.(check bool) "storm produced denials" true (!denied > 0);
+  Alcotest.(check bool) "repeat decisions served from the cache" true
+    (sb.Controller.batch_hits > 0);
+  Alcotest.(check int) "unbatched never hits" 0 sp.Controller.batch_hits;
+  (* Toggling batching off drops the cache; decisions stay identical. *)
+  Controller.set_batched batched false;
+  Alcotest.(check bool) "same decision after toggle"
+    (Controller.admit plain ~now:!now)
+    (Controller.admit batched ~now:!now)
+
+(* apply_script with time advancing only between ticks: repeated
+   same-now decisions interleave with admissions, renegotiations and
+   departures, hitting both the cache and every invalidation path. *)
+let apply_script_ticked ctl script =
+  let next = ref 0 and active = ref [] and now = ref 0. in
+  List.iter
+    (fun (op, a) ->
+      if a mod 3 = 0 then now := !now +. 0.5 +. float_of_int (a mod 5);
+      match op with
+      | 0 ->
+          if Controller.admit ctl ~now:!now then begin
+            incr next;
+            Controller.on_admit ctl ~now:!now ~call:!next ~rate:rates.(a mod 4);
+            active := !next :: !active
+          end
+      | 1 -> (
+          match !active with
+          | [] -> ()
+          | calls ->
+              let call = List.nth calls (a mod List.length calls) in
+              Controller.on_renegotiate ctl ~now:!now ~call ~rate:rates.(a mod 4))
+      | 2 -> (
+          match !active with
+          | [] -> ()
+          | calls ->
+              let call = List.nth calls (a mod List.length calls) in
+              Controller.on_depart ctl ~now:!now ~call;
+              active := List.filter (fun c -> c <> call) !active)
+      | _ -> ignore (Controller.admit ctl ~now:!now))
+    script
+
+let prop_batched_equals_per_decision =
+  (* The batching contract: for any event sequence, the batched
+     controller's admit/deny sequence is bitwise the per-decision one. *)
+  let scheme =
+    QCheck.Gen.(oneofl [ Controller.memory; Controller.memoryless ])
+  in
+  QCheck.Test.make ~name:"batched decisions = per-decision sequence" ~count:200
+    (QCheck.make QCheck.Gen.(pair scheme script_gen)) (fun (make, script) ->
+      let plain = make ~capacity:150. ~target:1e-3 in
+      let batched = make ~capacity:150. ~target:1e-3 in
+      Controller.set_batched batched true;
+      apply_script_ticked plain script;
+      apply_script_ticked batched script;
+      let sp = Controller.stats plain and sb = Controller.stats batched in
+      sp.Controller.decisions = sb.Controller.decisions
+      && sp.Controller.admits = sb.Controller.admits
+      && sp.Controller.decision_hash = sb.Controller.decision_hash)
+
 let () =
   Alcotest.run "rcbr_admission"
     [
@@ -280,6 +366,7 @@ let () =
         [
           Alcotest.test_case "mode switch" `Quick test_mode_switch;
           Alcotest.test_case "stats counting" `Quick test_stats_counting;
+          Alcotest.test_case "batched tick cache" `Quick test_batched_admission;
         ] );
       ( "properties",
         List.map (fun t -> QCheck_alcotest.to_alcotest t)
@@ -287,5 +374,6 @@ let () =
             prop_incremental_equals_rebuild;
             prop_fast_equals_legacy;
             prop_check_mode_no_mismatch;
+            prop_batched_equals_per_decision;
           ] );
     ]

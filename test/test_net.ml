@@ -344,6 +344,118 @@ let test_session_depart_with_retx_in_flight () =
   Alcotest.(check int) "conservation holds" 0
     (Session.audit ~links ~sessions:[ s ])
 
+(* --- Grid topology --------------------------------------------------- *)
+
+module Store = Rcbr_net.Store
+module Rng = Rcbr_util.Rng
+
+let test_grid_topology () =
+  let t = Topology.grid ~rows:3 ~cols:4 ~capacity:1e6 in
+  (* east: rows*(cols-1) = 9; south: (rows-1)*cols = 8. *)
+  Alcotest.(check int) "links" 17 (Topology.n_links t);
+  (* every row, every column, two corner-to-corner staircases *)
+  Alcotest.(check int) "routes" 9 (Topology.n_routes t);
+  let lens = Topology.route_lengths t in
+  Alcotest.(check int) "row route spans the row" 3 lens.(0);
+  Alcotest.(check int) "column route spans the column" 2 lens.(3);
+  Alcotest.(check int) "staircase spans both" 5 lens.(7);
+  Alcotest.(check bool) "degenerate grid rejected" true
+    (raises_invalid (fun () -> Topology.grid ~rows:1 ~cols:4 ~capacity:1e6))
+
+(* --- Store: struct-of-arrays sessions -------------------------------- *)
+
+let test_store_acquire_release_reuse () =
+  let topo = Topology.grid ~rows:2 ~cols:2 ~capacity:1e6 in
+  let store = Store.create ~capacity_hint:2 () in
+  let route = topo.Topology.routes.(0) in
+  let a = Store.acquire store ~id:10 ~route ~transit:false in
+  let b = Store.acquire store ~id:11 ~route ~transit:false in
+  Alcotest.(check int) "two live" 2 (Store.live_count store);
+  Alcotest.(check int) "ids stored" 11 (Store.id store b);
+  Alcotest.(check bool) "live" true (Store.is_live store a);
+  Store.release store a;
+  Alcotest.(check bool) "released" false (Store.is_live store a);
+  let c = Store.acquire store ~id:12 ~route ~transit:true in
+  Alcotest.(check int) "freed handle recycled" a c;
+  Alcotest.(check int) "id overwritten" 12 (Store.id store c);
+  check_exact "applied reset on reuse" 0. (Store.applied store c);
+  Alcotest.(check int) "cursor reset on reuse" 0 (Store.cursor store c);
+  Alcotest.(check bool) "transit stored" true (Store.transit store c);
+  let hops = ref [] in
+  Store.route_iter store c (fun l -> hops := l :: !hops);
+  Alcotest.(check (list int)) "route readable" (Array.to_list route)
+    (List.rev !hops);
+  let s = Store.to_session store c in
+  Alcotest.(check int) "record view id" 12 s.Session.id;
+  Alcotest.(check (array int)) "record view route" route s.Session.route
+
+(* The bit-identity contract: a store-backed run and a record-session
+   run fed the same op sequence produce the same fits answers, the
+   same applied rates and bitwise-equal link demands. *)
+let test_store_matches_sessions () =
+  let topo = Topology.grid ~rows:4 ~cols:4 ~capacity:2e5 in
+  let links_s = Link.of_topology topo in
+  (* store side *)
+  let links_r = Link.of_topology topo in
+  (* record side *)
+  let store = Store.create () in
+  let mirror : (int, Session.t) Hashtbl.t = Hashtbl.create 64 in
+  let live = ref [] in
+  let rng = Rng.create 7 in
+  let rates = [| 1e4; 3e4; 9e4; 2.7e5 |] in
+  let n_routes = Topology.n_routes topo in
+  for step = 0 to 2_999 do
+    let now = float_of_int step *. 0.01 in
+    let op = if !live = [] then 0 else Rng.int rng 5 in
+    match op with
+    | 0 | 1 ->
+        let route = topo.Topology.routes.(Rng.int rng n_routes) in
+        let transit = Array.length route > 1 in
+        let h = Store.acquire store ~id:step ~route ~transit in
+        Hashtbl.replace mirror h (Session.make ~id:step ~route ~transit);
+        live := h :: !live;
+        let rate = rates.(Rng.int rng (Array.length rates)) in
+        Store.settle ~links:links_s store h ~rate;
+        Session.settle ~links:links_r (Hashtbl.find mirror h) ~rate
+    | 2 | 3 ->
+        (* renegotiate a random live call; fits answers must agree *)
+        let h = List.nth !live (Rng.int rng (List.length !live)) in
+        let s = Hashtbl.find mirror h in
+        let rate = rates.(Rng.int rng (Array.length rates)) in
+        Alcotest.(check bool) "fits agrees"
+          (Session.fits ~links:links_r s ~rate ~now)
+          (Store.fits ~links:links_s store h ~rate ~now);
+        Alcotest.(check bool) "blocked agrees"
+          (Session.blocked ~links:links_r s ~now)
+          (Store.blocked ~links:links_s store h ~now);
+        Store.settle ~links:links_s store h ~rate;
+        Session.settle ~links:links_r s ~rate
+    | _ ->
+        (* departure *)
+        let h = List.nth !live (Rng.int rng (List.length !live)) in
+        Store.settle ~links:links_s store h ~rate:0.;
+        Session.settle ~links:links_r (Hashtbl.find mirror h) ~rate:0.;
+        Store.release store h;
+        Hashtbl.remove mirror h;
+        live := List.filter (fun x -> x <> h) !live
+  done;
+  Alcotest.(check int) "live population agrees" (List.length !live)
+    (Store.live_count store);
+  Array.iteri
+    (fun i (l : Link.t) ->
+      check_exact
+        (Printf.sprintf "link %d demand bit-identical" i)
+        l.Link.demand links_s.(i).Link.demand)
+    links_r;
+  Store.iter_live store (fun h ->
+      let s = Hashtbl.find mirror h in
+      check_exact "applied bit-identical" s.Session.applied
+        (Store.applied store h));
+  Alcotest.(check int) "store conservation" 0 (Store.audit ~links:links_s store);
+  Alcotest.(check int) "session conservation" 0
+    (Session.audit ~links:links_r
+       ~sessions:(Hashtbl.fold (fun _ s acc -> s :: acc) mirror []))
+
 (* --- run_net vs the historical entry points ------------------------- *)
 
 let trace = Rcbr_traffic.Synthetic.star_wars ~frames:2_000 ~seed:42 ()
@@ -480,6 +592,14 @@ let () =
           Alcotest.test_case "validation" `Quick test_topology_validation;
           Alcotest.test_case "json" `Quick test_topology_json;
           Alcotest.test_case "json errors" `Quick test_topology_json_errors;
+          Alcotest.test_case "grid" `Quick test_grid_topology;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "acquire/release/reuse" `Quick
+            test_store_acquire_release_reuse;
+          Alcotest.test_case "store = record sessions" `Quick
+            test_store_matches_sessions;
         ] );
       ( "link",
         [

@@ -3,6 +3,8 @@
 module Fluid = Rcbr_queue.Fluid
 module Sigma_rho = Rcbr_queue.Sigma_rho
 module Events = Rcbr_queue.Events
+module Wheel = Rcbr_queue.Wheel
+module Heap = Rcbr_util.Heap
 module Trace = Rcbr_traffic.Trace
 
 let check_close eps = Alcotest.(check (float eps))
@@ -222,6 +224,121 @@ let test_events_past_rejected () =
   Events.run e;
   Alcotest.(check bool) "at = now fires" true !fired
 
+let test_events_advance_to () =
+  let e = Events.create () in
+  let log = ref [] in
+  Events.schedule e ~at:1. (fun _ -> log := 1 :: !log);
+  Events.schedule e ~at:7. (fun _ -> log := 7 :: !log);
+  Events.advance_to e ~at:5.;
+  Alcotest.(check (list int)) "fired up to the bound" [ 1 ] (List.rev !log);
+  check_close 1e-9 "clock lands on the bound, not the last event" 5.
+    (Events.now e);
+  (* Unlike [run ~until], scheduling anywhere in (last event, bound]
+     is now in the past. *)
+  let asserts f = try f (); false with Assert_failure _ -> true in
+  Alcotest.(check bool) "past of the new clock rejected" true
+    (asserts (fun () -> Events.schedule e ~at:4. (fun _ -> ())));
+  Events.advance_to e ~at:5.;
+  check_close 1e-9 "idempotent at the same bound" 5. (Events.now e);
+  Events.advance_to e ~at:10.;
+  Alcotest.(check (list int)) "rest fired" [ 1; 7 ] (List.rev !log);
+  check_close 1e-9 "final clock" 10. (Events.now e)
+
+let test_events_cancel_token () =
+  let e = Events.create () in
+  let log = ref [] in
+  let t1 = Events.schedule_token e ~at:1. (fun _ -> log := 1 :: !log) in
+  let t2 = Events.schedule_token e ~at:2. (fun _ -> log := 2 :: !log) in
+  let t3 = Events.schedule_token e ~at:3. (fun _ -> log := 3 :: !log) in
+  Alcotest.(check int) "all pending" 3 (Events.pending e);
+  Events.cancel t2;
+  Alcotest.(check bool) "cancelled" true (Events.cancelled t2);
+  Alcotest.(check bool) "others live" false (Events.cancelled t1);
+  Alcotest.(check int) "pending drops" 2 (Events.pending e);
+  Events.cancel t2;
+  (* double cancel is a no-op *)
+  Alcotest.(check int) "still two" 2 (Events.pending e);
+  Events.run e;
+  Alcotest.(check (list int)) "cancelled event skipped" [ 1; 3 ]
+    (List.rev !log);
+  Alcotest.(check bool) "popped token reads cancelled" true
+    (Events.cancelled t3);
+  Events.cancel t3;
+  (* cancelling after the pop is a no-op too *)
+  Alcotest.(check (list int)) "log unchanged" [ 1; 3 ] (List.rev !log)
+
+(* --- Wheel: the calendar queue behind Events --- *)
+
+let test_wheel_order_and_ties () =
+  let w = Wheel.create () in
+  ignore (Wheel.push w ~time:2. "t2-a");
+  ignore (Wheel.push w ~time:1. "t1-a");
+  ignore (Wheel.push w ~time:2. "t2-b");
+  ignore (Wheel.push w ~time:1. "t1-b");
+  Alcotest.(check int) "length" 4 (Wheel.length w);
+  Alcotest.(check (option (pair (float 0.) string))) "peek" (Some (1., "t1-a"))
+    (Wheel.peek w);
+  let popped = List.init 4 (fun _ -> Option.get (Wheel.pop w)) in
+  Alcotest.(check (list (pair (float 0.) string)))
+    "time order, FIFO within ties"
+    [ (1., "t1-a"); (1., "t1-b"); (2., "t2-a"); (2., "t2-b") ]
+    popped;
+  Alcotest.(check bool) "drained" true (Wheel.is_empty w)
+
+let test_wheel_cancel () =
+  let w = Wheel.create () in
+  let a = Wheel.push w ~time:1. "a" in
+  let b = Wheel.push w ~time:2. "b" in
+  let c = Wheel.push w ~time:3. "c" in
+  Wheel.cancel w b;
+  Alcotest.(check bool) "b dead" false (Wheel.live b);
+  Alcotest.(check bool) "a live" true (Wheel.live a);
+  Alcotest.(check int) "length skips cancelled" 2 (Wheel.length w);
+  Wheel.cancel w b;
+  Alcotest.(check int) "double cancel no-op" 2 (Wheel.length w);
+  Alcotest.(check (option (pair (float 0.) string))) "pop a" (Some (1., "a"))
+    (Wheel.pop w);
+  Alcotest.(check bool) "popped is no longer live" false (Wheel.live a);
+  Alcotest.(check (option (pair (float 0.) string))) "pop skips b"
+    (Some (3., "c"))
+    (Wheel.pop w);
+  Wheel.cancel w c;
+  (* cancel after pop: no-op *)
+  Alcotest.(check (option (pair (float 0.) string))) "empty" None (Wheel.pop w)
+
+let test_wheel_rejects_bad_times () =
+  let w = Wheel.create () in
+  let raises f = try f () |> ignore; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "nan" true (raises (fun () -> Wheel.push w ~time:nan ()));
+  Alcotest.(check bool) "inf" true
+    (raises (fun () -> Wheel.push w ~time:infinity ()));
+  Alcotest.(check bool) "negative" true
+    (raises (fun () -> Wheel.push w ~time:(-1.) ()))
+
+let test_wheel_grow_shrink () =
+  (* Push enough to force several rebuilds, drain through the shrink
+     path, and verify global order the whole way. *)
+  let rng = Rcbr_util.Rng.create 11 in
+  let w = Wheel.create () in
+  let n = 50_000 in
+  for i = 0 to n - 1 do
+    ignore (Wheel.push w ~time:(Rcbr_util.Rng.float rng *. 1000.) i)
+  done;
+  Alcotest.(check int) "all live" n (Wheel.length w);
+  let last = ref neg_infinity and count = ref 0 and ok = ref true in
+  let rec drain () =
+    match Wheel.pop w with
+    | None -> ()
+    | Some (t, _) ->
+        if t < !last then ok := false;
+        last := t;
+        incr count;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "non-decreasing" true !ok;
+  Alcotest.(check int) "all popped" n !count
+
 (* --- Properties --- *)
 
 let arrivals_gen =
@@ -270,6 +387,142 @@ let prop_infinite_buffer_no_loss =
       let r = Fluid.run_constant ~capacity:infinity ~rate:5. t in
       Float.equal r.Fluid.bits_lost 0.)
 
+(* Times drawn from a mix of a continuum and a coarse lattice, so
+   duplicate timestamps (the FIFO tie case) occur constantly. *)
+let times_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 300)
+      (oneof
+         [
+           float_range 0. 100.;
+           map (fun i -> float_of_int i /. 4.) (int_range 0 64);
+         ]))
+
+let prop_wheel_equals_heap =
+  QCheck.Test.make ~name:"wheel pop order = heap pop order" ~count:300
+    (QCheck.make times_gen) (fun times ->
+      let w = Wheel.create () and h = Heap.create () in
+      List.iteri
+        (fun i t ->
+          ignore (Wheel.push w ~time:t i);
+          Heap.push h ~priority:t i)
+        times;
+      let rec drain ok =
+        match (Wheel.pop w, Heap.pop h) with
+        | None, None -> ok
+        | Some a, Some b -> drain (ok && a = b)
+        | _ -> false
+      in
+      drain true)
+
+(* Interleaved schedule/step: pops happen mid-stream, so the wheel's
+   cursor has to chase the population backward and forward. *)
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 300)
+      (pair (int_range 0 3)
+         (oneof
+            [
+              float_range 0. 50.;
+              map (fun i -> float_of_int i /. 2.) (int_range 0 32);
+            ])))
+
+let prop_wheel_equals_heap_interleaved =
+  QCheck.Test.make ~name:"wheel = heap under interleaved push/pop" ~count:300
+    (QCheck.make ops_gen) (fun ops ->
+      let w = Wheel.create () and h = Heap.create () in
+      let seq = ref 0 in
+      let ok =
+        List.for_all
+          (fun (kind, t) ->
+            if kind < 3 then begin
+              (* The event-engine invariant: never schedule before the
+                 current minimum (the engine clock). *)
+              let t =
+                match Wheel.peek w with
+                | Some (front, _) when t < front -> front
+                | _ -> t
+              in
+              incr seq;
+              ignore (Wheel.push w ~time:t !seq);
+              Heap.push h ~priority:t !seq;
+              true
+            end
+            else Wheel.pop w = Heap.pop h)
+          ops
+      in
+      let rec drain ok =
+        match (Wheel.pop w, Heap.pop h) with
+        | None, None -> ok
+        | Some a, Some b -> drain (ok && a = b)
+        | _ -> false
+      in
+      drain ok)
+
+(* Cancellation against a naive model: a list of (time, seq, alive)
+   entries popped by linear minimum search. *)
+let cancel_ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 300)
+      (triple (int_range 0 4)
+         (oneof
+            [
+              float_range 0. 50.;
+              map (fun i -> float_of_int i /. 2.) (int_range 0 32);
+            ])
+         (int_range 0 1000)))
+
+let prop_wheel_cancel_model =
+  QCheck.Test.make ~name:"wheel cancel = naive model" ~count:300
+    (QCheck.make cancel_ops_gen) (fun ops ->
+      let w = Wheel.create () in
+      let handles = ref [||] in
+      (* model: (time, seq, alive ref) in push order, index = seq *)
+      let model = ref [] in
+      let push_handle h = handles := Array.append !handles [| h |] in
+      let model_pop () =
+        let best = ref None in
+        List.iter
+          (fun (t, s, alive) ->
+            if !alive then
+              match !best with
+              | Some (bt, bs, _) when (bt, bs) <= (t, s) -> ()
+              | _ -> best := Some (t, s, alive))
+          !model;
+        match !best with
+        | None -> None
+        | Some (t, s, alive) ->
+            alive := false;
+            Some (t, s)
+      in
+      let ok = ref true in
+      List.iter
+        (fun (kind, t, k) ->
+          let n = Array.length !handles in
+          if kind <= 2 then begin
+            let h = Wheel.push w ~time:t n in
+            push_handle h;
+            model := (t, n, ref true) :: !model
+          end
+          else if kind = 3 && n > 0 then begin
+            let i = k mod n in
+            Wheel.cancel w !handles.(i);
+            let _, _, alive =
+              List.find (fun (_, s, _) -> s = i) !model
+            in
+            alive := false
+          end
+          else if kind = 4 then
+            if Wheel.pop w <> model_pop () then ok := false)
+        ops;
+      let rec drain () =
+        let a = Wheel.pop w and b = model_pop () in
+        if a <> b then ok := false;
+        if a <> None || b <> None then drain ()
+      in
+      drain ();
+      !ok)
+
 let () =
   let q = List.map (fun t -> QCheck_alcotest.to_alcotest t) in
   Alcotest.run "rcbr_queue"
@@ -309,7 +562,23 @@ let () =
           Alcotest.test_case "pending counts" `Quick test_events_pending_counts;
           Alcotest.test_case "past scheduling rejected" `Quick
             test_events_past_rejected;
+          Alcotest.test_case "advance_to" `Quick test_events_advance_to;
+          Alcotest.test_case "cancel token" `Quick test_events_cancel_token;
         ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "order and ties" `Quick test_wheel_order_and_ties;
+          Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "bad times rejected" `Quick
+            test_wheel_rejects_bad_times;
+          Alcotest.test_case "grow and shrink" `Quick test_wheel_grow_shrink;
+        ]
+        @ q
+            [
+              prop_wheel_equals_heap;
+              prop_wheel_equals_heap_interleaved;
+              prop_wheel_cancel_model;
+            ] );
       ( "properties",
         q
           [

@@ -287,6 +287,38 @@ let test_multihop_run_many_jobs_invariant () =
   Alcotest.(check bool) "run_many = run" true
     (seq = List.map Rcbr_sim.Multihop.run configs)
 
+let test_megacall_jobs_invariant () =
+  (* The million-call engine at test scale: every shard, counter and
+     the outcome hash must be bit-identical at -j1 and -j4, and the
+     population must reach the ramp target with conservation intact. *)
+  let module Megacall = Rcbr_sim.Megacall in
+  let cfg =
+    {
+      (Megacall.default ~concurrent:2048 ()) with
+      Megacall.shards = 4;
+      calls_per_shard = 512;
+    }
+  in
+  let seq = with_jobs 1 (fun pool -> Megacall.run ?pool cfg) in
+  let par = with_jobs 4 (fun pool -> Megacall.run ?pool cfg) in
+  Alcotest.(check bool) "metrics identical across -j" true (seq = par);
+  Alcotest.(check int) "outcome hash identical" seq.Megacall.outcome_hash
+    par.Megacall.outcome_hash;
+  Alcotest.(check int) "no audit violations" 0 seq.Megacall.audit_violations;
+  Alcotest.(check bool) "ramp reached the target" true
+    (seq.Megacall.peak_concurrent
+    >= cfg.Megacall.shards * cfg.Megacall.calls_per_shard * 4 / 5);
+  Alcotest.(check int) "shard count" cfg.Megacall.shards
+    (Array.length seq.Megacall.shards_);
+  (* Same config, different seed: the outcome must move (the hash
+     actually covers the simulation, not just the shape). *)
+  let other =
+    with_jobs 1 (fun pool ->
+        Megacall.run ?pool { cfg with Megacall.seed = cfg.Megacall.seed + 1 })
+  in
+  Alcotest.(check bool) "seed reaches the hash" true
+    (other.Megacall.outcome_hash <> seq.Megacall.outcome_hash)
+
 let () =
   Alcotest.run "rcbr_sim"
     [
@@ -329,5 +361,7 @@ let () =
             test_mbac_run_many_jobs_invariant;
           Alcotest.test_case "multihop sweep jobs-invariant" `Quick
             test_multihop_run_many_jobs_invariant;
+          Alcotest.test_case "megacall jobs-invariant" `Quick
+            test_megacall_jobs_invariant;
         ] );
     ]

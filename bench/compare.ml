@@ -10,9 +10,10 @@
    - a fresh wall_s exceeds max-ratio (default 1.5) times the baseline
      (sub-10ms baselines are skipped — pure noise), or
    - any decision/identity field present in both records differs:
-     [decision_hashes], [result_checksum], [decisions],
-     [decisions_identical], [results_identical], [grid_points],
-     [queries], [concurrent_calls], [audit_violations].  These capture
+     [decision_hashes], [result_checksum], [schedule_checksums],
+     [decisions], [decisions_identical], [results_identical],
+     [grid_points], [queries], [concurrent_calls],
+     [audit_violations].  These capture
      the admit/deny sequences and solver answers, so a mismatch means
      the numerics changed, not just the machine.
 
@@ -25,6 +26,7 @@ let identity_fields =
   [
     "decision_hashes";
     "result_checksum";
+    "schedule_checksums";
     "decisions";
     "decisions_identical";
     "results_identical";

@@ -7,8 +7,9 @@
      dune exec bench/main.exe -- -j 4         -- sweep points on 4 domains
      dune exec bench/main.exe -- --smoke --json  -- CI-sized run + BENCH files
 
-   Experiments: tableA fig2 fig5 fig6 fig7 fig8 fig9 mbac-admit
-   chernoff-sweep analysis micro (and the extension experiments below)
+   The experiment list is the [experiments] table at the bottom of this
+   file; --help (and any unknown name) prints it, so it never goes
+   stale here.
 
    Flags:
      -j N / --jobs N   run independent sweep points on a pool of N domains
@@ -32,7 +33,9 @@ module Sigma_rho = Rcbr_queue.Sigma_rho
 module Fluid = Rcbr_queue.Fluid
 module Schedule = Rcbr_core.Schedule
 module Optimal = Rcbr_core.Optimal
+module Beam = Rcbr_core.Beam
 module Online = Rcbr_core.Online
+module Predictor = Rcbr_core.Predictor
 module Rate_grid = Rcbr_core.Rate_grid
 module Eb = Rcbr_effbw.Effective_bandwidth
 module Chernoff = Rcbr_effbw.Chernoff
@@ -580,11 +583,14 @@ let micro ctx =
             ("levels", Json.Int m);
             ("expanded_nodes", Json.Int st.Optimal.expanded);
             ("max_frontier", Json.Int st.Optimal.max_frontier);
+            ("pruned_by_lemma", Json.Int st.Optimal.pruned_by_lemma);
+            ("pruned_by_cap", Json.Int st.Optimal.pruned_by_cap);
             ("wall_s", Json.Float wall);
           ]
         :: !level_rows;
-      pf "%8d %12d %14d %12.2f@." m st.Optimal.expanded st.Optimal.max_frontier
-        wall)
+      pf "%8d %12d %14d %12.2f   (pruned %d lemma + %d cap)@." m
+        st.Optimal.expanded st.Optimal.max_frontier wall
+        st.Optimal.pruned_by_lemma st.Optimal.pruned_by_cap)
     (if ctx.smoke then [ 5; 10; 20 ] else [ 5; 10; 20; 40 ]);
   emit ctx "levels_sweep" (Json.List (List.rev !level_rows));
   (* Lemma 1 ablation. *)
@@ -1235,6 +1241,144 @@ let megacall ctx =
   emit ctx "events_per_s"
     (Json.Float (float_of_int m.Megacall.total_events /. wall))
 
+(* --- Beam: beam-searched trellis on fine rate grids (DESIGN.md #13) -- *)
+
+(* FNV-style checksum of a schedule's segment list; joins the
+   [schedule_checksums] identity field, so any numeric drift in the
+   beam (or exact) solver trips compare.exe. *)
+let schedule_checksum s =
+  Array.fold_left
+    (fun h seg ->
+      let h = ((h * 1_000_003) + seg.Schedule.start_slot) land max_int in
+      ((h * 1_000_003) + Int64.to_int (Int64.bits_of_float seg.Schedule.rate))
+      land max_int)
+    0 (Schedule.segments s)
+
+let beam_experiment ctx =
+  section "Beam -- beam-searched trellis on 100+-level grids (DESIGN.md par. 13)";
+  let alpha = 2e5 in
+  let len = min 600 ctx.frames in
+  let trace = Trace.sub ctx.trace ~pos:0 ~len in
+  let ms = if ctx.smoke then [ 50; 200 ] else [ 50; 100; 200 ] in
+  let widths = [ 2; 4; 8; 16; 32 ] in
+  pf "%d-slot trace, alpha = %.0e, trace prior at the default weight@." len
+    alpha;
+  (* One independent sweep point per (levels, solver) pair; the exact
+     reference at each grid size is just another point.  Pool.map keeps
+     list order, so the results -- and the checksum list below -- are
+     byte-identical for every -j. *)
+  let points =
+    List.concat_map (fun m -> `Exact m :: List.map (fun w -> `Beam (m, w)) widths) ms
+  in
+  let solve_point point =
+    let m = match point with `Exact m | `Beam (m, _) -> m in
+    let p =
+      Optimal.default_params ~levels:m ~buffer:ctx.buffer ~cost_ratio:alpha
+        trace
+    in
+    let t0 = Unix.gettimeofday () in
+    match point with
+    | `Exact _ ->
+        let s, st = Optimal.solve_with_stats p trace in
+        (Unix.gettimeofday () -. t0, s, st.Optimal.expanded, 0, 0)
+    | `Beam (_, w) ->
+        let prior = Beam.of_trace ~grid:p.Optimal.grid trace in
+        let s, st = Beam.solve_with_stats ~beam_width:w ~prior p trace in
+        ( Unix.gettimeofday () -. t0,
+          s,
+          st.Beam.base.Optimal.expanded,
+          st.Beam.dropped_by_beam,
+          st.Beam.prior_hits )
+  in
+  let results = Pool.map ?pool:ctx.pool solve_point points in
+  let cost s = Schedule.cost s ~reneg_cost:alpha ~bandwidth_cost:1. in
+  (* Exact wall/cost per grid size, for speedup and gap columns. *)
+  let exact =
+    List.filter_map
+      (fun (pt, (wall, s, _, _, _)) ->
+        match pt with `Exact m -> Some (m, (wall, cost s)) | `Beam _ -> None)
+      (List.combine points results)
+  in
+  pf "@.%8s %7s %10s %12s %10s %9s %8s@." "levels" "width" "wall (s)" "nodes"
+    "cost gap" "speedup" "renegs";
+  let rows = ref [] and checksums = ref [] in
+  List.iter2
+    (fun pt (wall, s, expanded, dropped, prior_hits) ->
+      let m, width = match pt with `Exact m -> (m, 0) | `Beam (m, w) -> (m, w) in
+      let exact_wall, exact_cost = List.assoc m exact in
+      let c = cost s in
+      let gap = (c -. exact_cost) /. exact_cost in
+      let speedup = exact_wall /. wall in
+      (match pt with
+      | `Exact _ ->
+          pf "%8d %7s %10.3f %12d %10s %9s %8d@." m "exact" wall expanded "-"
+            "-"
+            (Schedule.n_renegotiations s)
+      | `Beam _ ->
+          pf "%8d %7d %10.3f %12d %9.2f%% %8.1fx %8d@." m width wall expanded
+            (100. *. gap) speedup
+            (Schedule.n_renegotiations s));
+      checksums := Json.Int (schedule_checksum s) :: !checksums;
+      rows :=
+        Json.Obj
+          [
+            ("levels", Json.Int m);
+            ("width", Json.Int width);
+            ("wall_s", Json.Float wall);
+            ("expanded_nodes", Json.Int expanded);
+            ("dropped_by_beam", Json.Int dropped);
+            ("prior_hits", Json.Int prior_hits);
+            ("cost", Json.Float c);
+            ("gap_pct", Json.Float (100. *. gap));
+            ("speedup", Json.Float speedup);
+            ("renegotiations", Json.Int (Schedule.n_renegotiations s));
+          ]
+        :: !rows)
+    points results;
+  (* Receding-horizon controller (Online.run_receding) vs the paper's
+     AR(1) + threshold heuristic, on the same grid the sweep used. *)
+  let rlen = min 3_000 ctx.frames in
+  let rtrace = Trace.sub ctx.trace ~pos:0 ~len:rlen in
+  let op =
+    Optimal.default_params ~levels:50 ~buffer:ctx.buffer ~cost_ratio:alpha
+      rtrace
+  in
+  let op = { op with Optimal.constraint_ = Optimal.Buffer_bound 150_000. } in
+  let predictor = Predictor.ar1 ~eta:Online.default_params.Online.ar_coefficient in
+  let receding, rstats =
+    Online.run_receding ~buffer:ctx.buffer Online.default_params ~opt:op
+      ~beam_width:8
+      ~prior:(Beam.of_trace ~grid:op.Optimal.grid rtrace)
+      ~horizon:12 ~predictor rtrace
+  in
+  let ar1 = Online.run_custom ~buffer:ctx.buffer Online.default_params ~predictor rtrace in
+  pf "@.receding-horizon controller vs AR(1) heuristic (%d slots, M = 50):@."
+    rlen;
+  let controller_row label (o : Online.outcome) =
+    pf "  %-10s cost %.4e  renegs %4d  lost %.3g  max backlog %8.0f@." label
+      (cost o.Online.schedule)
+      (Schedule.n_renegotiations o.Online.schedule)
+      o.Online.bits_lost o.Online.max_backlog;
+    checksums := Json.Int (schedule_checksum o.Online.schedule) :: !checksums;
+    Json.Obj
+      [
+        ("controller", Json.String label);
+        ("cost", Json.Float (cost o.Online.schedule));
+        ("renegotiations", Json.Int (Schedule.n_renegotiations o.Online.schedule));
+        ("bits_lost", Json.Float o.Online.bits_lost);
+        ("max_backlog", Json.Float o.Online.max_backlog);
+      ]
+  in
+  let receding_row = controller_row "receding" receding in
+  let ar1_row = controller_row "ar1" ar1 in
+  pf "  (receding: %d windows solved, %d infeasible, %d nodes expanded)@."
+    rstats.Online.solves rstats.Online.infeasible_windows rstats.Online.expanded;
+  emit ctx "sweep" (Json.List (List.rev !rows));
+  emit ctx "controllers" (Json.List [ receding_row; ar1_row ]);
+  emit ctx "receding_solves" (Json.Int rstats.Online.solves);
+  emit ctx "receding_infeasible" (Json.Int rstats.Online.infeasible_windows);
+  emit ctx "schedule_checksums" (Json.List (List.rev !checksums))
+
 (* --- driver --------------------------------------------------------- *)
 
 let experiments =
@@ -1262,6 +1406,7 @@ let experiments =
     ("protection", protection);
     ("interactive", interactive);
     ("mixture", mixture);
+    ("beam", beam_experiment);
     ("micro", micro);
   ]
 
@@ -1279,6 +1424,7 @@ let smoke_set =
     "megacall";
     "multihop";
     "mesh";
+    "beam";
     "micro";
   ]
 
@@ -1288,13 +1434,24 @@ let () =
   let full = ref false in
   let smoke = ref false in
   let named = ref [] in
+  (* Both help texts are generated from the [experiments] assoc list so
+     they cannot drift as experiments are added. *)
+  let print_usage ppf =
+    Format.fprintf ppf
+      "usage: main.exe [experiment...] [--full] [--smoke] [-j N] \
+       [--json[=DIR]]@.experiments: %s@.smoke set: %s@."
+      (String.concat " " (List.map fst experiments))
+      (String.concat " " smoke_set)
+  in
   let usage () =
-    Format.eprintf
-      "usage: main.exe [experiment...] [--full] [--smoke] [-j N] [--json[=DIR]]@.";
+    print_usage Format.err_formatter;
     exit 2
   in
   let rec parse = function
     | [] -> ()
+    | ("-h" | "--help" | "help") :: _ ->
+        print_usage Format.std_formatter;
+        exit 0
     | ("-j" | "--jobs") :: n :: rest -> (
         match int_of_string_opt n with
         | Some j when j >= 1 ->

@@ -9,8 +9,50 @@ open Cmdliner
 module Trace = Rcbr_traffic.Trace
 module Schedule = Rcbr_core.Schedule
 module Optimal = Rcbr_core.Optimal
+module Beam = Rcbr_core.Beam
 module Online = Rcbr_core.Online
 module Fluid = Rcbr_queue.Fluid
+
+(* Beam prior selection, shared by the [optimal] and [receding]
+   consumers of the beam solver: learn from the trace itself, from the
+   Star Wars Markov traffic model (Section V-A), or keep it uniform. *)
+type beam_prior_kind = Prior_trace | Prior_chain | Prior_uniform
+
+let beam_prior_conv =
+  let parse = function
+    | "trace" -> Ok Prior_trace
+    | "chain" -> Ok Prior_chain
+    | "uniform" -> Ok Prior_uniform
+    | s -> Error (`Msg (Printf.sprintf "unknown prior %S (trace|chain|uniform)" s))
+  in
+  let print ppf k =
+    Format.pp_print_string ppf
+      (match k with
+      | Prior_trace -> "trace"
+      | Prior_chain -> "chain"
+      | Prior_uniform -> "uniform")
+  in
+  Arg.conv (parse, print)
+
+let make_prior ~grid ~trace kind =
+  match kind with
+  | Prior_uniform -> Beam.Uniform
+  | Prior_trace -> Beam.of_trace ~grid trace
+  | Prior_chain ->
+      (* The calibrated multiple time-scale model of the synthetic
+         source, flattened to a single chain; per-state rates are
+         data/slot, scaled by fps to b/s. *)
+      let ms =
+        Rcbr_traffic.Synthetic.to_multiscale
+          Rcbr_traffic.Synthetic.star_wars_params
+      in
+      let flat = Rcbr_markov.Multiscale.flatten ms in
+      let rates =
+        Array.map
+          (fun r -> r *. Trace.fps trace)
+          (Rcbr_markov.Modulated.rates flat)
+      in
+      Beam.of_chain ~grid ~rates (Rcbr_markov.Modulated.chain flat)
 
 let trace_file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE")
@@ -38,7 +80,7 @@ let report ~trace ~buffer ~segments sched =
         Format.printf "%8d  %12.0f@." s.Schedule.start_slot s.Schedule.rate)
       (Schedule.segments sched)
 
-let optimal file cost_ratio buffer levels delay_slots segments =
+let optimal file cost_ratio buffer levels delay_slots beam beam_prior segments =
   let trace = Trace.load file in
   let params = Optimal.default_params ~levels ~buffer ~cost_ratio trace in
   let params =
@@ -46,9 +88,29 @@ let optimal file cost_ratio buffer levels delay_slots segments =
     | None -> params
     | Some d -> { params with Optimal.constraint_ = Optimal.Delay_bound d }
   in
-  let sched, stats = Optimal.solve_with_stats params trace in
-  Format.printf "trellis: %d slots, %d nodes expanded, peak frontier %d@."
-    stats.Optimal.slots stats.Optimal.expanded stats.Optimal.max_frontier;
+  let sched =
+    match beam with
+    | None ->
+        let sched, stats = Optimal.solve_with_stats params trace in
+        Format.printf
+          "trellis: %d slots, %d nodes expanded, peak frontier %d, pruned %d \
+           (lemma) + %d (cap)@."
+          stats.Optimal.slots stats.Optimal.expanded stats.Optimal.max_frontier
+          stats.Optimal.pruned_by_lemma stats.Optimal.pruned_by_cap;
+        sched
+    | Some beam_width ->
+        let prior = make_prior ~grid:params.Optimal.grid ~trace beam_prior in
+        let sched, st =
+          Beam.solve_with_stats ~beam_width ~prior params trace
+        in
+        Format.printf
+          "beam trellis (width %d): %d slots, %d nodes expanded, peak \
+           frontier %d, kept %d, dropped by beam %d, prior hits %d@."
+          beam_width st.Beam.base.Optimal.slots st.Beam.base.Optimal.expanded
+          st.Beam.base.Optimal.max_frontier st.Beam.kept st.Beam.dropped_by_beam
+          st.Beam.prior_hits;
+        sched
+  in
   report ~trace ~buffer ~segments sched
 
 let cost_ratio_arg =
@@ -69,12 +131,31 @@ let delay_arg =
     & info [ "delay-slots" ] ~docv:"D"
         ~doc:"Use a delay bound of D slots instead of the buffer bound.")
 
+let beam_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "beam" ] ~docv:"K"
+        ~doc:
+          "Beam width: keep only the K best trellis states per stage \
+           (default: exact solve).")
+
+let beam_prior_arg =
+  Arg.(
+    value
+    & opt beam_prior_conv Prior_trace
+    & info [ "beam-prior" ] ~docv:"PRIOR"
+        ~doc:
+          "Beam ranking prior: trace (level-transition histograms of the \
+           input trace), chain (the calibrated Star Wars Markov model), or \
+           uniform.")
+
 let optimal_cmd =
   Cmd.v
     (Cmd.info "optimal" ~doc:"Optimal offline schedule (Viterbi trellis).")
     Term.(
       const optimal $ trace_file_arg $ cost_ratio_arg $ buffer_arg $ levels_arg
-      $ delay_arg $ segments_flag)
+      $ delay_arg $ beam_arg $ beam_prior_arg $ segments_flag)
 
 let online file granularity b_low b_high flush buffer segments =
   let trace = Trace.load file in

@@ -1,18 +1,57 @@
 (* CLI: statistical multiplexing gain comparison across the three Fig. 3
    scenarios (static CBR, shared buffer, RCBR).
 
-   Example:
-     rcbr_smg --frames 20000 --streams 1,5,20,100 --target 1e-6 *)
+   Examples:
+     rcbr_smg --frames 20000 --streams 1,5,20,100 --target 1e-6
+     rcbr_smg --chernoff                  # add the formula (11) table
+     rcbr_smg --beam 16 --beam-prior trace  # beam-searched reference
+                                            # schedule on fine grids *)
 
 open Cmdliner
 module Trace = Rcbr_traffic.Trace
 module Optimal = Rcbr_core.Optimal
+module Beam = Rcbr_core.Beam
 module Schedule = Rcbr_core.Schedule
 module Smg = Rcbr_sim.Smg
 module Chernoff = Rcbr_effbw.Chernoff
 
+type beam_prior_kind = Prior_trace | Prior_chain | Prior_uniform
+
+let beam_prior_conv =
+  let parse = function
+    | "trace" -> Ok Prior_trace
+    | "chain" -> Ok Prior_chain
+    | "uniform" -> Ok Prior_uniform
+    | s ->
+        Error (`Msg (Printf.sprintf "unknown prior %S (trace|chain|uniform)" s))
+  in
+  let print ppf k =
+    Format.pp_print_string ppf
+      (match k with
+      | Prior_trace -> "trace"
+      | Prior_chain -> "chain"
+      | Prior_uniform -> "uniform")
+  in
+  Arg.conv (parse, print)
+
+let make_prior ~grid ~trace = function
+  | Prior_uniform -> Beam.Uniform
+  | Prior_trace -> Beam.of_trace ~grid trace
+  | Prior_chain ->
+      let ms =
+        Rcbr_traffic.Synthetic.to_multiscale
+          Rcbr_traffic.Synthetic.star_wars_params
+      in
+      let flat = Rcbr_markov.Multiscale.flatten ms in
+      let rates =
+        Array.map
+          (fun r -> r *. Trace.fps trace)
+          (Rcbr_markov.Modulated.rates flat)
+      in
+      Beam.of_chain ~grid ~rates (Rcbr_markov.Modulated.chain flat)
+
 let run seed frames cost_ratio buffer target replications streams jobs chernoff
-    =
+    beam beam_prior =
   (* Ctrl-C mid-sweep: flush whatever rows are already printed so the
      partial table survives, then exit with the interrupt convention. *)
   Rcbr_util.Interrupt.install_exit
@@ -23,7 +62,19 @@ let run seed frames cost_ratio buffer target replications streams jobs chernoff
   let trace = Rcbr_traffic.Synthetic.star_wars ~frames ~seed () in
   let mean = Trace.mean_rate trace in
   Format.printf "trace: %d frames, mean %.0f kb/s@." frames (mean /. 1e3);
-  let schedule = Optimal.solve (Optimal.default_params ~buffer ~cost_ratio trace) trace in
+  let params = Optimal.default_params ~buffer ~cost_ratio trace in
+  let schedule =
+    match beam with
+    | None -> Optimal.solve params trace
+    | Some beam_width ->
+        let prior = make_prior ~grid:params.Optimal.grid ~trace beam_prior in
+        let s, st = Beam.solve_with_stats ~beam_width ~prior params trace in
+        Format.printf
+          "beam width %d: %d nodes expanded, dropped %d, prior hits %d@."
+          beam_width st.Beam.base.Optimal.expanded st.Beam.dropped_by_beam
+          st.Beam.prior_hits;
+        s
+  in
   Format.printf "schedule: %d renegotiations, efficiency %.4f@."
     (Schedule.n_renegotiations schedule)
     (Schedule.bandwidth_efficiency schedule ~trace);
@@ -111,6 +162,25 @@ let chernoff_arg =
           "Also print the Chernoff capacity-per-stream table over the \
            schedule marginal, computed with one shared warm-started solver.")
 
+let beam_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "beam" ] ~docv:"K"
+        ~doc:
+          "Solve the reference schedule with a beam-searched trellis keeping \
+           K states per stage (default: exact solve).")
+
+let beam_prior_arg =
+  Arg.(
+    value
+    & opt beam_prior_conv Prior_trace
+    & info [ "beam-prior" ] ~docv:"PRIOR"
+        ~doc:
+          "Beam ranking prior: trace (level-transition histograms of the \
+           generated trace), chain (the calibrated Star Wars Markov model), \
+           or uniform.")
+
 let () =
   let info =
     Cmd.info "rcbr_smg" ~version:"1.0"
@@ -119,6 +189,7 @@ let () =
   let term =
     Term.(
       const run $ seed_arg $ frames_arg $ cost_ratio_arg $ buffer_arg
-      $ target_arg $ replications_arg $ streams_arg $ jobs_arg $ chernoff_arg)
+      $ target_arg $ replications_arg $ streams_arg $ jobs_arg $ chernoff_arg
+      $ beam_arg $ beam_prior_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

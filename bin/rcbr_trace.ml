@@ -76,6 +76,175 @@ let sigma_rho_cmd =
        ~doc:"Minimum drain rate as a function of buffer size (Fig. 5).")
     Term.(const sigma_rho $ trace_file_arg $ target_arg)
 
+(* Parameter validation in the library raises [Invalid_argument] with a
+   self-describing message; surface it as a usage error instead of a
+   crash. *)
+let or_usage_error f =
+  try f ()
+  with Invalid_argument msg ->
+    Format.eprintf "rcbr_trace: %s@." msg;
+    exit Cmdliner.Cmd.Exit.cli_error
+
+(* --- receding: beam-trellis receding-horizon renegotiation --- *)
+
+module Optimal = Rcbr_core.Optimal
+module Beam = Rcbr_core.Beam
+module Online = Rcbr_core.Online
+module Predictor = Rcbr_core.Predictor
+module Schedule = Rcbr_core.Schedule
+
+type beam_prior_kind = Prior_trace | Prior_chain | Prior_uniform
+
+let beam_prior_conv =
+  let parse = function
+    | "trace" -> Ok Prior_trace
+    | "chain" -> Ok Prior_chain
+    | "uniform" -> Ok Prior_uniform
+    | s ->
+        Error (`Msg (Printf.sprintf "unknown prior %S (trace|chain|uniform)" s))
+  in
+  let print ppf k =
+    Format.pp_print_string ppf
+      (match k with
+      | Prior_trace -> "trace"
+      | Prior_chain -> "chain"
+      | Prior_uniform -> "uniform")
+  in
+  Arg.conv (parse, print)
+
+let make_prior ~grid ~trace = function
+  | Prior_uniform -> Beam.Uniform
+  | Prior_trace -> Beam.of_trace ~grid trace
+  | Prior_chain ->
+      (* The calibrated multiple time-scale model behind the generator,
+         flattened to one chain; per-state rates are data/slot, scaled
+         by fps to b/s. *)
+      let ms = Synthetic.to_multiscale Synthetic.star_wars_params in
+      let flat = Rcbr_markov.Multiscale.flatten ms in
+      let rates =
+        Array.map
+          (fun r -> r *. Trace.fps trace)
+          (Rcbr_markov.Modulated.rates flat)
+      in
+      Beam.of_chain ~grid ~rates (Rcbr_markov.Modulated.chain flat)
+
+let receding file seed frames beam_width beam_prior horizon levels cost_ratio
+    buffer plan_bound delay_slots every_slot =
+  let trace =
+    match file with
+    | Some f -> Trace.load f
+    | None -> Synthetic.star_wars ~frames ~seed ()
+  in
+  let opt =
+    let p = Optimal.default_params ~levels ~buffer ~cost_ratio trace in
+    { p with Optimal.constraint_ = Optimal.Buffer_bound plan_bound }
+  in
+  let prior = make_prior ~grid:opt.Optimal.grid ~trace beam_prior in
+  let p = Online.default_params in
+  let predictor ~initial = Predictor.ar1 ~eta:p.Online.ar_coefficient ~initial in
+  let cost s =
+    Schedule.cost s ~reneg_cost:cost_ratio ~bandwidth_cost:1.
+  in
+  let outcome, st =
+    or_usage_error (fun () ->
+        Online.run_receding ~delay_slots ~buffer ~resolve_every_slot:every_slot
+          ~beam_width ~prior p ~opt ~horizon ~predictor trace)
+  in
+  let baseline = Online.run_custom ~delay_slots ~buffer p ~predictor trace in
+  let row label (o : Online.outcome) =
+    Format.printf "%-14s  cost %.4e  renegs %4d  lost %.3e  max backlog %8.0f@."
+      label (cost o.Online.schedule)
+      (Schedule.n_renegotiations o.Online.schedule)
+      o.Online.bits_lost o.Online.max_backlog
+  in
+  Format.printf
+    "receding horizon: %d slots ahead, beam %d over %d levels, plan bound \
+     %.0f of %.0f bits@."
+    horizon beam_width (Rcbr_core.Rate_grid.levels opt.Optimal.grid) plan_bound
+    buffer;
+  row "receding beam" outcome;
+  row "ar1 heuristic" baseline;
+  Format.printf
+    "windows solved %d (%d infeasible), nodes expanded %d, dropped by beam \
+     %d, prior hits %d@."
+    st.Online.solves st.Online.infeasible_windows st.Online.expanded
+    st.Online.dropped_by_beam st.Online.prior_hits
+
+let receding_cmd =
+  let opt_trace_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file (generated when omitted).")
+  in
+  let beam_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "beam" ] ~docv:"K"
+          ~doc:"Beam width: trellis states kept per lookahead stage.")
+  in
+  let beam_prior_arg =
+    Arg.(
+      value
+      & opt beam_prior_conv Prior_trace
+      & info [ "beam-prior" ] ~docv:"PRIOR"
+          ~doc:
+            "Beam ranking prior: trace (level-transition histograms of the \
+             input trace), chain (the calibrated Star Wars Markov model), or \
+             uniform.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "horizon" ] ~docv:"H" ~doc:"Lookahead window length in slots.")
+  in
+  let levels_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "levels" ] ~docv:"M" ~doc:"Number of bandwidth levels.")
+  in
+  let cost_ratio_arg =
+    Arg.(
+      value & opt float 2e5
+      & info [ "cost-ratio" ] ~docv:"ALPHA"
+          ~doc:"Renegotiation cost over bandwidth cost (bits).")
+  in
+  let buffer_arg =
+    Arg.(
+      value & opt float 300_000.
+      & info [ "buffer" ] ~docv:"BITS" ~doc:"Physical end-system buffer.")
+  in
+  let plan_bound_arg =
+    Arg.(
+      value & opt float 150_000.
+      & info [ "plan-bound" ] ~docv:"BITS"
+          ~doc:
+            "Planning headroom: lookahead windows are solved against this \
+             bound, leaving buffer space for forecast error.")
+  in
+  let delay_slots_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "delay-slots" ] ~docv:"SLOTS" ~doc:"Signalling round-trip.")
+  in
+  let every_slot_arg =
+    Arg.(
+      value & flag
+      & info [ "every-slot" ]
+          ~doc:
+            "Re-solve every slot and trust the solver outright (pure MPC) \
+             instead of gating by the buffer thresholds.")
+  in
+  Cmd.v
+    (Cmd.info "receding"
+       ~doc:
+         "Receding-horizon renegotiation: re-solve a beam-searched trellis \
+          over a forecast window and compare against the AR(1) heuristic.")
+    Term.(
+      const receding $ opt_trace_arg $ seed_arg $ frames_arg $ beam_arg
+      $ beam_prior_arg $ horizon_arg $ levels_arg $ cost_ratio_arg $ buffer_arg
+      $ plan_bound_arg $ delay_slots_arg $ every_slot_arg)
+
 (* --- stream: a live NIU over a faulty signalling plane --- *)
 
 module Port = Rcbr_signal.Port
@@ -114,14 +283,6 @@ let degrade_conv =
     | Niu.Scale q -> Format.fprintf ppf "scale:%g" q
   in
   Arg.conv (parse, print)
-
-(* Fault-plan and NIU parameter validation raises [Invalid_argument] with a
-   self-describing message; surface it as a usage error instead of a crash. *)
-let or_usage_error f =
-  try f ()
-  with Invalid_argument msg ->
-    Format.eprintf "rcbr_trace: %s@." msg;
-    exit Cmdliner.Cmd.Exit.cli_error
 
 let stream file seed frames hops capacity_mult drop duplicate reorder delay_prob
     max_extra crashes timeout_slots max_retx backoff jitter resync degrade
@@ -313,4 +474,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ generate_cmd; stats_cmd; sigma_rho_cmd; stream_cmd ]))
+       (Cmd.group info
+          [ generate_cmd; stats_cmd; sigma_rho_cmd; receding_cmd; stream_cmd ]))

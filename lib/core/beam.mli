@@ -1,0 +1,125 @@
+(** Beam-searched probabilistic trellis (DESIGN.md §13).
+
+    The exact solver ({!Optimal}) expands the full dominance frontier;
+    on fine rate grids (M ≳ 100 levels) the frontier grows into the tens
+    of thousands of nodes per slot and the solve falls out of the
+    interactive regime.  This module trades bounded optimality for
+    bounded work: keep only the [beam_width] best candidate states per
+    stage, ranked by [path_cost - prior_weight * log_prior], where the
+    prior is a per-level transition log-probability table learned from
+    the rate-level occupancy and transition counts of a training trace
+    (or a {!Rcbr_markov.Chain}) — the soft-decision pruned-trellis
+    technique of codec2's [trellis.m].
+
+    Feasibility is never approximated: the globally lowest-buffer node
+    survives every selection, and buffer evolution is monotone in the
+    buffer, so {!Optimal.Infeasible} is raised iff the exact solver
+    would raise it.
+
+    With [beam_width = max_int] and a {!Uniform} prior the beam solver
+    is bit-identical to {!Optimal.solve_with_stats} (enforced by a
+    qcheck property): the selection never triggers and the uniform
+    prior gives every stage-t node the same cumulative log prior. *)
+
+module Histogram := Rcbr_util.Histogram
+
+type prior =
+  | Uniform  (** every transition equally likely — the degenerate
+                 fallback; ranking reduces to plain path weight *)
+  | Table of {
+      levels : int;  (** grid size the prior was trained against *)
+      init : Histogram.t;  (** rate-level occupancy counts *)
+      trans : Histogram.t array;
+          (** [trans.(a)]: counts of a->b level transitions *)
+    }
+
+val of_trace : grid:Rate_grid.t -> Rcbr_traffic.Trace.t -> prior
+(** Learn occupancy and transition counts from a training trace: each
+    slot's level is the smallest grid rate covering its arrival rate
+    ({!Rate_grid.index_up}). *)
+
+val of_chain :
+  grid:Rate_grid.t -> rates:float array -> Rcbr_markov.Chain.t -> prior
+(** Learn the prior from a Markov traffic model instead of a trace:
+    state [s] (rate [rates.(s)], in b/s) maps to its covering grid
+    level, and the s->s' transition adds stationary-weighted mass
+    [pi(s) * P(s, s')].  Raises [Invalid_argument] if [rates] and the
+    chain disagree on the state count. *)
+
+val compile :
+  grid:Rate_grid.t ->
+  beam_width:int ->
+  prior_weight:float ->
+  prior ->
+  Optimal.beam_opts
+(** Materialize a prior into the log tables {!Optimal.solve_raw}
+    consumes.  Empty bins are floored at log 1e-9 (steep but finite, so
+    the beam can follow traffic off the prior's support — see
+    {!Rcbr_util.Histogram.log_mass}).  Raises [Invalid_argument] if a
+    {!Table} prior was trained on a different grid size, or if
+    [beam_width < 1].  Compile once and reuse across solves: the
+    receding-horizon controller calls the solver thousands of times
+    against one compiled prior. *)
+
+val default_prior_weight :
+  Optimal.params -> Rcbr_traffic.Trace.t -> float
+(** One nat of log-prior ≙ one mean slot of allocated bandwidth:
+    [bandwidth_cost * mean_rate * slot_duration]. *)
+
+type stats = {
+  base : Optimal.stats;
+  kept : int;  (** nodes surviving beam selection, summed over stages *)
+  dropped_by_beam : int;
+  prior_hits : int;  (** expansions along prior-observed transitions *)
+}
+
+val solve_with_stats :
+  ?lemma_pruning:bool ->
+  ?buffer_quantum:float ->
+  ?frontier_cap:int ->
+  ?prior_weight:float ->
+  ?start_level:int ->
+  beam_width:int ->
+  prior:prior ->
+  Optimal.params ->
+  Rcbr_traffic.Trace.t ->
+  Schedule.t * stats
+(** Beam-searched {!Optimal.solve_with_stats}.  [prior_weight] defaults
+    to {!default_prior_weight}; [start_level] marks the rate already in
+    force (every other initial level pays one renegotiation) for
+    receding-horizon use.  May raise {!Optimal.Infeasible} — exactly
+    when the exact solver would. *)
+
+val solve :
+  ?lemma_pruning:bool ->
+  ?buffer_quantum:float ->
+  ?frontier_cap:int ->
+  ?prior_weight:float ->
+  ?start_level:int ->
+  beam_width:int ->
+  prior:prior ->
+  Optimal.params ->
+  Rcbr_traffic.Trace.t ->
+  Schedule.t
+(** {!solve_with_stats} without the diagnostics. *)
+
+val sweep :
+  ?lemma_pruning:bool ->
+  ?buffer_quantum:float ->
+  ?frontier_cap:int ->
+  ?prior_weight:float ->
+  ?start_level:int ->
+  widths:int list ->
+  prior:prior ->
+  Optimal.params ->
+  Rcbr_traffic.Trace.t ->
+  (int * Schedule.t * stats) list
+(** Solve once per width (strictly ascending, all >= 1) against one
+    compiled prior, with {e anytime} semantics: the schedule reported at
+    width [w] is the cheapest found at any width up to [w], so its cost
+    is non-increasing in the width {e by construction} (enforced by a
+    qcheck property).  The raw per-width schedules are not monotone:
+    beam selection is score-ranked per stage, so the kept sets of two
+    widths are not nested and a wider beam can genuinely lose a path a
+    narrower one kept — measured in ~60% of random instances (DESIGN.md
+    §13).  The [stats] are the raw run's at that width. *)

@@ -94,6 +94,150 @@ let run_custom ?(delay_slots = 0) ?buffer p ~predictor trace =
   in
   { schedule; max_backlog = !max_backlog; bits_lost = !bits_lost; predictions }
 
+type receding_stats = {
+  solves : int;
+  infeasible_windows : int;
+  expanded : int;
+  dropped_by_beam : int;
+  prior_hits : int;
+}
+
+let run_receding ?(delay_slots = 0) ?buffer ?(resolve_every_slot = false)
+    ?(beam_width = 16) ?(prior = Beam.Uniform) ?prior_weight p ~opt ~horizon
+    ~predictor trace =
+  assert (p.b_low >= 0. && p.b_high > p.b_low);
+  assert (horizon >= 1);
+  assert (delay_slots >= 0);
+  (match buffer with Some b -> assert (b > 0.) | None -> ());
+  let n = Trace.length trace in
+  let tau = Trace.slot_duration trace in
+  let fps = Trace.fps trace in
+  let grid = opt.Optimal.grid in
+  let prior_weight =
+    match prior_weight with
+    | Some w -> w
+    | None -> Beam.default_prior_weight opt trace
+  in
+  (* The caller's bound is the planning headroom (e.g. half the physical
+     buffer): windows are solved against it so forecast error has room
+     to land, and it is raised to the live backlog when the buffer is
+     already past it — the window must remain feasible from the state
+     the controller is actually in. *)
+  let plan_bound =
+    match opt.Optimal.constraint_ with
+    | Optimal.Buffer_bound b -> b
+    | Optimal.Delay_bound _ ->
+        invalid_arg "Online.run_receding: requires a Buffer_bound"
+  in
+  (* Compile the prior once; the controller re-solves up to once per
+     slot against it. *)
+  let beam = Beam.compile ~grid ~beam_width ~prior_weight prior in
+  let predictions = Array.make n 0. in
+  let backlog = ref 0. and max_backlog = ref 0. in
+  let bits_lost = ref 0. in
+  let pred = predictor ~initial:(Trace.frame trace 0 /. tau) in
+  let segments = ref [] in
+  let current = ref (Rate_grid.quantize_up grid (pred.Predictor.forecast ())) in
+  let requested = ref !current in
+  let pending = ref [] (* (effective_slot, rate), at most one in flight *) in
+  let solves = ref 0 and infeasible_windows = ref 0 in
+  let expanded = ref 0 and dropped = ref 0 and hits = ref 0 in
+  let window = Array.make horizon 0. in
+  segments := [ { Schedule.start_slot = 0; rate = !current } ];
+  for t = 0 to n - 1 do
+    (match !pending with
+    | (at, rate) :: rest when at <= t ->
+        current := rate;
+        pending := rest;
+        segments := { Schedule.start_slot = t; rate } :: !segments
+    | _ -> ());
+    let x = Trace.frame trace t /. tau in
+    let net = !backlog +. Trace.frame trace t -. (!current *. tau) in
+    (match buffer with
+    | None -> backlog := Float.max 0. net
+    | Some cap ->
+        backlog := Float.min cap (Float.max 0. net);
+        bits_lost := !bits_lost +. Float.max 0. (net -. cap));
+    if !backlog > !max_backlog then max_backlog := !backlog;
+    pred.Predictor.observe x;
+    let forecast = pred.Predictor.forecast () in
+    predictions.(t) <- forecast;
+    (* Re-solve the lookahead window — every slot, or only when the
+       buffer crosses a threshold (formula (8)'s trigger with the
+       trellis replacing the quantized-forecast rule).  Never while a
+       request is in flight: at most one outstanding renegotiation. *)
+    if
+      t + 1 < n
+      && !pending = []
+      && (resolve_every_slot || !backlog > p.b_high || !backlog < p.b_low)
+    then begin
+      (* The lookahead workload: [horizon] slots at the forecast rate,
+         with the live backlog folded into the first slot so the solver
+         must plan its drain. *)
+      let bits = forecast *. tau in
+      Array.fill window 0 horizon bits;
+      window.(0) <- window.(0) +. !backlog;
+      let wtrace = Trace.create ~fps window in
+      let wopt =
+        {
+          opt with
+          Optimal.constraint_ =
+            Optimal.Buffer_bound (Float.max plan_bound !backlog);
+        }
+      in
+      let start_level = Rate_grid.index_up grid !current in
+      incr solves;
+      let want =
+        match Optimal.solve_raw ~beam ~start_level wopt wtrace with
+        | schedule, base, c ->
+            expanded := !expanded + base.Optimal.expanded;
+            dropped := !dropped + c.Optimal.dropped_by_beam;
+            hits := !hits + c.Optimal.prior_hits;
+            (Schedule.segments schedule).(0).Schedule.rate
+        | exception Optimal.Infeasible _ ->
+            (* Even the top rate cannot hold the window's bound (the
+               burst outruns the grid): fall back to flat out. *)
+            incr infeasible_windows;
+            Rate_grid.top grid
+      in
+      (* Formula (8)'s direction rule, with the trellis replacing the
+         quantized forecast: act only when the buffer urges the move.
+         [resolve_every_slot] is pure model-predictive mode — trust the
+         solver outright (it already charges K for switching via
+         [start_level]), at the price of chasing forecast noise. *)
+      let act =
+        if resolve_every_slot then not (Float.equal want !requested)
+        else
+          (!backlog > p.b_high && want > !requested)
+          || (!backlog < p.b_low && want < !requested)
+      in
+      if act then begin
+        requested := want;
+        if delay_slots = 0 then begin
+          current := want;
+          segments := { Schedule.start_slot = t + 1; rate = want } :: !segments
+        end
+        else pending := [ (t + 1 + delay_slots, want) ]
+      end
+    end
+  done;
+  let schedule =
+    Schedule.create ~fps:(Trace.fps trace) ~n_slots:n (List.rev !segments)
+  in
+  ( {
+      schedule;
+      max_backlog = !max_backlog;
+      bits_lost = !bits_lost;
+      predictions;
+    },
+    {
+      solves = !solves;
+      infeasible_windows = !infeasible_windows;
+      expanded = !expanded;
+      dropped_by_beam = !dropped;
+      prior_hits = !hits;
+    } )
+
 let run p trace =
   assert (p.ar_coefficient >= 0. && p.ar_coefficient < 1.);
   let predictor ~initial = Predictor.ar1 ~eta:p.ar_coefficient ~initial in

@@ -71,3 +71,59 @@ val run_custom :
 
 val run_delayed : params -> delay_slots:int -> Rcbr_traffic.Trace.t -> outcome
 (** [run] with a signaling delay. *)
+
+(** {2 Receding-horizon control (DESIGN.md §13)}
+
+    Instead of quantizing the forecast (formula (7)), re-solve the
+    renegotiation trellis over a short lookahead window each time the
+    buffer urges a move, and request the window-optimal first rate —
+    near-optimal schedules at interactive rates when the beam keeps the
+    per-window work bounded on fine grids. *)
+
+type receding_stats = {
+  solves : int;  (** lookahead windows solved *)
+  infeasible_windows : int;
+      (** windows whose backlog even the top rate could not drain within
+          the constraint; the controller fell back to the top rate *)
+  expanded : int;  (** trellis nodes expanded, summed over windows *)
+  dropped_by_beam : int;
+  prior_hits : int;
+}
+
+val run_receding :
+  ?delay_slots:int ->
+  ?buffer:float ->
+  ?resolve_every_slot:bool ->
+  ?beam_width:int ->
+  ?prior:Beam.prior ->
+  ?prior_weight:float ->
+  params ->
+  opt:Optimal.params ->
+  horizon:int ->
+  predictor:(initial:float -> Predictor.t) ->
+  Rcbr_traffic.Trace.t ->
+  outcome * receding_stats
+(** Receding-horizon controller over the beam trellis.  Per slot:
+    account arrivals/service/loss exactly as {!run_custom}, feed the
+    predictor, and — when no request is in flight and either
+    [resolve_every_slot] (default false) or the backlog sits outside
+    [b_low, b_high] — build a [horizon]-slot workload of forecast-rate
+    arrivals with the live backlog folded into the first slot, solve it
+    through {!Optimal.solve_raw} at [beam_width] (default 16) starting
+    from the rate in force ([start_level], so staying is free and
+    switching pays one renegotiation), and take the solution's first
+    rate as the candidate request.  The request is issued under formula
+    (8)'s direction rule (above [b_high] and the candidate is higher, or
+    below [b_low] and lower); in [resolve_every_slot] mode the solver is
+    trusted outright and any change is requested — pure MPC, at the
+    price of chasing forecast noise.
+
+    [opt]'s constraint must be a [Buffer_bound]; it is the {e planning}
+    headroom (typically well under the physical [buffer] so forecast
+    error has room to land), raised per window to the live backlog when
+    the buffer is already past it.  At most one request is outstanding;
+    [delay_slots]/[buffer] compose exactly as in {!run_custom}.
+    [granularity], [flush_slots] and [ar_coefficient] of [params] are
+    unused — the trellis replaces quantization, the backlog enters the
+    window explicitly, and the predictor is the caller's.
+    [outcome.predictions] holds the raw forecasts. *)

@@ -10,7 +10,29 @@ type params = {
   constraint_ : constraint_;
 }
 
-type stats = { slots : int; expanded : int; max_frontier : int }
+type stats = {
+  slots : int;
+  expanded : int;
+  max_frontier : int;
+  pruned_by_lemma : int;
+  pruned_by_cap : int;
+}
+
+(* Beam-search mode (see {!Beam} for the user-facing API): keep at most
+   [width] nodes per stage, ranked by [weight - prior_weight * lp] where
+   [lp] is the cumulative log prior of the node's level path under
+   [log_init]/[log_trans].  [observed.(a).(b)] records whether the prior
+   actually saw the a->b transition (vs the smoothing floor); such
+   expansions are counted as prior hits. *)
+type beam_opts = {
+  width : int;
+  log_init : float array;
+  log_trans : float array array;
+  observed : bool array array;
+  prior_weight : float;
+}
+
+type beam_counters = { kept : int; dropped_by_beam : int; prior_hits : int }
 
 exception Infeasible of int
 
@@ -30,6 +52,10 @@ type frontier = {
   mutable wt : float array;
   mutable lvl : int array;
   mutable chg : change option array;
+  mutable lp : float array;
+      (* cumulative log prior of the level path; 0 when beam search is
+         off — never read by the exact solver, so carrying it does not
+         perturb any buf/wt numerics *)
   mutable len : int;
 }
 
@@ -39,6 +65,7 @@ let fr_make cap =
     wt = Array.make cap 0.;
     lvl = Array.make cap 0;
     chg = Array.make cap None;
+    lp = Array.make cap 0.;
     len = 0;
   }
 
@@ -50,7 +77,8 @@ let fr_ensure f n =
     f.buf <- grow_f f.buf;
     f.wt <- grow_f f.wt;
     f.lvl <- Array.append f.lvl (Array.make (cap' - cap) 0);
-    f.chg <- Array.append f.chg (Array.make (cap' - cap) None)
+    f.chg <- Array.append f.chg (Array.make (cap' - cap) None);
+    f.lp <- grow_f f.lp
   end
 
 (* Buffer occupancies within one part in 10^9 are the same physical
@@ -63,13 +91,14 @@ let same_buffer a b = Numeric.approx_equal ~eps:1e-9 a b
    in buffer-ascending order and only when [w] beats the running weight
    minimum; a node sharing the top's buffer replaces it (the later node
    is the cheaper one). *)
-let fr_push f b w l c =
+let fr_push f b w l c p =
   if f.len > 0 && same_buffer f.buf.(f.len - 1) b then begin
     let i = f.len - 1 in
     f.buf.(i) <- b;
     f.wt.(i) <- w;
     f.lvl.(i) <- l;
-    f.chg.(i) <- c
+    f.chg.(i) <- c;
+    f.lp.(i) <- p
   end
   else begin
     fr_ensure f (f.len + 1);
@@ -77,6 +106,7 @@ let fr_push f b w l c =
     f.wt.(f.len) <- w;
     f.lvl.(f.len) <- l;
     f.chg.(f.len) <- c;
+    f.lp.(f.len) <- p;
     f.len <- f.len + 1
   end
 
@@ -93,8 +123,8 @@ let bound_function constraint_ trace =
       let prefix = Trace.prefix_sums trace in
       fun t -> prefix.(t + 1) -. prefix.(max 0 (t - d + 1))
 
-let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
-    params trace =
+let solve_raw ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap ?beam
+    ?start_level params trace =
   (match buffer_quantum with Some q -> assert (q > 0.) | None -> ());
   (match frontier_cap with Some c -> assert (c >= 2) | None -> ());
   let grid = params.grid in
@@ -104,10 +134,24 @@ let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
   let k_cost = params.reneg_cost in
   assert (k_cost >= 0.);
   assert (params.bandwidth_cost > 0.);
+  (match start_level with
+  | Some s -> assert (s >= 0 && s < m)
+  | None -> ());
+  let beam_on, beam_width, log_init, log_trans, observed, prior_weight =
+    match beam with
+    | None -> (false, max_int, [||], [||], [||], 0.)
+    | Some b ->
+        assert (b.width >= 1);
+        assert (Array.length b.log_init = m);
+        assert (Array.length b.log_trans = m && Array.length b.observed = m);
+        (true, b.width, b.log_init, b.log_trans, b.observed, b.prior_weight)
+  in
   let drain = Array.init m (fun i -> Rate_grid.rate grid i *. tau) in
   let slot_cost = Array.map (fun d -> params.bandwidth_cost *. d) drain in
   let bound = bound_function params.constraint_ trace in
   let expanded = ref 0 and max_frontier = ref 0 in
+  let pruned_by_lemma = ref 0 and pruned_by_cap = ref 0 in
+  let beam_kept = ref 0 and beam_dropped = ref 0 and prior_hits = ref 0 in
   let cur = ref (Array.init m (fun _ -> fr_make 8)) in
   let nxt = ref (Array.init m (fun _ -> fr_make 8)) in
   let g = fr_make 8 in
@@ -115,14 +159,22 @@ let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
   let via = fr_make 8 in
   let heads = Array.make m 0 in
   (* Initial frontiers at slot 0: the first allocation is part of call
-     setup and costs no renegotiation. *)
+     setup and costs no renegotiation — except in receding-horizon use,
+     where [start_level] is the rate already in force and every other
+     level pays one renegotiation up front. *)
   let a0 = Trace.frame trace 0 in
   let b_max0 = bound 0 in
   Array.iteri
     (fun l f ->
       let b = Float.max 0. (a0 -. drain.(l)) in
+      let w0 =
+        match start_level with
+        | Some s when s <> l -> slot_cost.(l) +. k_cost
+        | _ -> slot_cost.(l)
+      in
+      let p0 = if beam_on then log_init.(l) else 0. in
       if b <= b_max0 then
-        fr_push f b slot_cost.(l) l (Some { at = 0; level = l; prev = None }))
+        fr_push f b w0 l (Some { at = 0; level = l; prev = None }) p0)
     !cur;
   let check_feasible t fs =
     if Array.for_all (fun f -> f.len = 0) fs then raise (Infeasible t)
@@ -150,7 +202,7 @@ let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
         let i = heads.(!pick) in
         heads.(!pick) <- i + 1;
         if f.wt.(i) < !min_w then begin
-          fr_push dst f.buf.(i) f.wt.(i) f.lvl.(i) f.chg.(i);
+          fr_push dst f.buf.(i) f.wt.(i) f.lvl.(i) f.chg.(i) f.lp.(i);
           min_w := f.wt.(i)
         end
       end
@@ -181,7 +233,14 @@ let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
           if src.lvl.(i) = target_lvl && Float.equal extra 0. then src.chg.(i)
           else Some { at = t; level = target_lvl; prev = src.chg.(i) }
         in
-        fr_push dst b (src.wt.(i) +. cost) target_lvl changes
+        let p =
+          if beam_on then begin
+            if observed.(src.lvl.(i)).(target_lvl) then incr prior_hits;
+            src.lp.(i) +. log_trans.(src.lvl.(i)).(target_lvl)
+          end
+          else 0.
+        in
+        fr_push dst b (src.wt.(i) +. cost) target_lvl changes p
       end
     done
   in
@@ -199,7 +258,7 @@ let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
       let k = if from_a then !i else !j in
       if from_a then incr i else incr j;
       if f.wt.(k) < !min_w then begin
-        fr_push dst f.buf.(k) f.wt.(k) f.lvl.(k) f.chg.(k);
+        fr_push dst f.buf.(k) f.wt.(k) f.lvl.(k) f.chg.(k) f.lp.(k);
         min_w := f.wt.(k)
       end
     done
@@ -242,9 +301,11 @@ let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
                 f.wt.(o) <- f.wt.(i);
                 f.lvl.(o) <- f.lvl.(i);
                 f.chg.(o) <- f.chg.(i);
+                f.lp.(o) <- f.lp.(i);
                 incr out
               end
             done;
+            pruned_by_lemma := !pruned_by_lemma + f.len - !out;
             f.len <- !out
           end)
         nxt_fs
@@ -266,11 +327,82 @@ let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
                 f.buf.(i) <- f.buf.(idx);
                 f.wt.(i) <- f.wt.(idx);
                 f.lvl.(i) <- f.lvl.(idx);
-                f.chg.(i) <- f.chg.(idx)
+                f.chg.(i) <- f.chg.(idx);
+                f.lp.(i) <- f.lp.(idx)
               done;
+              pruned_by_cap := !pruned_by_cap + f.len - cap;
               f.len <- cap
             end)
           nxt_fs);
+    (* Beam selection: keep the [beam_width] best nodes across all
+       levels by score = weight - prior_weight * log-prior, plus — for
+       feasibility — the globally lowest-buffer node.  Buffer evolution
+       [b' = max 0 (b + a - d)] is monotone in [b], so the minimum
+       reachable buffer under the beam equals the exact solver's at
+       every slot (the min-buffer node's successors include the next
+       min), and the beam raises [Infeasible] iff the exact solver
+       does.  Each per-level frontier is compacted to a subsequence, so
+       the Pareto invariants (buffer ascending, weight descending) are
+       preserved. *)
+    (if beam_on then
+       let total = Array.fold_left (fun acc f -> acc + f.len) 0 nxt_fs in
+       if total > beam_width then begin
+         let score = Array.make total 0. in
+         (* Globally lowest-buffer candidate, first-in-scan-order on
+            ties: deterministic, independent of the score ordering. *)
+         let forced = ref 0 and min_buf = ref infinity in
+         let c = ref 0 in
+         Array.iter
+           (fun f ->
+             for i = 0 to f.len - 1 do
+               score.(!c) <- f.wt.(i) -. (prior_weight *. f.lp.(i));
+               if f.buf.(i) < !min_buf then begin
+                 min_buf := f.buf.(i);
+                 forced := !c
+               end;
+               incr c
+             done)
+           nxt_fs;
+         let order = Array.init total (fun i -> i) in
+         Array.sort
+           (fun a b ->
+             let s = Float.compare score.(a) score.(b) in
+             if s <> 0 then s else compare (a : int) b)
+           order;
+         let keep = Array.make total false in
+         keep.(!forced) <- true;
+         (* The forced node takes one of the [beam_width] slots; the
+            rest go to the best-scoring candidates in order. *)
+         let slots_left = ref (beam_width - 1) in
+         Array.iter
+           (fun i ->
+             if !slots_left > 0 && not keep.(i) then begin
+               keep.(i) <- true;
+               decr slots_left
+             end)
+           order;
+         let c = ref 0 in
+         Array.iter
+           (fun f ->
+             let out = ref 0 in
+             for i = 0 to f.len - 1 do
+               if keep.(!c) then begin
+                 let o = !out in
+                 f.buf.(o) <- f.buf.(i);
+                 f.wt.(o) <- f.wt.(i);
+                 f.lvl.(o) <- f.lvl.(i);
+                 f.chg.(o) <- f.chg.(i);
+                 f.lp.(o) <- f.lp.(i);
+                 incr out
+               end;
+               incr c
+             done;
+             f.len <- !out)
+           nxt_fs;
+         beam_kept := !beam_kept + beam_width;
+         beam_dropped := !beam_dropped + total - beam_width
+       end
+       else beam_kept := !beam_kept + total);
     check_feasible t nxt_fs;
     let total = Array.fold_left (fun acc f -> acc + f.len) 0 nxt_fs in
     if total > !max_frontier then max_frontier := total;
@@ -301,7 +433,25 @@ let solve_with_stats ?(lemma_pruning = true) ?buffer_quantum ?frontier_cap
   in
   let segments = collect [] !best_c in
   let schedule = Schedule.create ~fps:(Trace.fps trace) ~n_slots:n segments in
-  (schedule, { slots = n; expanded = !expanded; max_frontier = !max_frontier })
+  ( schedule,
+    {
+      slots = n;
+      expanded = !expanded;
+      max_frontier = !max_frontier;
+      pruned_by_lemma = !pruned_by_lemma;
+      pruned_by_cap = !pruned_by_cap;
+    },
+    {
+      kept = !beam_kept;
+      dropped_by_beam = !beam_dropped;
+      prior_hits = !prior_hits;
+    } )
+
+let solve_with_stats ?lemma_pruning ?buffer_quantum ?frontier_cap params trace =
+  let schedule, stats, _ =
+    solve_raw ?lemma_pruning ?buffer_quantum ?frontier_cap params trace
+  in
+  (schedule, stats)
 
 let solve params trace = fst (solve_with_stats params trace)
 

@@ -34,6 +34,9 @@ type stats = {
   slots : int;
   expanded : int;  (** candidate nodes generated over the whole run *)
   max_frontier : int;  (** peak number of surviving nodes in any slot *)
+  pruned_by_lemma : int;
+      (** nodes dropped by the cross-level Lemma 1 rule *)
+  pruned_by_cap : int;  (** nodes dropped by [frontier_cap] subsampling *)
 }
 
 exception Infeasible of int
@@ -63,6 +66,49 @@ val solve_with_stats :
     ratios make the exact frontier explode (the paper reports the same
     blowup).  All three knobs are exercised by the ablation
     benchmarks. *)
+
+(** {2 Beam-search internals}
+
+    The user-facing beam API is {!Beam}; the raw entry point lives here
+    so the beam shares this module's structure-of-arrays frontier and
+    pruning machinery verbatim (with the beam off, [solve_raw] {e is}
+    [solve_with_stats], bit for bit). *)
+
+type beam_opts = {
+  width : int;  (** max surviving nodes per stage, across all levels *)
+  log_init : float array;  (** per-level log prior of the first slot *)
+  log_trans : float array array;
+      (** [log_trans.(a).(b)]: log prior of an a->b level transition *)
+  observed : bool array array;
+      (** whether the prior actually saw the transition (vs the
+          smoothing floor); hits are counted per expansion *)
+  prior_weight : float;
+      (** cost units per nat of log prior in the ranking score
+          [weight - prior_weight * log_prior] *)
+}
+
+type beam_counters = {
+  kept : int;  (** nodes surviving beam selection, summed over stages *)
+  dropped_by_beam : int;  (** nodes cut by beam selection *)
+  prior_hits : int;  (** expansions along prior-observed transitions *)
+}
+
+val solve_raw :
+  ?lemma_pruning:bool ->
+  ?buffer_quantum:float ->
+  ?frontier_cap:int ->
+  ?beam:beam_opts ->
+  ?start_level:int ->
+  params ->
+  Rcbr_traffic.Trace.t ->
+  Schedule.t * stats * beam_counters
+(** [solve_with_stats] plus two extensions used by {!Beam} and the
+    receding-horizon controller: [beam] keeps only the [width]
+    best-scoring nodes per stage (the globally lowest-buffer node is
+    always retained, so feasibility is decided exactly — see DESIGN.md
+    §13), and [start_level] marks one grid level as the rate already in
+    force, charging every {e other} initial level one renegotiation.
+    Without [beam] the counters are [kept = 0] (no selection ran). *)
 
 val default_params :
   ?levels:int -> ?buffer:float -> cost_ratio:float -> Rcbr_traffic.Trace.t -> params

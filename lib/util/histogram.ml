@@ -68,6 +68,17 @@ let to_distribution t =
   assert (s > 0.);
   Array.init t.levels (fun i -> t.w.(i) /. s)
 
+let normalize t =
+  let s = total t in
+  assert (s > 0.);
+  { w = Array.init t.levels (fun i -> t.w.(i) /. s); levels = t.levels }
+
+let log_mass ?(floor = 1e-9) t level =
+  assert (floor > 0. && floor <= 1.);
+  let s = total t in
+  let p = if s > 0. then weight t level /. s else 0. in
+  Float.log (Float.max floor p)
+
 let of_distribution p =
   Array.iter (fun x -> assert (x >= 0.)) p;
   { w = Array.copy p; levels = Array.length p }

@@ -60,6 +60,18 @@ val scale : t -> float -> t
 val to_distribution : t -> float array
 (** Normalized probabilities (summing to 1).  Requires positive total. *)
 
+val normalize : t -> t
+(** Fresh histogram with the same shape and total mass 1 (each weight
+    divided by {!total}).  Requires positive total. *)
+
+val log_mass : ?floor:float -> t -> int -> float
+(** [log_mass h level] is the log of the level's normalized mass,
+    floored at [log floor] so empty bins (and out-of-range levels) yield
+    a finite penalty instead of [-inf]; an all-zero histogram yields
+    [log floor] everywhere.  [floor] defaults to 1e-9 and must lie in
+    (0, 1].  This is the soft-decision trellis idiom: unseen transitions
+    stay expandable, merely expensive. *)
+
 val of_distribution : float array -> t
 (** Histogram holding the given nonnegative weights. *)
 

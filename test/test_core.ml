@@ -6,7 +6,9 @@ module Trace = Rcbr_traffic.Trace
 module Schedule = Rcbr_core.Schedule
 module Rate_grid = Rcbr_core.Rate_grid
 module Optimal = Rcbr_core.Optimal
+module Beam = Rcbr_core.Beam
 module Online = Rcbr_core.Online
+module Predictor = Rcbr_core.Predictor
 module Fluid = Rcbr_queue.Fluid
 
 let check_close eps = Alcotest.(check (float eps))
@@ -549,6 +551,129 @@ let test_frontier_cap_large_is_exact () =
   Alcotest.(check bool) "identical schedules" true
     (Schedule.to_rates exact = Schedule.to_rates capped)
 
+(* --- Beam search (DESIGN.md section 13) --- *)
+
+let beam_gen =
+  QCheck.Gen.(
+    let* n = int_range 3 30 in
+    let* frames = array_size (return n) (float_range 0. 25.) in
+    let* k = int_range 1 20 in
+    let* b = float_range 5. 60. in
+    return (frames, float_of_int k, b))
+
+let beam_print (frames, reneg_cost, buffer) =
+  Format.asprintf "frames [|%s|], reneg %.0f, buffer %.2f"
+    (String.concat "; "
+       (List.map (Printf.sprintf "%.3f") (Array.to_list frames)))
+    reneg_cost buffer
+
+let beam_params reneg_cost buffer =
+  {
+    Optimal.grid = Rate_grid.of_rates [| 5.; 9.; 12.; 18.; 25. |];
+    reneg_cost;
+    bandwidth_cost = 1.;
+    constraint_ = Optimal.Buffer_bound buffer;
+  }
+
+let prop_beam_unbounded_is_exact =
+  (* beam_width = max_int + uniform prior must BE the exact solver:
+     same schedule bit for bit, same node count, nothing dropped, and
+     Infeasible raised exactly when the exact solver raises it. *)
+  QCheck.Test.make ~name:"beam at max_int width is bit-identical to exact"
+    ~count:150
+    (QCheck.make ~print:beam_print beam_gen)
+    (fun (frames, reneg_cost, buffer) ->
+      let trace = Trace.create ~fps:1. frames in
+      let params = beam_params reneg_cost buffer in
+      match Optimal.solve_with_stats params trace with
+      | exception Optimal.Infeasible _ -> (
+          match
+            Beam.solve ~beam_width:max_int ~prior:Beam.Uniform params trace
+          with
+          | exception Optimal.Infeasible _ -> true
+          | _ -> false)
+      | exact, est ->
+          let got, st =
+            Beam.solve_with_stats ~beam_width:max_int ~prior:Beam.Uniform
+              params trace
+          in
+          Schedule.to_rates got = Schedule.to_rates exact
+          && st.Beam.dropped_by_beam = 0
+          && st.Beam.base.Optimal.expanded = est.Optimal.expanded)
+
+let prop_beam_sweep_monotone =
+  (* The raw per-width schedules are NOT monotone in the width (see
+     beam.mli); the sweep's anytime semantics must make the reported
+     cost non-increasing, always >= the exact optimum, and equal to it
+     at the unbounded final width. *)
+  QCheck.Test.make
+    ~name:"beam sweep: anytime cost non-increasing, >= exact, exact at max_int"
+    ~count:100
+    (QCheck.make ~print:beam_print beam_gen)
+    (fun (frames, reneg_cost, buffer) ->
+      let trace = Trace.create ~fps:1. frames in
+      let params = beam_params reneg_cost buffer in
+      let widths = [ 1; 2; 3; 5; 8; max_int ] in
+      match Optimal.solve params trace with
+      | exception Optimal.Infeasible _ -> (
+          match Beam.sweep ~widths ~prior:Beam.Uniform params trace with
+          | exception Optimal.Infeasible _ -> true
+          | _ -> false)
+      | exact ->
+          let exact_cost = schedule_cost ~reneg_cost exact in
+          let costs =
+            List.map
+              (fun (_, s, _) -> schedule_cost ~reneg_cost s)
+              (Beam.sweep ~widths ~prior:Beam.Uniform params trace)
+          in
+          let rec mono = function
+            | a :: (b :: _ as rest) -> a >= b -. 1e-9 && mono rest
+            | _ -> true
+          in
+          mono costs
+          && List.for_all (fun c -> c >= exact_cost -. 1e-9) costs
+          && Float.abs (List.nth costs (List.length costs - 1) -. exact_cost)
+             < 1e-6)
+
+let test_beam_trace_prior_gap () =
+  (* A narrow beam under the trace-learned prior on a real synthetic
+     trace: feasible, costs at least the optimum, lands near it, and
+     actually exercises the beam (drops nodes, walks observed
+     transitions). *)
+  let trace = Rcbr_traffic.Synthetic.star_wars ~frames:600 ~seed:11 () in
+  let params = Optimal.default_params ~levels:30 ~cost_ratio:2e5 trace in
+  let exact = Optimal.solve params trace in
+  let prior = Beam.of_trace ~grid:params.Optimal.grid trace in
+  let s, st = Beam.solve_with_stats ~beam_width:16 ~prior params trace in
+  let r = Schedule.simulate_buffer s ~trace ~capacity:300_000. in
+  Alcotest.(check bool) "no loss" true (Float.equal r.Fluid.bits_lost 0.);
+  let c = Schedule.cost s ~reneg_cost:2e5 ~bandwidth_cost:1. in
+  let ce = Schedule.cost exact ~reneg_cost:2e5 ~bandwidth_cost:1. in
+  Alcotest.(check bool) "cost >= exact" true (c >= ce -. 1e-6);
+  Alcotest.(check bool) "within 25% of exact" true (c <= 1.25 *. ce);
+  Alcotest.(check bool) "beam dropped nodes" true (st.Beam.dropped_by_beam > 0);
+  Alcotest.(check bool) "prior hits" true (st.Beam.prior_hits > 0)
+
+let test_receding_controller () =
+  (* Structural invariants of the receding-horizon loop on a synthetic
+     trace: windows get solved, the buffer cap holds, and the schedule
+     spans the whole trace. *)
+  let trace = Rcbr_traffic.Synthetic.star_wars ~frames:800 ~seed:7 () in
+  let buffer = 300_000. in
+  let opt = Optimal.default_params ~levels:30 ~buffer ~cost_ratio:2e5 trace in
+  let opt = { opt with Optimal.constraint_ = Optimal.Buffer_bound 150_000. } in
+  let o, st =
+    Online.run_receding ~buffer Online.default_params ~opt ~horizon:12
+      ~predictor:(Predictor.ar1 ~eta:0.9) trace
+  in
+  Alcotest.(check bool) "windows solved" true (st.Online.solves > 0);
+  Alcotest.(check bool) "nodes expanded" true (st.Online.expanded > 0);
+  Alcotest.(check bool) "backlog capped" true (o.Online.max_backlog <= buffer);
+  Alcotest.(check int) "predictions span trace" (Trace.length trace)
+    (Array.length o.Online.predictions);
+  Alcotest.(check bool) "renegotiates" true
+    (Schedule.n_renegotiations o.Online.schedule > 0)
+
 (* --- Online heuristic --- *)
 
 let test_online_constant_traffic () =
@@ -697,6 +822,12 @@ let () =
           Alcotest.test_case "loose cap is exact" `Quick
             test_frontier_cap_large_is_exact;
         ] );
+      ( "beam",
+        [
+          Alcotest.test_case "trace prior gap" `Quick test_beam_trace_prior_gap;
+          Alcotest.test_case "receding controller" `Quick
+            test_receding_controller;
+        ] );
       ( "properties",
         q
           [
@@ -706,5 +837,7 @@ let () =
             prop_optimal_schedule_feasible;
             prop_frontier_cap_feasible_bounded;
             prop_buffer_quantum_feasible_bounded;
+            prop_beam_unbounded_is_exact;
+            prop_beam_sweep_monotone;
           ] );
     ]

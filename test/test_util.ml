@@ -280,6 +280,32 @@ let test_histogram_iter_support () =
   Alcotest.(check (list int)) "same as support" (Histogram.support h)
     (List.rev_map fst !seen)
 
+let test_histogram_normalize () =
+  let h = Histogram.create ~levels:3 in
+  Histogram.add h 0 1.;
+  Histogram.add h 2 3.;
+  let n = Histogram.normalize h in
+  check_float "total mass 1" 1. (Histogram.total n);
+  check_float "p0" 0.25 (Histogram.weight n 0);
+  check_float "p2" 0.75 (Histogram.weight n 2);
+  (* The original is untouched. *)
+  check_float "source total" 4. (Histogram.total h)
+
+let test_histogram_log_mass () =
+  let h = Histogram.create ~levels:3 in
+  Histogram.add h 0 1.;
+  Histogram.add h 1 3.;
+  check_float "log p0" (Float.log 0.25) (Histogram.log_mass h 0);
+  check_float "log p1" (Float.log 0.75) (Histogram.log_mass h 1);
+  (* Empty bins and out-of-range levels hit the floor, not -inf. *)
+  check_float "empty bin floored" (Float.log 1e-9) (Histogram.log_mass h 2);
+  check_float "out of range floored" (Float.log 1e-9) (Histogram.log_mass h 7);
+  check_float "custom floor" (Float.log 1e-3)
+    (Histogram.log_mass ~floor:1e-3 h 2);
+  (* An all-zero histogram is the floor everywhere. *)
+  let z = Histogram.create ~levels:2 in
+  check_float "zero histogram floored" (Float.log 1e-9) (Histogram.log_mass z 0)
+
 (* --- Numeric --- *)
 
 let test_bisect_sqrt () =
@@ -606,6 +632,8 @@ let () =
           Alcotest.test_case "sub/clear" `Quick test_histogram_sub_clear;
           Alcotest.test_case "add_weighted" `Quick test_histogram_add_weighted;
           Alcotest.test_case "iter_support" `Quick test_histogram_iter_support;
+          Alcotest.test_case "normalize" `Quick test_histogram_normalize;
+          Alcotest.test_case "log_mass" `Quick test_histogram_log_mass;
         ] );
       ( "numeric",
         [

@@ -223,7 +223,8 @@ let all_fresh t ~now =
          decision.  When the bound is inconclusive the exact fold
          decides, as the seed did. *)
       now <= t.since_floor
-     (* lint: allow D002 — conjunction over all calls, order-independent *)
+     (* lint: allow D002, T001 — conjunction over all calls, so the
+        result is invariant under bucket order and taints nothing *)
      || Hashtbl.fold (fun _ st acc -> acc && now -. st.since <= 0.) t.calls true)
 
 let solver_admit t ~capacity ~target ~n =
@@ -266,12 +267,14 @@ let marginal_of_weights weights =
   arr
 
 let instantaneous_weights t =
-  (* lint: allow D002 — seed-exact bucket order; sorting would drift the
-     Legacy baseline's float-summation order *)
+  (* lint: allow D002, T001 — seed-exact bucket order; sorting would
+     drift the Legacy baseline's float-summation order.  Reproducible
+     for a fixed stdlib: Hashtbl without ~random is deterministic in
+     the insertion sequence, which the session store fixes *)
   Hashtbl.fold (fun _ st acc -> (st.rate, 1.) :: acc) t.calls []
 
 let history_weights t ~now =
-  (* lint: allow D002 — seed-exact bucket order, as above *)
+  (* lint: allow D002, T001 — seed-exact bucket order, as above *)
   Hashtbl.fold
     (fun _ st acc ->
       let acc = ref acc in

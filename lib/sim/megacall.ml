@@ -106,6 +106,10 @@ type metrics = {
   outcome_hash : int;  (** ordered FNV fold of the shard hashes *)
 }
 
+(* Both mixers are registered determinism sinks (T001) in the typed
+   lint's repo config (DESIGN.md §14) — tainted values must not reach
+   them, directly or folded (List.fold_left fnv ...); renaming or
+   moving them must update [Tlint.repo_config]. *)
 let fnv h v = (h lxor v) * 0x100000001b3 land max_int
 let fnv_float h x = fnv h (Int64.to_int (Int64.bits_of_float x) land max_int)
 

@@ -69,6 +69,9 @@ let create ?jobs () =
                deliver them to the submitting thread instead. *)
             ignore
               (Unix.sigprocmask SIG_BLOCK [ Sys.sigint; Sys.sigterm ]);
+            (* lint: allow E001 — the pool IS the synchronization
+               primitive: [worker] drains the shared queue strictly
+               under [t.mutex], which the escape analysis cannot see *)
             worker t));
   t
 

@@ -13,7 +13,10 @@ val sorted_keys : ?compare:('a -> 'a -> int) -> ('a, 'b) Hashtbl.t -> 'a list
 val sorted_bindings :
   ?compare:('a -> 'a -> int) -> ('a, 'b) Hashtbl.t -> ('a * 'b) list
 (** [(key, value)] pairs in ascending key order. For keys with stacked
-    [add] bindings, only the most recent binding is returned. *)
+    [add] bindings, only the most recent binding is returned — the same
+    one [Hashtbl.find] would. A qcheck property in [test/test_util.ml]
+    pins these semantics against a reference model under forced bucket
+    collisions and mixed [add]/[replace]/[remove] histories. *)
 
 val iter_sorted :
   ?compare:('a -> 'a -> int) -> ('a -> 'b -> unit) -> ('a, 'b) Hashtbl.t -> unit

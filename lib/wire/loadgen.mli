@@ -55,4 +55,6 @@ val outcome_hash : (int * outcome) list -> int
 (** Order-insensitive digest: the pairs are sorted by request id before
     mixing, so concurrent connections hash identically however their
     completions interleave.  Equal hashes across runs mean identical
-    per-request outcomes. *)
+    per-request outcomes.  Registered as a determinism sink (T001) in
+    the typed lint (DESIGN.md §14): renaming or moving it must update
+    [Tlint.repo_config]. *)

@@ -309,6 +309,406 @@ let test_parse_failure_reported () =
         (List.length other)
         (String.concat ", " (List.map snd other))
 
+(* The suppression grammar works in interfaces too: stage 1 routes
+   [.mli] sources through [Parse.interface] and scans the same comment
+   syntax, so an interface-level [open Random] can be waived in place. *)
+let test_mli_suppression () =
+  check_hits ~filename:"lib/fixture.mli" "open Random fires in an interface"
+    [ (1, "D001") ] {|open Random|};
+  check_hits ~filename:"lib/fixture.mli" "and is suppressible in place" []
+    {|(* lint: allow D001 -- fixture: interface-level waiver *)
+open Random|};
+  (* the id is spliced so this file's own lint scan never sees it *)
+  check_hits ~filename:"lib/fixture.mli" "unknown ids are errors there too"
+    [ (1, "SUPP") ]
+    ("(* lint: allow Z" ^ "001 -- fixture: no stage owns this id *)\n"
+   ^ "val f : int -> int")
+
+(* ===================================================================== *)
+(* Stage 2: the typed interprocedural analyzer (DESIGN.md §14).          *)
+(* Fixtures are typed in memory against the stdlib-only environment, so  *)
+(* each one is a single self-contained compilation unit named [Fix];     *)
+(* cross-module flow is exercised through nested modules, which go       *)
+(* through the same canonical-name resolution as real cross-unit refs.  *)
+(* ===================================================================== *)
+
+module T = Rcbr_tlint_core.Tlint
+module C = Rcbr_lint_core.Lint_common
+
+let thits ?(config = T.strict_config) src =
+  List.map
+    (fun v -> (v.C.line, v.C.rule))
+    (T.check_sources ~config [ ("Fix", "lib/fix.ml", src) ])
+
+let check_thits ?config msg expected src =
+  Alcotest.check pairs msg expected (thits ?config src)
+
+(* A fixture-local FNV mixer stands in for the repo's outcome hashes. *)
+let sink_cfg = { T.strict_config with T.sinks = [ "Fix.fnv" ] }
+
+(* --- rule inventory --------------------------------------------------- *)
+
+let test_typed_rule_inventory () =
+  let ids = List.map fst C.typed_rules in
+  List.iter
+    (fun r -> Alcotest.(check bool) (r ^ " listed") true (List.mem r ids))
+    [ "T001"; "T002"; "E001"; "U001"; "U002" ];
+  (* one vocabulary validates suppressions and grants for both stages *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r ^ " in union") true (List.mem r C.all_rule_ids))
+    [ "D001"; "R001"; "T001"; "U002"; "PARSE"; "SUPP"; "GRANT" ]
+
+(* --- T001: determinism taint ------------------------------------------ *)
+
+let test_t001_fires () =
+  (* the ISSUE's seeded mutant: a wall-clock read folded into the hash *)
+  check_thits ~config:sink_cfg "Sys.time reaches the sink"
+    [ (2, "T001") ]
+    {|let fnv h x = (h * 16777619) lxor x
+let bad () = fnv 0 (int_of_float (Sys.time ()))|}
+
+let test_t001_clean () =
+  check_thits ~config:sink_cfg "constant data is fine" []
+    {|let fnv h x = (h * 16777619) lxor x
+let ok () = fnv 0 42|}
+
+let test_t001_interprocedural () =
+  (* the source sits in another definition inside a nested module: the
+     returns-taint fixpoint must carry it to the sink call site *)
+  check_thits ~config:sink_cfg "taint crosses definitions and modules"
+    [ (3, "T001") ]
+    {|let fnv h x = (h * 16777619) lxor x
+module Clock = struct let now () = Sys.time () end
+let digest () = fnv 0 (int_of_float (Clock.now ()))|};
+  check_thits ~config:sink_cfg "and survives a two-hop chain"
+    [ (4, "T001") ]
+    {|let fnv h x = (h * 16777619) lxor x
+let jitter () = Sys.time ()
+let scaled () = jitter () *. 2.0
+let out () = fnv 0 (int_of_float (scaled ()))|}
+
+let test_t001_hof_sink () =
+  (* the megacall idiom: the sink is not applied, it is folded *)
+  check_thits ~config:sink_cfg "sink fed through List.fold_left"
+    [ (2, "T001") ]
+    {|let fnv h x = (h * 16777619) lxor x
+let mix () = List.fold_left fnv 0 [ int_of_float (Sys.time ()) ]|}
+
+let test_t001_order_source () =
+  let fixture =
+    {|let fnv h x = (h * 16777619) lxor x
+let digest h = fnv 0 (Hashtbl.fold (fun k _ a -> a + k) h 0)|}
+  in
+  check_thits ~config:sink_cfg "bucket order feeds the sink"
+    [ (2, "T001") ] fixture;
+  let config = { sink_cfg with T.order_scope = (fun _ -> false) } in
+  check_thits ~config "out of order scope, no source" [] fixture;
+  let config = { sink_cfg with T.trusted = [ "Fix.Sorted." ] } in
+  check_thits ~config "folds inside a trusted wrapper are sanctioned" []
+    {|let fnv h x = (h * 16777619) lxor x
+module Sorted = struct let total h = Hashtbl.fold (fun k _ a -> a + k) h 0 end
+let digest h = fnv 0 (Sorted.total h)|}
+
+let test_t001_random_exempt () =
+  let fixture =
+    {|let fnv h x = (h * 16777619) lxor x
+let draw () = fnv 0 (Random.int 10)|}
+  in
+  check_thits ~config:sink_cfg "Random taints by default"
+    [ (2, "T001") ] fixture;
+  let config =
+    { sink_cfg with T.random_exempt = (fun f -> f = "lib/fix.ml") }
+  in
+  check_thits ~config "the sanctioned module may use Random" [] fixture
+
+let test_t001_source_suppression () =
+  (* suppressing at the source line sanctions the source itself, so
+     nothing downstream reports — the documented T001 semantics *)
+  check_thits ~config:sink_cfg "source-line waiver kills downstream" []
+    {|let fnv h x = (h * 16777619) lxor x
+(* lint: allow T001 -- fixture: sanctioned clock read *)
+let t () = Sys.time ()
+let out () = fnv 0 (int_of_float (t ()))|}
+
+let test_t001_allow_grant () =
+  let config =
+    {
+      sink_cfg with
+      T.allow_grants =
+        [
+          {
+            C.g_file = "lib/fix.ml";
+            g_rule = "T001";
+            g_reason = "fixture";
+            g_line = 1;
+          };
+        ];
+    }
+  in
+  check_thits ~config "allowlist grant absorbs the report" []
+    {|let fnv h x = (h * 16777619) lxor x
+let bad () = fnv 0 (int_of_float (Sys.time ()))|}
+
+(* --- T002: address-based hash of a closure ---------------------------- *)
+
+let test_t002_fires () =
+  check_thits "Hashtbl.hash of a closure" [ (1, "T002") ]
+    {|let h = Hashtbl.hash (fun x -> x + 1)|}
+
+let test_t002_clean () =
+  check_thits "hashing plain data is fine" []
+    {|let h = Hashtbl.hash (42, "x")|}
+
+let test_t002_suppressed () =
+  check_thits "allow with reason" []
+    {|(* lint: allow T002 -- fixture: tag only feeds a debug label *)
+let h = Hashtbl.hash (fun x -> x + 1)|}
+
+(* --- E001: Pool escape ------------------------------------------------ *)
+
+(* A stub pool: the analysis keys on the configured spawn names, not on
+   the implementation, so [Array.map] stands in for the real thing. *)
+let pool_stub =
+  {|module Pool = struct
+  let map_array f xs = Array.map f xs
+  let init n f = Array.init n f
+end|}
+
+let spawn_cfg =
+  {
+    T.strict_config with
+    T.spawns = [ ("Fix.Pool.map_array", 0); ("Fix.Pool.init", 1) ];
+  }
+
+let test_e001_closure_fires () =
+  (* the ISSUE's seeded mutant: a shared ref captured by the task *)
+  check_thits ~config:spawn_cfg "task closure writes a captured ref"
+    [ (6, "E001") ]
+    (pool_stub
+    ^ {|
+let total = ref 0
+let run xs = Pool.map_array (fun x -> total := !total + x; x) xs|})
+
+let test_e001_local_state_clean () =
+  check_thits ~config:spawn_cfg "task-local state is fine" []
+    (pool_stub
+    ^ {|
+let run xs = Pool.map_array (fun x -> let r = ref 0 in r := x; !r) xs|})
+
+let test_e001_partial_application () =
+  (* a partially-applied argument is shared across tasks: writing it is
+     an escape, writing the per-item argument is not *)
+  check_thits ~config:spawn_cfg "writing a partially-applied arg escapes"
+    [ (6, "E001") ]
+    (pool_stub
+    ^ {|
+let bump acc x = acc := !acc + x; x
+let run xs = let acc = ref 0 in Pool.map_array (bump acc) xs|});
+  check_thits ~config:spawn_cfg "writing the per-item arg is allowed" []
+    (pool_stub
+    ^ {|
+let reset (r : int ref) = r := 0
+let run rs = Pool.map_array reset rs|})
+
+let test_e001_transitive () =
+  (* the write hides one call deep: the writes-global summary carries it *)
+  check_thits ~config:spawn_cfg "task function writes a global via summary"
+    [ (7, "E001") ]
+    (pool_stub
+    ^ {|
+let hits = ref 0
+let note x = hits := !hits + x; x
+let run xs = Pool.map_array note xs|})
+
+let test_e001_domain_spawn () =
+  let config = { T.strict_config with T.spawns = [ ("Domain.spawn", 0) ] } in
+  check_thits ~config "Domain.spawn closure writing captured state"
+    [ (2, "E001") ]
+    {|let flag = ref false
+let go () = Domain.spawn (fun () -> flag := true)|}
+
+let test_e001_suppressed () =
+  check_thits ~config:spawn_cfg "allow with reason" []
+    (pool_stub
+    ^ {|
+let total = ref 0
+(* lint: allow E001 -- fixture: the write is mutex-guarded elsewhere *)
+let run xs = Pool.map_array (fun x -> total := !total + x; x) xs|})
+
+(* --- U001/U002: units of measure -------------------------------------- *)
+
+let units_cfg =
+  {
+    T.strict_config with
+    T.units =
+      T.parse_units
+        "Fix.dur : _ -> second\n\
+         Fix.len : _ -> slot\n\
+         Fix.bw : _ -> bps\n\
+         Fix.at : second -> _\n\
+         Fix.shift : ~by:slot -> _ -> _\n\
+         Fix.t.cap : bps\n";
+  }
+
+(* Dimension carriers; bodies are irrelevant, units.map is the truth. *)
+let units_defs =
+  {|let dur x = float_of_int x
+let len x = float_of_int x
+let bw x = float_of_int x
+let at (t : float) = t
+let shift ~by x = x +. by
+type t = { mutable cap : float }|}
+
+let test_u001_fires () =
+  (* the ISSUE's seeded mutant: seconds + slots without a conversion *)
+  check_thits ~config:units_cfg "seconds + slots" [ (7, "U001") ]
+    (units_defs ^ {|
+let bad x = dur x +. len x|});
+  check_thits ~config:units_cfg "comparison across dimensions"
+    [ (7, "U001") ]
+    (units_defs ^ {|
+let c x = dur x < len x|});
+  check_thits ~config:units_cfg "min across dimensions" [ (7, "U001") ]
+    (units_defs ^ {|
+let m x = min (dur x) (len x)|})
+
+let test_u001_clean () =
+  check_thits ~config:units_cfg "same dimension adds fine" []
+    (units_defs ^ {|
+let ok x = dur x +. dur x|});
+  check_thits ~config:units_cfg "multiply and divide combine dimensions" []
+    (units_defs ^ {|
+let bits x = bw x *. dur x
+let rate x = dur x /. len x|})
+
+let test_u002_fires () =
+  check_thits ~config:units_cfg "positional slot rejects slots for seconds"
+    [ (7, "U002") ]
+    (units_defs ^ {|
+let b x = at (len x)|});
+  check_thits ~config:units_cfg "labelled slot rejects seconds for slots"
+    [ (7, "U002") ]
+    (units_defs ^ {|
+let s x = shift ~by:(dur x) (bw x)|});
+  check_thits ~config:units_cfg "record field rejects the wrong dimension"
+    [ (7, "U002") ]
+    (units_defs ^ {|
+let mk x = { cap = len x }|});
+  check_thits ~config:units_cfg "field assignment rejects it too"
+    [ (7, "U002") ]
+    (units_defs ^ {|
+let set r x = r.cap <- len x|})
+
+let test_u002_clean () =
+  check_thits ~config:units_cfg "matching dimensions pass" []
+    (units_defs
+    ^ {|
+let g x = at (dur x)
+let s x = shift ~by:(len x) (bw x)
+let mk x = { cap = bw x }|})
+
+let test_u002_suppressed () =
+  check_thits ~config:units_cfg "allow with reason" []
+    (units_defs
+    ^ {|
+(* lint: allow U002 -- fixture: the slot count doubles as raw seconds here *)
+let b x = at (len x)|})
+
+(* --- typed-stage suppression plumbing --------------------------------- *)
+
+let test_typed_comma_list () =
+  let config = { units_cfg with T.sinks = [ "Fix.fnv" ] } in
+  let body =
+    {|let fnv h x = (h * 16777619) lxor x
+let dur x = float_of_int x
+let len x = float_of_int x|}
+  in
+  check_thits ~config "two rules fire on one line"
+    [ (4, "T001"); (4, "U001") ]
+    (body
+    ^ {|
+let both t = fnv 0 (int_of_float (Sys.time () +. dur t +. len t))|});
+  check_thits ~config "one comma-separated comment silences both" []
+    (body
+    ^ {|
+(* lint: allow T001, U001 -- fixture: one comment, two typed rules *)
+let both t = fnv 0 (int_of_float (Sys.time () +. dur t +. len t))|})
+
+let test_typed_unknown_rule () =
+  (* the id is spliced so this file's own lint scan never sees it *)
+  check_thits "unknown rule id is an error, not a no-op"
+    [ (1, "SUPP") ]
+    ("(* lint: allow T" ^ "999 -- fixture: nobody owns this id *)\n"
+   ^ "let x = 1")
+
+let test_typed_type_failure () =
+  (* stage 2 sees full typing errors, not just parse errors *)
+  (match thits {|let = |} with
+  | [ (_, "PARSE") ] -> ()
+  | other ->
+      Alcotest.failf "expected one PARSE for a syntax error, got %d"
+        (List.length other));
+  match thits {|let x : int = 1.0|} with
+  | [ (_, "PARSE") ] -> ()
+  | other ->
+      Alcotest.failf "expected one PARSE for a type error, got %d"
+        (List.length other)
+
+(* --- allowlist hygiene ------------------------------------------------ *)
+
+let with_temp_allowlist contents f =
+  let tmp = Filename.temp_file "rcbr_allow" ".txt" in
+  let oc = open_out tmp in
+  output_string oc contents;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove tmp) (fun () -> f tmp)
+
+let test_allowlist_loader () =
+  with_temp_allowlist "# comment\n\nlib/a.ml D002 seed-exact bucket order\n"
+    (fun tmp ->
+      match C.load_allowlist tmp with
+      | [ g ] ->
+          Alcotest.(check string) "file" "lib/a.ml" g.C.g_file;
+          Alcotest.(check string) "rule" "D002" g.C.g_rule;
+          Alcotest.(check string) "reason" "seed-exact bucket order"
+            g.C.g_reason;
+          Alcotest.(check int) "line" 3 g.C.g_line
+      | gs -> Alcotest.failf "expected one grant, got %d" (List.length gs))
+
+let test_allowlist_needs_reason () =
+  with_temp_allowlist "lib/a.ml D002\n" (fun tmp ->
+      match C.load_allowlist tmp with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "a reason-less grant must be rejected")
+
+let test_allowlist_unknown_rule () =
+  with_temp_allowlist "lib/a.ml Q999 a rule nobody owns\n" (fun tmp ->
+      match C.load_allowlist tmp with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "an unknown rule id must be rejected")
+
+let test_dead_grants () =
+  let r = C.make_reporter () in
+  r.C.grant_suppressed <- [ ("lib/a.ml", "T001") ];
+  let g file rule line =
+    { C.g_file = file; g_rule = rule; g_reason = "fixture"; g_line = line }
+  in
+  let grants =
+    [
+      g "lib/a.ml" "T001" 3;  (* absorbed something: alive *)
+      g "lib/b.ml" "E001" 4;  (* absorbed nothing: dead *)
+      g "lib/c.ml" "D001" 5;  (* other stage's rule: not ours to judge *)
+    ]
+  in
+  match C.dead_grants ~own_rules:C.typed_rules ~allowlist_file:"allow" r grants with
+  | [ v ] ->
+      Alcotest.(check string) "dead grant reports as GRANT" "GRANT" v.C.rule;
+      Alcotest.(check int) "at its own allowlist line" 4 v.C.line
+  | other ->
+      Alcotest.failf "expected exactly one dead grant, got %d"
+        (List.length other)
+
 let () =
   let t name fn = Alcotest.test_case name `Quick fn in
   Alcotest.run "lint"
@@ -373,6 +773,56 @@ let () =
           t "allowlist grants" test_allowlist_grants;
           t "allowlist grants switchd D003" test_allowlist_grants_switchd_d003;
           t "mli parses as interface" test_mli_parses_as_interface;
+          t "mli suppressions" test_mli_suppression;
           t "parse failure reported" test_parse_failure_reported;
+        ] );
+      ( "typed inventory",
+        [ t "typed rule inventory" test_typed_rule_inventory ] );
+      ( "t001",
+        [
+          t "fires" test_t001_fires;
+          t "clean" test_t001_clean;
+          t "interprocedural" test_t001_interprocedural;
+          t "higher-order sink" test_t001_hof_sink;
+          t "bucket-order source" test_t001_order_source;
+          t "random exemption" test_t001_random_exempt;
+          t "source-line suppression" test_t001_source_suppression;
+          t "allowlist grant" test_t001_allow_grant;
+        ] );
+      ( "t002",
+        [
+          t "fires" test_t002_fires;
+          t "clean" test_t002_clean;
+          t "suppressed" test_t002_suppressed;
+        ] );
+      ( "e001",
+        [
+          t "closure fires" test_e001_closure_fires;
+          t "local state clean" test_e001_local_state_clean;
+          t "partial application" test_e001_partial_application;
+          t "transitive write" test_e001_transitive;
+          t "Domain.spawn" test_e001_domain_spawn;
+          t "suppressed" test_e001_suppressed;
+        ] );
+      ( "u001",
+        [ t "fires" test_u001_fires; t "clean" test_u001_clean ] );
+      ( "u002",
+        [
+          t "fires" test_u002_fires;
+          t "clean" test_u002_clean;
+          t "suppressed" test_u002_suppressed;
+        ] );
+      ( "typed plumbing",
+        [
+          t "comma-separated rules" test_typed_comma_list;
+          t "unknown rule id" test_typed_unknown_rule;
+          t "typing failures" test_typed_type_failure;
+        ] );
+      ( "allowlist hygiene",
+        [
+          t "loader" test_allowlist_loader;
+          t "needs a reason" test_allowlist_needs_reason;
+          t "unknown rule id" test_allowlist_unknown_rule;
+          t "dead grants" test_dead_grants;
         ] );
     ]

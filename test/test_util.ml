@@ -8,6 +8,7 @@ module Matrix = Rcbr_util.Matrix
 module Heap = Rcbr_util.Heap
 module Pool = Rcbr_util.Pool
 module Json = Rcbr_util.Json
+module Tables = Rcbr_util.Tables
 
 let check_float = Alcotest.(check (float 1e-9))
 let check_close eps = Alcotest.(check (float eps))
@@ -590,6 +591,47 @@ let prop_solve_inverts =
       let b' = Matrix.mat_vec a x in
       Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) b b')
 
+(* Tables' sorted views against a reference model, under forced bucket
+   collisions (8 keys in a table created with 2 buckets) and stacked
+   [add] / [replace] / [remove] histories.  The model is the op list
+   itself: the live binding of a key is the most recent one. *)
+let prop_tables_sorted_views =
+  QCheck.Test.make ~name:"Tables sorted views match the binding model"
+    ~count:300
+    QCheck.(list (triple (0 -- 2) (0 -- 7) small_int))
+    (fun ops ->
+      let tbl = Hashtbl.create 2 in
+      let rec remove_first k = function
+        | [] -> []
+        | (k', _) :: rest when k' = k -> rest
+        | b :: rest -> b :: remove_first k rest
+      in
+      let model =
+        List.fold_left
+          (fun m (op, k, v) ->
+            match op with
+            | 0 ->
+                Hashtbl.add tbl k v;
+                (k, v) :: m
+            | 1 ->
+                Hashtbl.replace tbl k v;
+                (k, v) :: remove_first k m
+            | _ ->
+                Hashtbl.remove tbl k;
+                remove_first k m)
+          [] ops
+      in
+      let live = List.sort_uniq compare (List.map fst model) in
+      let bindings = List.map (fun k -> (k, List.assoc k model)) live in
+      Tables.sorted_keys tbl = live
+      && Tables.sorted_bindings tbl = bindings
+      && Tables.fold_sorted (fun k v acc -> (k, v) :: acc) tbl []
+         = List.rev bindings
+      &&
+      let seen = ref [] in
+      Tables.iter_sorted (fun k v -> seen := (k, v) :: !seen) tbl;
+      List.rev !seen = bindings)
+
 let () =
   let q = List.map (fun t -> QCheck_alcotest.to_alcotest t) in
   Alcotest.run "rcbr_util"
@@ -687,5 +729,6 @@ let () =
             prop_solve_inverts;
             prop_pool_map_equals_sequential;
             prop_pool_presplit_rng_deterministic;
+            prop_tables_sorted_views;
           ] );
     ]

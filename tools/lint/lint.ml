@@ -4,25 +4,25 @@
    own parser (so it can never disagree with the build about what the
    source says) but does not type.  Rules are tuned so that every firing
    is either a true positive or a one-line suppression with a reason —
-   the tree is kept lint-clean, so any new hit is signal. *)
+   the tree is kept lint-clean, so any new hit is signal.
 
-type violation = {
+   Since the typed stage (Tlint, DESIGN.md §14) landed, D001–D003 serve
+   as its fast-path pre-checks: they catch the plain spellings cheaply
+   at parse time, while the whole-program taint pass (T001) follows the
+   same facts through calls and module boundaries.  Diagnostics,
+   suppressions, allowlist and output live in {!Lint_common}, shared by
+   both stages. *)
+
+module C = Lint_common
+
+type violation = C.violation = {
   file : string;
   line : int;
   rule : string;
   message : string;
 }
 
-let rules =
-  [
-    ("D001", "no Random.* outside lib/util/rng.ml (use Rcbr_util.Rng)");
-    ("D002", "no order-dependent Hashtbl.iter/fold in result-producing code");
-    ("D003", "no wall-clock reads outside bench/");
-    ("F001", "no polymorphic =/compare/min/max on float-bearing operands");
-    ("F002", "no comparison against nan (use Float.is_nan)");
-    ("R001", "no top-level mutable state in Pool-reachable libraries");
-    ("P001", "no Obj.magic");
-  ]
+let rules = C.syntactic_rules
 
 type config = {
   d001_exempt : string -> bool;
@@ -32,120 +32,8 @@ type config = {
   allowlist : (string * string) list;
 }
 
-(* --- paths ----------------------------------------------------------- *)
-
-let normalize path =
-  let path =
-    if String.length path > 2 && String.sub path 0 2 = "./" then
-      String.sub path 2 (String.length path - 2)
-    else path
-  in
-  String.map (fun c -> if c = '\\' then '/' else c) path
-
-let has_prefix ~prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
-
-(* --- suppression comments -------------------------------------------- *)
-
-(* [(* lint: allow D002, F001 — reason *)] on the violation's own line or
-   the line above.  The reason is mandatory: a bare [lint: allow D002]
-   grants nothing, so every suppression in the tree documents itself. *)
-
-let is_upper c = c >= 'A' && c <= 'Z'
-let is_digit c = c >= '0' && c <= '9'
-let is_alnum c = is_upper c || is_digit c || (c >= 'a' && c <= 'z')
-
-let scan_suppressions source =
-  let out = ref [] in
-  let lines = Array.of_list (String.split_on_char '\n' source) in
-  let n_lines = Array.length lines in
-  let find_sub line sub from =
-    let len = String.length line and sl = String.length sub in
-    let rec go p =
-      if p + sl > len then None
-      else if String.sub line p sl = sub then Some p
-      else go (p + 1)
-    in
-    go from
-  in
-  Array.iteri
-    (fun i line ->
-      let len = String.length line in
-      match find_sub line "lint:" 0 with
-      | None -> ()
-      | Some marker ->
-          let pos = marker + 5 in
-          let skip_ws p =
-            let p = ref p in
-            while !p < len && (line.[!p] = ' ' || line.[!p] = '\t') do
-              incr p
-            done;
-            !p
-          in
-          let pos = skip_ws pos in
-          if pos + 5 <= len && String.sub line pos 5 = "allow" then begin
-            let pos = ref (skip_ws (pos + 5)) in
-            let rules_found = ref [] in
-            let continue = ref true in
-            while !continue do
-              let start = !pos in
-              while !pos < len && is_upper line.[!pos] do
-                incr pos
-              done;
-              let letters = !pos > start in
-              let digits_start = !pos in
-              while !pos < len && is_digit line.[!pos] do
-                incr pos
-              done;
-              if letters && !pos > digits_start then begin
-                rules_found :=
-                  String.sub line start (!pos - start) :: !rules_found;
-                let p = skip_ws !pos in
-                if p < len && line.[p] = ',' then pos := skip_ws (p + 1)
-                else begin
-                  pos := p;
-                  continue := false
-                end
-              end
-              else begin
-                pos := start;
-                continue := false
-              end
-            done;
-            (* The comment may span lines; the suppression anchors to the
-               line holding the closing "*)", and the reason — mandatory —
-               is everything between the rule list and that close. *)
-            let close_line = ref i in
-            let reasoned = ref false in
-            let check_span line from upto =
-              for p = from to upto - 1 do
-                if is_alnum line.[p] then reasoned := true
-              done
-            in
-            (match find_sub line "*)" !pos with
-            | Some close -> check_span line !pos close
-            | None ->
-                check_span line !pos len;
-                let j = ref (i + 1) in
-                let found = ref false in
-                while (not !found) && !j < n_lines && !j <= i + 10 do
-                  (match find_sub lines.(!j) "*)" 0 with
-                  | Some close ->
-                      check_span lines.(!j) 0 close;
-                      close_line := !j;
-                      found := true
-                  | None -> check_span lines.(!j) 0 (String.length lines.(!j)));
-                  incr j
-                done;
-                if not !found then close_line := i);
-            if !reasoned then
-              List.iter
-                (fun r -> out := (!close_line + 1, r) :: !out)
-                !rules_found
-          end)
-    lines;
-  !out
+let normalize = C.normalize
+let has_prefix = C.has_prefix
 
 (* --- parsetree helpers ----------------------------------------------- *)
 
@@ -230,21 +118,14 @@ type ctx = {
   cfg : config;
   file : string;  (* normalized *)
   supps : (int * string) list;
-  mutable out : violation list;
+  grants : C.grant list;  (* config.allowlist, as reporter grants *)
+  rep : C.reporter;
 }
-
-let suppressed ctx ~line rule =
-  List.exists
-    (fun (l, r) -> r = rule && (l = line || l = line - 1))
-    ctx.supps
-  || List.exists
-       (fun (p, r) -> r = rule && p = ctx.file)
-       ctx.cfg.allowlist
 
 let report ctx ~loc rule message =
   let line = loc.Location.loc_start.Lexing.pos_lnum in
-  if not (suppressed ctx ~line rule) then
-    ctx.out <- { file = ctx.file; line; rule; message } :: ctx.out
+  C.report ctx.rep ~supps:ctx.supps ~allowlist:ctx.grants ~file:ctx.file
+    ~line ~rule message
 
 let check_ident ctx lid loc =
   let path = flatten lid in
@@ -469,88 +350,56 @@ let strict_config =
     allowlist = [];
   }
 
-let check_source ~config ~filename source =
+let grants_of_config config =
+  List.map
+    (fun (file, rule) ->
+      { C.g_file = file; g_rule = rule; g_reason = ""; g_line = 0 })
+    config.allowlist
+
+let check_source_into rep ~config ~filename source =
   let file = normalize filename in
-  let ctx = { cfg = config; file; supps = scan_suppressions source; out = [] } in
+  let { C.grants = supps; supp_errors } = C.scan_suppressions ~file source in
+  List.iter (C.raw rep) supp_errors;
+  let ctx =
+    { cfg = config; file; supps; grants = grants_of_config config; rep }
+  in
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf file;
-  (try
-     if Filename.check_suffix file ".mli" then begin
-       let sg = Parse.interface lexbuf in
-       let it = make_iterator ctx in
-       it.Ast_iterator.signature it sg
-     end
-     else begin
-       let str = Parse.implementation lexbuf in
-       let it = make_iterator ctx in
-       it.Ast_iterator.structure it str;
-       r001_walk ctx str
-     end
-   with exn ->
-     let line =
-       match Location.error_of_exn exn with
-       | Some (`Ok err) ->
-           err.Location.main.Location.loc.Location.loc_start.Lexing.pos_lnum
-       | _ -> 1
-     in
-     ctx.out <-
-       {
-         file;
-         line;
-         rule = "PARSE";
-         message = "unparseable source (" ^ Printexc.to_string exn ^ ")";
-       }
-       :: ctx.out);
-  List.sort
-    (fun a b ->
-      match compare a.line b.line with
-      | 0 -> compare (a.rule, a.message) (b.rule, b.message)
-      | c -> c)
-    ctx.out
+  try
+    if Filename.check_suffix file ".mli" then begin
+      let sg = Parse.interface lexbuf in
+      let it = make_iterator ctx in
+      it.Ast_iterator.signature it sg
+    end
+    else begin
+      let str = Parse.implementation lexbuf in
+      let it = make_iterator ctx in
+      it.Ast_iterator.structure it str;
+      r001_walk ctx str
+    end
+  with exn ->
+    let line =
+      match Location.error_of_exn exn with
+      | Some (`Ok err) ->
+          err.Location.main.Location.loc.Location.loc_start.Lexing.pos_lnum
+      | _ -> 1
+    in
+    C.raw rep
+      {
+        file;
+        line;
+        rule = "PARSE";
+        message = "unparseable source (" ^ Printexc.to_string exn ^ ")";
+      }
 
-(* --- allowlist ------------------------------------------------------- *)
-
-let load_allowlist path =
-  let ic = open_in path in
-  let grants = ref [] in
-  (try
-     let lineno = ref 0 in
-     while true do
-       let line = input_line ic in
-       incr lineno;
-       let line = String.trim line in
-       if line <> "" && line.[0] <> '#' then begin
-         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-         | file :: rule :: (_ :: _ as _reason) ->
-             grants := (normalize file, rule) :: !grants
-         | _ ->
-             failwith
-               (Printf.sprintf
-                  "%s:%d: allowlist grants are '<path> <RULE> <reason...>' \
-                   — the reason is mandatory"
-                  path !lineno)
-       end
-     done
-   with End_of_file -> close_in ic);
-  List.rev !grants
+let check_source ~config ~filename source =
+  let rep = C.make_reporter () in
+  check_source_into rep ~config ~filename source;
+  C.sort_violations rep.C.out
 
 (* --- file discovery -------------------------------------------------- *)
 
-let discover roots =
-  let files = ref [] in
-  let rec walk path =
-    if Sys.is_directory path then
-      Array.iter
-        (fun entry ->
-          if entry <> "_build" && entry.[0] <> '.' then
-            walk (Filename.concat path entry))
-        (Sys.readdir path)
-    else if
-      Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
-    then files := normalize path :: !files
-  in
-  List.iter (fun r -> if Sys.file_exists r then walk r) roots;
-  List.sort compare !files
+let discover = C.discover
 
 (* --- dune graph: which libraries can Pool tasks reach? --------------- *)
 
@@ -646,13 +495,7 @@ let stanza_field name items =
 
 let read_stanzas file =
   let dir = normalize (Filename.dirname file) in
-  let source =
-    let ic = open_in_bin file in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
+  let source = C.read_file file in
   List.filter_map
     (function
       | Sexp_list (Atom kind :: items)
@@ -736,17 +579,10 @@ let repo_scopes =
   let d003_exempt file = has_prefix ~prefix:"bench/" file in
   (d001_exempt, d002_scope, d003_exempt)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
 let repo_config ?(allowlist = []) ~roots () =
   let d001_exempt, d002_scope, d003_exempt = repo_scopes in
   let files = discover roots in
-  let sources = List.map (fun f -> (f, read_file f)) files in
+  let sources = List.map (fun f -> (f, C.read_file f)) files in
   {
     d001_exempt;
     d002_scope;
@@ -755,15 +591,24 @@ let repo_config ?(allowlist = []) ~roots () =
     allowlist;
   }
 
-let run ?allowlist_file ~roots () =
-  let allowlist =
+type result = {
+  violations : violation list;
+  files_scanned : int;
+  reporter : C.reporter;
+  file_grants : C.grant list;
+  allowlist_file : string option;
+}
+
+let run_stage ?allowlist_file ~roots () =
+  let file_grants =
     match allowlist_file with
-    | Some f -> load_allowlist f
+    | Some f -> C.load_allowlist f
     | None -> []
   in
+  let allowlist = List.map (fun g -> (g.C.g_file, g.C.g_rule)) file_grants in
   let d001_exempt, d002_scope, d003_exempt = repo_scopes in
   let files = discover roots in
-  let sources = List.map (fun f -> (f, read_file f)) files in
+  let sources = List.map (fun f -> (f, C.read_file f)) files in
   let config =
     {
       d001_exempt;
@@ -773,9 +618,24 @@ let run ?allowlist_file ~roots () =
       allowlist;
     }
   in
-  let violations =
-    List.concat_map
-      (fun (file, src) -> check_source ~config ~filename:file src)
-      sources
-  in
-  (violations, List.length files)
+  let rep = C.make_reporter () in
+  List.iter
+    (fun (file, src) -> check_source_into rep ~config ~filename:file src)
+    sources;
+  (* Dead-grant hygiene: every grant for a rule this stage owns must
+     still absorb at least one would-be violation. *)
+  List.iter (C.raw rep)
+    (C.dead_grants ~own_rules:rules
+       ~allowlist_file:(Option.value allowlist_file ~default:"<allowlist>")
+       rep file_grants);
+  {
+    violations = C.sort_violations rep.C.out;
+    files_scanned = List.length files;
+    reporter = rep;
+    file_grants;
+    allowlist_file;
+  }
+
+let run ?allowlist_file ~roots () =
+  let r = run_stage ?allowlist_file ~roots () in
+  (r.violations, r.files_scanned)

@@ -1,4 +1,4 @@
-(** [rcbr_lint]: determinism & domain-safety static analysis for this repo.
+(** [rcbr_lint]: determinism & domain-safety static analysis, stage 1.
 
     The checker parses every [.ml]/[.mli] with compiler-libs and walks the
     parsetree ([Ast_iterator]) enforcing the repo-specific rule set
@@ -22,19 +22,27 @@
       tasks.
     - P001: no [Obj.magic], anywhere.
 
+    Since the typed stage ([Tlint], DESIGN.md §14) landed, D001–D003 act
+    as its fast-path pre-checks: they flag the plain spellings at parse
+    time; the interprocedural taint pass (T001) follows the same facts
+    through calls and module boundaries over the [.cmt] trees.
+
     Violations are suppressed by an inline comment on the same or the
     preceding line — [(* lint: allow D002 — reason *)] — where the reason
     is mandatory (a reason-less suppression is ignored), or by a checked-in
-    allowlist file of [<path> <RULE> <reason>] lines. *)
+    allowlist file of [<path> <RULE> <reason>] lines.  Suppression
+    grammar, allowlist format and report output are shared with the typed
+    stage through {!Lint_common}. *)
 
-type violation = {
+type violation = Lint_common.violation = {
   file : string;
   line : int;
   rule : string;
   message : string;
 }
 
-(** [rule id, one-line description] for every rule, in report order. *)
+(** [rule id, one-line description] for every stage-1 rule, in report
+    order (= {!Lint_common.syntactic_rules}). *)
 val rules : (string * string) list
 
 type config = {
@@ -58,18 +66,27 @@ val repo_config :
     held in memory. [filename] decides rule scopes and whether the source
     is parsed as an implementation or an interface ([.mli] suffix).
     Unparseable sources yield a single [PARSE] violation rather than an
-    exception. Results are sorted by line. *)
+    exception; suppression comments naming rule ids no stage knows yield
+    [SUPP] violations. Results are sorted. *)
 val check_source :
   config:config -> filename:string -> string -> violation list
-
-(** Parse an allowlist file: [<path> <RULE> <reason...>] per line, [#]
-    comments and blank lines skipped. A grant without a reason is
-    rejected with [Failure]. *)
-val load_allowlist : string -> (string * string) list
 
 (** Recursively collect the [.ml]/[.mli] files under the roots, sorted. *)
 val discover : string list -> string list
 
-(** Lint files on disk. Returns (violations, files scanned). *)
+type result = {
+  violations : violation list;
+  files_scanned : int;
+  reporter : Lint_common.reporter;  (** for the per-rule summary table *)
+  file_grants : Lint_common.grant list;
+  allowlist_file : string option;
+}
+
+(** Lint files on disk.  Includes [GRANT] violations for dead allowlist
+    grants of this stage's rules (a grant that absorbed nothing). *)
+val run_stage :
+  ?allowlist_file:string -> roots:string list -> unit -> result
+
+(** [run_stage] reduced to (violations, files scanned). *)
 val run :
   ?allowlist_file:string -> roots:string list -> unit -> violation list * int

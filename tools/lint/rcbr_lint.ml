@@ -1,24 +1,32 @@
-(* rcbr_lint.exe — determinism & domain-safety lint (DESIGN.md §8).
+(* rcbr_lint.exe — determinism & domain-safety lint, stage 1 (DESIGN.md §8).
 
    Usage:
-     rcbr_lint.exe [--allowlist FILE] [--list-rules] [PATH ...]
+     rcbr_lint.exe [--allowlist FILE] [--json[=FILE]] [--sarif FILE]
+                   [--summary] [--list-rules] [PATH ...]
 
    Scans the given roots (default: lib bin bench test) for .ml/.mli
    files, reports every rule violation as "file:line:rule: message" on
-   stdout, and exits 1 if any were found.  Run from the repo root; the
-   dune alias [@lint] does exactly that in a sandbox. *)
+   stdout (or as JSON / SARIF 2.1.0 for CI annotation upload), and
+   exits 1 if any were found.  Dead allowlist grants for stage-1 rules
+   are violations too (GRANT).  Run from the repo root; the dune alias
+   [@lint] does exactly that in a sandbox. *)
 
+module C = Rcbr_lint_core.Lint_common
 module Lint = Rcbr_lint_core.Lint
 
 let default_roots = [ "lib"; "bin"; "bench"; "test" ]
 
 let usage () =
   prerr_endline
-    "usage: rcbr_lint.exe [--allowlist FILE] [--list-rules] [PATH ...]";
+    "usage: rcbr_lint.exe [--allowlist FILE] [--json[=FILE]] [--sarif FILE] \
+     [--summary] [--list-rules] [PATH ...]";
   exit 2
 
 let () =
   let allowlist_file = ref None in
+  let json = ref None in
+  let sarif = ref None in
+  let summary = ref false in
   let roots = ref [] in
   let rec parse = function
     | [] -> ()
@@ -26,32 +34,59 @@ let () =
         allowlist_file := Some file;
         parse rest
     | [ "--allowlist" ] -> usage ()
+    | "--json" :: rest ->
+        json := Some None;
+        parse rest
+    | "--sarif" :: file :: rest ->
+        sarif := Some file;
+        parse rest
+    | [ "--sarif" ] -> usage ()
+    | "--summary" :: rest ->
+        summary := true;
+        parse rest
     | "--list-rules" :: _ ->
         List.iter
           (fun (id, descr) -> Printf.printf "%s  %s\n" id descr)
           Lint.rules;
         exit 0
     | ("--help" | "-h") :: _ -> usage ()
+    | arg :: rest when C.has_prefix ~prefix:"--json=" arg ->
+        json :=
+          Some (Some (String.sub arg 7 (String.length arg - 7)));
+        parse rest
     | path :: rest ->
         roots := path :: !roots;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
   let roots = if !roots = [] then default_roots else List.rev !roots in
-  let violations, scanned =
-    Lint.run ?allowlist_file:!allowlist_file ~roots ()
-  in
-  List.iter
-    (fun v ->
-      Printf.printf "%s:%d:%s: %s\n" v.Lint.file v.Lint.line v.Lint.rule
-        v.Lint.message)
-    violations;
+  let r = Lint.run_stage ?allowlist_file:!allowlist_file ~roots () in
+  let violations = r.Lint.violations in
+  (match !json with
+  | None -> C.print_text violations
+  | Some dest -> (
+      let s =
+        C.json_of_violations ~tool:"rcbr_lint"
+          ~files_scanned:r.Lint.files_scanned violations
+      in
+      match dest with
+      | None -> print_endline s
+      | Some file -> C.write_file file s));
+  (match !sarif with
+  | None -> ()
+  | Some file ->
+      C.write_file file
+        (C.sarif_of_violations ~tool:"rcbr_lint" ~rules:Lint.rules violations));
+  if !summary then begin
+    print_newline ();
+    print_string (C.summary_table ~rules:Lint.rules r.Lint.reporter)
+  end;
   if violations = [] then begin
-    Printf.printf "rcbr_lint: %d files clean\n" scanned;
+    Printf.printf "rcbr_lint: %d files clean\n" r.Lint.files_scanned;
     exit 0
   end
   else begin
     Printf.printf "rcbr_lint: %d violation(s) in %d files scanned\n"
-      (List.length violations) scanned;
+      (List.length violations) r.Lint.files_scanned;
     exit 1
   end

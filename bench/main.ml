@@ -865,6 +865,7 @@ let mesh ctx =
   pf "own local traffic, and the faulty plane loses 20%% of signalling@.";
   pf "cells while the shared link crashes mid-run.@.@.";
   let module MH = Rcbr_sim.Multihop in
+  let module NSession = Rcbr_net.Session in
   let module Topology = Rcbr_net.Topology in
   let capacity = 10. *. ctx.mean in
   let link src dst = { Topology.src; dst; capacity } in
@@ -882,13 +883,14 @@ let mesh ctx =
       horizon = 4. *. Schedule.duration ctx.schedule;
       seed = 5;
       balance = true;
+      service = Rcbr_policy.Service_model.Renegotiate;
     }
   in
-  let clean = { MH.no_faults with MH.check_invariants = true } in
+  let clean = { NSession.no_faults with NSession.check_invariants = true } in
   let faulty =
     {
-      MH.no_faults with
-      MH.rm_drop = 0.2;
+      NSession.no_faults with
+      NSession.rm_drop = 0.2;
       retx_timeout = 0.05;
       crashes = [ (2, 100., 400.) ];
       fault_seed = 99;
@@ -1379,6 +1381,67 @@ let beam_experiment ctx =
   emit ctx "receding_infeasible" (Json.Int rstats.Online.infeasible_windows);
   emit ctx "schedule_checksums" (Json.List (List.rev !checksums))
 
+(* --- svc-compare: service models over one workload (DESIGN.md #15) -- *)
+
+let svc_compare ctx =
+  section
+    "Svc-compare -- renegotiate vs downgrade vs MTS profile (DESIGN.md par. \
+     15)";
+  let module SC = Rcbr_sim.Svc_compare in
+  let cfg = SC.default () in
+  let cfg = if ctx.smoke then { cfg with SC.calls = 256 } else cfg in
+  pf "%dx%d mesh (%.0f b/s links), %d calls x %d pieces, one seeded workload@."
+    cfg.SC.rows cfg.SC.cols cfg.SC.capacity cfg.SC.calls cfg.SC.pieces_per_call;
+  let m = SC.run ?pool:ctx.pool cfg in
+  pf "@.%-12s %8s %8s %6s %6s %8s %8s %7s %7s@." "model" "admitted" "blocked"
+    "dngr" "upgr" "block_p" "dngr_p" "util" "jain";
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun (r : SC.model_metrics) ->
+           pf "%-12s %8d %8d %6d %6d %8.4f %8.4f %7.4f %7.4f@." r.SC.model
+             r.SC.admitted r.SC.blocked r.SC.downgrades r.SC.upgrades
+             r.SC.blocking_probability r.SC.downgrade_probability
+             r.SC.mean_utilization r.SC.jain_fairness;
+           pf "%-12s smg %.3f, %d/%d increases denied, %d departures@." ""
+             r.SC.smg r.SC.reneg_denied r.SC.reneg_attempts r.SC.departures;
+           Json.Obj
+             [
+               ("model", Json.String r.SC.model);
+               ("admitted", Json.Int r.SC.admitted);
+               ("blocked", Json.Int r.SC.blocked);
+               ("downgrades", Json.Int r.SC.downgrades);
+               ("upgrades", Json.Int r.SC.upgrades);
+               ("blocking_probability", Json.Float r.SC.blocking_probability);
+               ("downgrade_probability", Json.Float r.SC.downgrade_probability);
+               ("mean_utilization", Json.Float r.SC.mean_utilization);
+               ("smg", Json.Float r.SC.smg);
+               ("jain_fairness", Json.Float r.SC.jain_fairness);
+             ])
+         m.SC.models)
+  in
+  let audit =
+    Array.fold_left
+      (fun acc (r : SC.model_metrics) -> acc + r.SC.audit_violations)
+      0 m.SC.models
+  in
+  let checksum =
+    Array.fold_left
+      (fun h (r : SC.model_metrics) ->
+        ((h * 1_000_003) + r.SC.outcome_hash) land max_int)
+      0 m.SC.models
+  in
+  pf "@.outcome checksum %d (identical for every -j)@." checksum;
+  emit ctx "models" (Json.List rows);
+  emit ctx "decisions" (Json.Int (Array.length m.SC.models * cfg.SC.calls));
+  emit ctx "decision_hashes"
+    (Json.List
+       (Array.to_list
+          (Array.map (fun (r : SC.model_metrics) -> Json.Int r.SC.decision_hash)
+             m.SC.models)));
+  emit ctx "result_checksum" (Json.Int checksum);
+  emit ctx "audit_violations" (Json.Int audit)
+
 (* --- driver --------------------------------------------------------- *)
 
 let experiments =
@@ -1402,6 +1465,7 @@ let experiments =
     ("cells", cells);
     ("multihop", multihop);
     ("mesh", mesh);
+    ("svc-compare", svc_compare);
     ("advance", advance);
     ("protection", protection);
     ("interactive", interactive);
@@ -1424,6 +1488,7 @@ let smoke_set =
     "megacall";
     "multihop";
     "mesh";
+    "svc-compare";
     "beam";
     "micro";
   ]

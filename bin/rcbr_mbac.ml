@@ -10,10 +10,28 @@ module Schedule = Rcbr_core.Schedule
 module Mbac = Rcbr_sim.Mbac
 module Multihop = Rcbr_sim.Multihop
 module Topology = Rcbr_net.Topology
+module Session = Rcbr_net.Session
 module Controller = Rcbr_admission.Controller
 module Descriptor = Rcbr_admission.Descriptor
+module Service_model = Rcbr_policy.Service_model
+module Mts = Rcbr_policy.Mts
 
 type topo_spec = Single | Linear of int | Mesh of string
+
+(* The service spec is resolved against the computed schedule: the
+   default downgrade ladder picks tiers among the schedule's own
+   segment rates, and the default MTS profile is the one the schedule
+   itself conforms to. *)
+let service_of_spec spec schedule =
+  match
+    Service_model.of_spec spec
+      ~default_tiers:(fun n ->
+        Service_model.tiers_of_schedule schedule
+          ~n:(Option.value n ~default:4))
+      ~default_mts:(fun () -> Mts.of_schedule schedule ~scales:3 ~base_window:16)
+  with
+  | Ok s -> s
+  | Error msg -> Fmt.failwith "%s" msg
 
 (* The non-trivial topologies run the Section III-C call-level
    experiment on the shared network core: transit calls spread across
@@ -21,14 +39,14 @@ type topo_spec = Single | Linear of int | Mesh of string
    [linear:H] this reproduces [Multihop.run]'s denial fractions bit for
    bit (same engine, same draw order). *)
 let run_net_experiment ~schedule ~seed ~transit_calls ~local_calls ~rm_drop
-    ~rm_timeout ~rm_max_retx topology =
+    ~rm_timeout ~rm_max_retx ~service topology =
   let horizon = 4. *. Schedule.duration schedule in
   let faults =
-    if rm_drop <= 0. then Multihop.no_faults
+    if rm_drop <= 0. then Session.no_faults
     else
       {
-        Multihop.no_faults with
-        Multihop.rm_drop;
+        Session.no_faults with
+        Session.rm_drop;
         retx_timeout = rm_timeout;
         max_retransmits = rm_max_retx;
         fault_seed = seed + 2;
@@ -46,6 +64,7 @@ let run_net_experiment ~schedule ~seed ~transit_calls ~local_calls ~rm_drop
         horizon;
         seed = seed + 1;
         balance = false;
+        service;
       }
       faults
   in
@@ -56,6 +75,8 @@ let run_net_experiment ~schedule ~seed ~transit_calls ~local_calls ~rm_drop
     m.Multihop.transit_attempts m.Multihop.transit_denials
     (Multihop.denial_fraction m) m.Multihop.local_attempts
     m.Multihop.local_denials m.Multihop.mean_hop_utilization;
+  if service <> Service_model.Renegotiate then
+    Format.printf "downgraded changes:  %d@." m.Multihop.downgrades;
   if rm_drop > 0. then
     Format.printf
       "@[<v>RM cells dropped:    %d@,\
@@ -70,7 +91,7 @@ let run_net_experiment ~schedule ~seed ~transit_calls ~local_calls ~rm_drop
 
 let run seed frames cost_ratio capacity_mult load target controller_name
     admission_name admission_stats rm_drop rm_timeout rm_max_retx topo_spec
-    transit_calls local_calls =
+    transit_calls local_calls service_spec =
   (* Ctrl-C mid-run: flush the stats printed so far, then exit with the
      interrupt convention instead of dying with a truncated buffer. *)
   Rcbr_util.Interrupt.install_exit
@@ -84,16 +105,17 @@ let run seed frames cost_ratio capacity_mult load target controller_name
     Optimal.solve (Optimal.default_params ~cost_ratio trace) trace
   in
   let capacity = capacity_mult *. mean in
+  let service = service_of_spec service_spec schedule in
   match topo_spec with
   | Linear hops ->
       run_net_experiment ~schedule ~seed ~transit_calls ~local_calls ~rm_drop
-        ~rm_timeout ~rm_max_retx
+        ~rm_timeout ~rm_max_retx ~service
         (Topology.linear ~hops ~capacity)
   | Mesh file -> (
       match Topology.load file with
       | Ok topology ->
           run_net_experiment ~schedule ~seed ~transit_calls ~local_calls
-            ~rm_drop ~rm_timeout ~rm_max_retx topology
+            ~rm_drop ~rm_timeout ~rm_max_retx ~service topology
       | Error msg ->
           Format.eprintf "rcbr_mbac: %s@." msg;
           exit 2)
@@ -104,6 +126,7 @@ let run seed frames cost_ratio capacity_mult load target controller_name
   let cfg =
     Mbac.default_config ~schedule ~capacity ~arrival_rate ~target ~seed:(seed + 1)
   in
+  let cfg = { cfg with Mbac.service } in
   let cfg =
     if rm_drop <= 0. then cfg
     else
@@ -111,8 +134,13 @@ let run seed frames cost_ratio capacity_mult load target controller_name
         cfg with
         Mbac.faults =
           Some
-            (Mbac.lossy ~rm_drop ~rm_timeout ~rm_max_retransmits:rm_max_retx
-               ~fault_seed:(seed + 2) ());
+            {
+              Session.no_faults with
+              Session.rm_drop;
+              retx_timeout = rm_timeout;
+              max_retransmits = rm_max_retx;
+              fault_seed = seed + 2;
+            };
       }
   in
   let controller =
@@ -145,6 +173,9 @@ let run seed frames cost_ratio capacity_mult load target controller_name
     m.Mbac.failure_probability m.Mbac.failure_halfwidth m.Mbac.utilization
     m.Mbac.utilization_halfwidth m.Mbac.call_blocking m.Mbac.denial_fraction
     m.Mbac.mean_calls_in_system m.Mbac.windows;
+  if service <> Service_model.Renegotiate then
+    Format.printf "downgrades/upgrades: %d / %d@." m.Mbac.downgrades
+      m.Mbac.upgrades;
   if rm_drop > 0. then
     Format.printf
       "@[<v>RM cells dropped:    %d@,\
@@ -269,6 +300,12 @@ let local_arg =
     & info [ "local-calls" ] ~docv:"N"
         ~doc:"Local cross-traffic calls per link (non-single topologies).")
 
+let service_arg =
+  Arg.(
+    value & opt string "renegotiate"
+    & info [ "service" ] ~docv:"MODEL"
+        ~doc:("Service model for non-fitting rate changes: " ^ Service_model.spec_doc ^ "."))
+
 let () =
   let info =
     Cmd.info "rcbr_mbac" ~version:"1.0"
@@ -279,6 +316,6 @@ let () =
       const run $ seed_arg $ frames_arg $ cost_ratio_arg $ capacity_arg
       $ load_arg $ target_arg $ controller_arg $ admission_arg
       $ admission_stats_arg $ rm_drop_arg $ rm_timeout_arg $ rm_max_retx_arg
-      $ topology_arg $ transit_arg $ local_arg)
+      $ topology_arg $ transit_arg $ local_arg $ service_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

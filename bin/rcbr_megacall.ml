@@ -8,10 +8,37 @@
 
 open Cmdliner
 module Megacall = Rcbr_sim.Megacall
+module Service_model = Rcbr_policy.Service_model
+module Mts = Rcbr_policy.Mts
 
-let run concurrent shards rows cols pieces mean_hold horizon seed jobs =
+(* Service models without a trellis schedule derive their ladders from
+   the engine's renegotiation levels instead (DESIGN.md §15). *)
+let service_of_spec spec (levels : float array) =
+  let sorted = Array.copy levels in
+  Array.sort compare sorted;
+  let lo = sorted.(0) and hi = sorted.(Array.length sorted - 1) in
+  let mean =
+    Array.fold_left ( +. ) 0. levels /. float_of_int (Array.length levels)
+  in
+  match
+    Service_model.of_spec spec
+      ~default_tiers:(fun n ->
+        match n with
+        | None ->
+            List.sort_uniq compare (Array.to_list sorted) |> Array.of_list
+        | Some k ->
+            Array.init k (fun i ->
+                lo +. ((hi -. lo) *. float_of_int i /. float_of_int (max 1 (k - 1)))))
+      ~default_mts:(fun () -> Mts.ladder ~scales:3 ~quantum:50. ~mean ~peak:hi)
+  with
+  | Ok s -> s
+  | Error msg -> Fmt.failwith "%s" msg
+
+let run concurrent shards rows cols pieces mean_hold horizon seed service_spec
+    jobs =
   Rcbr_util.Interrupt.install_exit ~on_signal:(fun _ -> ()) ();
   let base = Megacall.default ~concurrent () in
+  let service = service_of_spec service_spec base.Megacall.levels in
   let cfg =
     {
       base with
@@ -23,6 +50,7 @@ let run concurrent shards rows cols pieces mean_hold horizon seed jobs =
       mean_hold;
       horizon;
       seed;
+      service;
     }
   in
   (* lint: allow D003 — CLI wall-clock for the throughput report only;
@@ -47,6 +75,10 @@ let run concurrent shards rows cols pieces mean_hold horizon seed jobs =
     m.Megacall.total_events;
   Format.printf "batch hits: %d  solver memo hits: %d@."
     m.Megacall.total_batch_hits m.Megacall.total_memo_hits;
+  if service <> Service_model.Renegotiate then
+    Format.printf "service: %s  downgrades: %d  upgrades: %d@."
+      (Service_model.name service)
+      m.Megacall.total_downgrades m.Megacall.total_upgrades;
   Format.printf "audit violations: %d  outcome hash: %d@."
     m.Megacall.audit_violations m.Megacall.outcome_hash;
   Format.printf "wall: %.3fs  calls/s: %.0f  events/s: %.0f@." wall
@@ -70,6 +102,15 @@ let hold_arg =
 let horizon_arg = Arg.(value & opt float 8. & info [ "horizon" ] ~docv:"SECONDS")
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED")
 
+let service_arg =
+  Arg.(
+    value
+    & opt string "renegotiate"
+    & info [ "service" ] ~docv:"MODEL"
+        ~doc:
+          ("Service model applied to non-fitting rates: "
+          ^ Service_model.spec_doc))
+
 let jobs_arg =
   Arg.(
     value
@@ -87,6 +128,7 @@ let () =
   let term =
     Term.(
       const run $ concurrent_arg $ shards_arg $ rows_arg $ cols_arg
-      $ pieces_arg $ hold_arg $ horizon_arg $ seed_arg $ jobs_arg)
+      $ pieces_arg $ hold_arg $ horizon_arg $ seed_arg $ service_arg
+      $ jobs_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -17,6 +17,7 @@ module Optimal = Rcbr_core.Optimal
 module Schedule = Rcbr_core.Schedule
 module Topology = Rcbr_net.Topology
 module Multihop = Rcbr_sim.Multihop
+module Session = Rcbr_net.Session
 
 let () =
   (* A renegotiated schedule for a short synthetic movie: this is what
@@ -47,6 +48,7 @@ let () =
       horizon = 4. *. Schedule.duration schedule;
       seed = 7;
       balance = true;
+      service = Rcbr_policy.Service_model.Renegotiate;
     }
   in
   let report label ((m : Multihop.metrics), (f : Multihop.fault_metrics)) =
@@ -67,7 +69,7 @@ let () =
   (* Fault-free, with the demand-conservation audit on. *)
   report "clean "
     (Multihop.run_net nc
-       { Multihop.no_faults with Multihop.check_invariants = true });
+       { Session.no_faults with Session.check_invariants = true });
 
   (* Lossy signalling plus a crash of the shared link 2: both detours
      lose their last hop for 300 simulated seconds, so the balancer's
@@ -75,8 +77,8 @@ let () =
   report "faulty"
     (Multihop.run_net nc
        {
-         Multihop.no_faults with
-         Multihop.rm_drop = 0.15;
+         Session.no_faults with
+         Session.rm_drop = 0.15;
          retx_timeout = 0.05;
          crashes = [ (2, 100., 400.) ];
          fault_seed = 99;

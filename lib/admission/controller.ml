@@ -1,5 +1,6 @@
 module Chernoff = Rcbr_effbw.Chernoff
 module Histogram = Rcbr_util.Histogram
+module Service_model = Rcbr_policy.Service_model
 
 (* The admission fast path (DESIGN.md §7).
 
@@ -61,6 +62,9 @@ type t = {
   name : string;
   kind : kind;
   mutable mode : mode;
+  mutable service : Service_model.t;
+      (* what [decide] does when the Chernoff gate admits but the
+         demanded rate does not fit (DESIGN.md §15) *)
   calls : (int, call_state) Hashtbl.t;
   (* Level table: rate values interned in first-seen order. *)
   mutable values : float array;
@@ -97,6 +101,11 @@ let name t = t.name
 let n_in_system t = Hashtbl.length t.calls
 let mode t = t.mode
 let set_mode t mode = t.mode <- mode
+let service t = t.service
+
+let set_service t service =
+  Service_model.validate service;
+  t.service <- service
 let batched t = t.batching
 
 let set_batched t on =
@@ -333,6 +342,39 @@ let admit t ~now =
           if fast <> legacy then t.mismatches <- t.mismatches + 1;
           record t fast)
 
+(* --- service-model admission (DESIGN.md §15) ------------------------ *)
+
+type admission = Blocked | Admit of { granted : float; tier : int; downgraded : bool }
+
+(* Admission under the controller's service model.  The statistical
+   Chernoff gate runs first under every model — exactly one [record],
+   so under [Renegotiate] the decision sequence (and hence
+   [decision_hash]) is the seed's [admit] verbatim.  Under [Downgrade]
+   an admitted call whose demanded rate does not [fits] walks the
+   ladder; a call that fits at no tier is Blocked (new calls hold no
+   floor right — only established calls settle, see [Session.decide])
+   and the capacity rejection is recorded as an extra deny so the hash
+   covers it.  [Mts_profile] polices established traffic only, so
+   arrivals behave as [Renegotiate]. *)
+let decide t ~now ~demanded ~fits =
+  match t.service with
+  | Service_model.Renegotiate | Service_model.Mts_profile _ ->
+      if admit t ~now then Admit { granted = demanded; tier = -1; downgraded = false }
+      else Blocked
+  | Service_model.Downgrade { tiers } ->
+      if not (admit t ~now) then Blocked
+      else begin
+        match Service_model.decide_tiers ~tiers ~demanded ~fits with
+        | Service_model.Grant ->
+            Admit { granted = demanded; tier = -1; downgraded = false }
+        | Service_model.Downgrade_to { granted; tier } ->
+            Admit { granted; tier; downgraded = true }
+        | Service_model.Settle_floor _ ->
+            ignore (record t false);
+            Blocked
+        | Service_model.Police_to _ -> assert false (* decide_tiers never *)
+      end
+
 (* --- debug: incremental aggregate vs from-scratch rebuild ----------- *)
 
 let debug_aggregate_deviation t ~now =
@@ -366,6 +408,7 @@ let make ~name ~kind () =
     name;
     kind;
     mode = Fast;
+    service = Service_model.Renegotiate;
     calls = Hashtbl.create 64;
     values = Array.make 16 0.;
     n_levels = 0;

@@ -1,6 +1,8 @@
 module Events = Rcbr_queue.Events
 module Rng = Rcbr_util.Rng
 module Invariant = Rcbr_fault.Invariant
+module Service_model = Rcbr_policy.Service_model
+module Mts = Rcbr_policy.Mts
 
 type faults = {
   rm_drop : float;
@@ -73,11 +75,29 @@ type t = {
   mutable applied : float;
   mutable gen : int;
   mutable pending : pending option;
+  (* Service-model state (DESIGN.md §15).  [demanded] is the rate the
+     source currently wants (it can exceed [applied] under a
+     downgrading model); [buckets]/[policed_at] are the per-call MTS
+     ladder, attached lazily on the first policed change.  The
+     Renegotiate model never touches any of these. *)
+  mutable demanded : float;
+  mutable buckets : Rcbr_traffic.Token_bucket.t array;
+  mutable policed_at : float;
 }
 
 let make ~id ~route ~transit =
   assert (Array.length route > 0);
-  { id; route; transit; applied = 0.; gen = 0; pending = None }
+  {
+    id;
+    route;
+    transit;
+    applied = 0.;
+    gen = 0;
+    pending = None;
+    demanded = 0.;
+    buckets = [||];
+    policed_at = 0.;
+  }
 
 (* Cancelling an armed retransmission counts it as superseded exactly
    when the timer would have popped under the seed engine: always for
@@ -112,6 +132,41 @@ let settle ~(links : Link.t array) t ~rate =
       l.Link.demand <- l.Link.demand +. delta)
     t.route;
   t.applied <- rate
+
+(* Service-model dispatch (DESIGN.md §15).  The Renegotiate branch
+   returns [Grant] without touching the links, so drivers keep their
+   historical float expressions (and bit-identity) in their own Grant
+   branches; the other models probe [fits] / police the MTS ladder and
+   hand the granted rate back for the driver to settle and count. *)
+let decide model ~(links : Link.t array) t ~now ~demanded =
+  match (model : Service_model.t) with
+  | Service_model.Renegotiate ->
+      t.demanded <- demanded;
+      Service_model.Grant
+  | Service_model.Downgrade { tiers } ->
+      t.demanded <- demanded;
+      Service_model.decide_tiers ~tiers ~demanded ~fits:(fun r ->
+          fits ~links t ~rate:r ~now)
+  | Service_model.Mts_profile p ->
+      if Array.length t.buckets = 0 then begin
+        t.buckets <- Mts.attach p;
+        t.policed_at <- now
+      end;
+      let elapsed = Float.max 0. (now -. t.policed_at) in
+      t.policed_at <- now;
+      t.demanded <- demanded;
+      let granted =
+        Mts.police p t.buckets ~elapsed ~applied:t.applied ~demanded
+      in
+      if granted >= demanded then Service_model.Grant
+      else Service_model.Police_to { granted }
+
+let try_upgrade model ~(links : Link.t array) t ~now =
+  match (model : Service_model.t) with
+  | Service_model.Renegotiate | Service_model.Mts_profile _ -> None
+  | Service_model.Downgrade { tiers } ->
+      Service_model.upgrade ~tiers ~demanded:t.demanded ~applied:t.applied
+        ~fits:(fun r -> fits ~links t ~rate:r ~now)
 
 (* Every link's demand must equal the sum of the [applied] rates of the
    sessions crossing it — conservation of (desired) bandwidth under any

@@ -96,6 +96,14 @@ type t = {
       (** the armed retransmission, if any; cancelled out of the event
           queue by the next change or the departure, so dead timers
           never accumulate under storm workloads *)
+  mutable demanded : float;
+      (** the rate the source currently wants; exceeds [applied] while
+          the call is downgraded (service models, DESIGN.md §15) *)
+  mutable buckets : Rcbr_traffic.Token_bucket.t array;
+      (** per-call MTS policer ladder, attached lazily by {!decide};
+          empty under the other models *)
+  mutable policed_at : float;
+      (** time of the last MTS policing decision *)
 }
 
 val make : id:int -> route:int array -> transit:bool -> t
@@ -117,6 +125,26 @@ val settle : links:Link.t array -> t -> rate:float -> unit
 (** Account the demanded [rate] on every route link (settle semantics:
     the demand moves whether or not it {!fits}) and record it as
     [applied]. *)
+
+(** {1 Service models (DESIGN.md §15)} *)
+
+val decide :
+  Rcbr_policy.Service_model.t -> links:Link.t array -> t -> now:float ->
+  demanded:float -> Rcbr_policy.Service_model.decision
+(** What the service model grants for a demanded rate change on this
+    session.  [Renegotiate] returns [Grant] without touching the links
+    (drivers keep their historical float expressions, hence
+    bit-identity); [Downgrade] runs the ladder walk against {!fits};
+    [Mts_profile] polices against the call's bucket ladder (attached
+    lazily) and returns [Police_to] when it clips.  Updates
+    [t.demanded]; the caller settles the granted rate and counts. *)
+
+val try_upgrade :
+  Rcbr_policy.Service_model.t -> links:Link.t array -> t -> now:float ->
+  float option
+(** Spare-capacity upgrade for a downgraded session ([Downgrade] model
+    only): the new granted rate if a higher tier (or the full demanded
+    rate) fits, [None] otherwise. *)
 
 val audit : links:Link.t array -> sessions:t list -> int
 (** Conservation check: every link's demand must equal the sum of the

@@ -17,6 +17,7 @@ type handle = int
 
 type t = {
   mutable applied : float array;
+  mutable demanded : float array;  (* source-wanted rate (service models) *)
   mutable level : int array;  (* current rate-level id *)
   mutable cursor : int array;  (* schedule cursor (piece index) *)
   mutable gen : int array;
@@ -37,6 +38,7 @@ let create ?(capacity_hint = 16) () =
   let cap = max 16 capacity_hint in
   {
     applied = Array.make cap 0.;
+    demanded = Array.make cap 0.;
     level = Array.make cap 0;
     cursor = Array.make cap 0;
     gen = Array.make cap 0;
@@ -66,6 +68,7 @@ let grow_handles t =
     n
   in
   t.applied <- gf t.applied 0.;
+  t.demanded <- gf t.demanded 0.;
   t.level <- gf t.level 0;
   t.cursor <- gf t.cursor 0;
   t.gen <- gf t.gen 0;
@@ -130,6 +133,7 @@ let acquire t ~id ~route ~transit =
   t.route_len.(h) <- rlen;
   t.routes_len <- t.routes_len + rlen;
   t.applied.(h) <- 0.;
+  t.demanded.(h) <- 0.;
   t.level.(h) <- 0;
   t.cursor.(h) <- 0;
   t.gen.(h) <- 0;
@@ -148,6 +152,8 @@ let release t h =
 
 let id t h = t.id.(h)
 let applied t h = t.applied.(h)
+let demanded t h = t.demanded.(h)
+let set_demanded t h r = t.demanded.(h) <- r
 let level t h = t.level.(h)
 let set_level t h l = t.level.(h) <- l
 let cursor t h = t.cursor.(h)
@@ -194,6 +200,21 @@ let settle ~(links : Link.t array) t h ~rate =
       let l = links.(lid) in
       l.Link.demand <- l.Link.demand +. delta);
   t.applied.(h) <- rate
+
+(* Service-model ladder queries (DESIGN.md §15), the handle-indexed
+   twins of {!Session.decide}/{!Session.try_upgrade} for the Downgrade
+   model.  MTS policing state stays driver-side (per-shard arrays), so
+   only the demanded column lives here. *)
+
+let decide_downgrade ~(links : Link.t array) t h ~tiers ~demanded ~now =
+  t.demanded.(h) <- demanded;
+  Rcbr_policy.Service_model.decide_tiers ~tiers ~demanded ~fits:(fun r ->
+      fits ~links t h ~rate:r ~now)
+
+let try_upgrade ~(links : Link.t array) t h ~tiers ~now =
+  Rcbr_policy.Service_model.upgrade ~tiers ~demanded:t.demanded.(h)
+    ~applied:t.applied.(h)
+    ~fits:(fun r -> fits ~links t h ~rate:r ~now)
 
 let iter_live t f =
   for h = 0 to t.hwm - 1 do

@@ -40,6 +40,12 @@ val release : t -> handle -> unit
 
 val id : t -> handle -> int
 val applied : t -> handle -> float
+
+val demanded : t -> handle -> float
+(** The rate the source currently wants; exceeds [applied] while the
+    call is downgraded (service models, DESIGN.md §15). *)
+
+val set_demanded : t -> handle -> float -> unit
 val level : t -> handle -> int
 val set_level : t -> handle -> int -> unit
 val cursor : t -> handle -> int
@@ -60,6 +66,21 @@ val blocked : links:Link.t array -> t -> handle -> now:float -> bool
 
 val settle : links:Link.t array -> t -> handle -> rate:float -> unit
 (** Exactly {!Session.settle}. *)
+
+(** {1 Service models (DESIGN.md §15)} *)
+
+val decide_downgrade :
+  links:Link.t array -> t -> handle -> tiers:float array -> demanded:float ->
+  now:float -> Rcbr_policy.Service_model.decision
+(** The {!Session.decide} ladder walk for a store-backed call under the
+    Downgrade model: records [demanded] and grants the highest tier
+    that {!fits}.  The caller settles the granted rate and counts. *)
+
+val try_upgrade :
+  links:Link.t array -> t -> handle -> tiers:float array -> now:float ->
+  float option
+(** Spare-capacity upgrade: the new granted rate if a higher tier (or
+    the full demanded rate) fits, [None] otherwise. *)
 
 val audit : links:Link.t array -> t -> int
 (** Conservation check over the live population, as {!Session.audit}

@@ -6,30 +6,7 @@ module Controller = Rcbr_admission.Controller
 module Topology = Rcbr_net.Topology
 module Link = Rcbr_net.Link
 module Session = Rcbr_net.Session
-
-(* Deprecated alias: the shared network-layer fault record replaced the
-   local near-duplicate ([rm_timeout] became [retx_timeout],
-   [rm_max_retransmits] became [max_retransmits]); [lossy] bridges the
-   historical field names. *)
-type faults = Rcbr_net.Session.faults = {
-  rm_drop : float;
-  retx_timeout : float;
-  max_retransmits : int;
-  crashes : (int * float * float) list;
-  fault_seed : int;
-  check_invariants : bool;
-}
-
-let lossy ?(crashes = []) ?(check_invariants = false) ~rm_drop ~rm_timeout
-    ~rm_max_retransmits ~fault_seed () =
-  {
-    rm_drop;
-    retx_timeout = rm_timeout;
-    max_retransmits = rm_max_retransmits;
-    crashes;
-    fault_seed;
-    check_invariants;
-  }
+module Service_model = Rcbr_policy.Service_model
 
 type config = {
   schedule : Rcbr_core.Schedule.t;
@@ -41,7 +18,8 @@ type config = {
   min_windows : int;
   max_windows : int;
   relative_precision : float;
-  faults : faults option;
+  faults : Session.faults option;
+  service : Service_model.t;
 }
 
 let default_config ~schedule ~capacity ~arrival_rate ~target ~seed =
@@ -56,6 +34,7 @@ let default_config ~schedule ~capacity ~arrival_rate ~target ~seed =
     max_windows = 200;
     relative_precision = 0.2;
     faults = None;
+    service = Service_model.Renegotiate;
   }
 
 let offered_load c =
@@ -75,6 +54,8 @@ type metrics = {
   signalling_retransmits : int;
   signalling_abandoned : int;
   invariant_failures : int;
+  downgrades : int;
+  upgrades : int;
   admission : Controller.stats;
 }
 
@@ -111,6 +92,8 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
   assert (c.warmup_windows >= 0 && c.min_windows >= 1);
   assert (c.max_windows >= c.warmup_windows + c.min_windows);
   (match c.faults with None -> () | Some f -> Session.validate f);
+  Service_model.validate c.service;
+  Controller.set_service controller c.service;
   let rng = Rng.create c.seed in
   (* Fault randomness lives on its own stream inside the plane:
      [faults = None] and [Some { rm_drop = 0.; _ }] give bit-identical
@@ -130,9 +113,16 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
     match c.faults with None -> [] | Some f -> f.Session.crashes
   in
   let link = (Link.of_topology ~crashes topology).(0) in
+  let links = [| link |] in
   let next_call_id = ref 0 in
   let arrivals = ref 0 and blocked = ref 0 in
   let reneg_up = ref 0 and reneg_denied = ref 0 in
+  let downgrades = ref 0 and upgrades = ref 0 in
+  (* The active list is needed for the conservation audit and for the
+     Downgrade model's spare-capacity upgrade scan. *)
+  let track_active =
+    audit_enabled || c.service <> Service_model.Renegotiate
+  in
   let failure_stats = Stats.Online.create () in
   let util_stats = Stats.Online.create () in
   let calls_stats = Stats.Online.create () in
@@ -155,27 +145,80 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
      departure, so a newer change or the teardown cancels any pending
      retransmission of a stale one. *)
   let deliver t ~now ~idx ~rate =
-    let new_demand = link.Link.demand -. t.Session.applied +. rate in
-    if idx > 0 && rate > t.Session.applied then begin
-      incr reneg_up;
-      if new_demand > link.Link.capacity || Link.down link ~now then begin
-        incr reneg_denied;
-        if Link.down link ~now then
-          match plane with
-          | Some p ->
-              p.Session.counters.Session.crash_denials <-
-                p.Session.counters.Session.crash_denials + 1
-          | None -> ()
-      end
-    end;
-    link.Link.demand <- new_demand;
-    t.Session.applied <- rate;
-    if idx > 0 then
-      Controller.on_renegotiate controller ~now ~call:t.Session.id ~rate;
-    if audit_enabled then begin
-      incr applies;
-      if !applies mod 64 = 0 then record_audit ()
-    end
+    match c.service with
+    | Service_model.Renegotiate ->
+        (* The seed's float expressions, verbatim (bit-identity anchor
+           for the service-model refactor, DESIGN.md §15). *)
+        let new_demand = link.Link.demand -. t.Session.applied +. rate in
+        if idx > 0 && rate > t.Session.applied then begin
+          incr reneg_up;
+          if new_demand > link.Link.capacity || Link.down link ~now then begin
+            incr reneg_denied;
+            if Link.down link ~now then
+              match plane with
+              | Some p ->
+                  p.Session.counters.Session.crash_denials <-
+                    p.Session.counters.Session.crash_denials + 1
+              | None -> ()
+          end
+        end;
+        link.Link.demand <- new_demand;
+        t.Session.applied <- rate;
+        if idx > 0 then
+          Controller.on_renegotiate controller ~now ~call:t.Session.id ~rate;
+        if audit_enabled then begin
+          incr applies;
+          if !applies mod 64 = 0 then record_audit ()
+        end
+    | _ ->
+        let decision = Session.decide c.service ~links t ~now ~demanded:rate in
+        let granted = Service_model.granted_rate decision ~demanded:rate in
+        if idx > 0 && rate > t.Session.applied then begin
+          incr reneg_up;
+          if Service_model.downgraded decision then begin
+            incr downgrades;
+            match decision with
+            | Service_model.Settle_floor _ ->
+                (* Nothing fit, not even the floor: the call settles
+                   there anyway — this is the denied-increase analogue. *)
+                incr reneg_denied;
+                if Link.down link ~now then (
+                  match plane with
+                  | Some p ->
+                      p.Session.counters.Session.crash_denials <-
+                        p.Session.counters.Session.crash_denials + 1
+                  | None -> ())
+            | _ -> ()
+          end
+        end;
+        Session.settle ~links t ~rate:granted;
+        if idx > 0 then
+          Controller.on_renegotiate controller ~now ~call:t.Session.id
+            ~rate:granted;
+        if audit_enabled then begin
+          incr applies;
+          if !applies mod 64 = 0 then record_audit ()
+        end
+  in
+  (* Spare capacity just appeared: restore downgraded calls toward their
+     demanded rate, in ascending call-id order (deterministic regardless
+     of the active list's insertion history). *)
+  let upgrade_scan ~now =
+    match c.service with
+    | Service_model.Downgrade _ ->
+        List.iter
+          (fun s ->
+            match Session.try_upgrade c.service ~links s ~now with
+            | None -> ()
+            | Some r ->
+                incr upgrades;
+                Session.settle ~links s ~rate:r;
+                Controller.on_renegotiate controller ~now ~call:s.Session.id
+                  ~rate:r)
+          (List.sort
+             (fun a b -> compare a.Session.id b.Session.id)
+             !active)
+    | _ -> ()
   in
   let depart t ~now =
     (* Departure: release whatever rate the link believes.  A change
@@ -183,7 +226,8 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
     link.Link.demand <- link.Link.demand -. t.Session.applied;
     link.Link.n_calls <- link.Link.n_calls - 1;
     Controller.on_depart controller ~now ~call:t.Session.id;
-    if audit_enabled then active := List.filter (fun s -> s != t) !active
+    if track_active then active := List.filter (fun s -> s != t) !active;
+    upgrade_scan ~now
   in
   let driver =
     {
@@ -202,17 +246,40 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
     let now = Events.now engine in
     Link.advance link ~now;
     incr arrivals;
-    if Controller.admit controller ~now then begin
-      let id = !next_call_id in
-      incr next_call_id;
-      let pieces = make_pieces rng in
-      link.Link.n_calls <- link.Link.n_calls + 1;
-      Controller.on_admit controller ~now ~call:id ~rate:(snd pieces.(0));
-      let t = Session.make ~id ~route:[| 0 |] ~transit:false in
-      if audit_enabled then active := t :: !active;
-      Session.play driver t pieces 0 engine
-    end
-    else incr blocked;
+    (match c.service with
+    | Service_model.Renegotiate ->
+        if Controller.admit controller ~now then begin
+          let id = !next_call_id in
+          incr next_call_id;
+          let pieces = make_pieces rng in
+          link.Link.n_calls <- link.Link.n_calls + 1;
+          Controller.on_admit controller ~now ~call:id ~rate:(snd pieces.(0));
+          let t = Session.make ~id ~route:[| 0 |] ~transit:false in
+          if track_active then active := t :: !active;
+          Session.play driver t pieces 0 engine
+        end
+        else incr blocked
+    | _ -> (
+        (* Pieces are drawn before the decision here (the setup rate is
+           the demanded rate); the models do not share the seed's RNG
+           consumption pattern and do not need to. *)
+        let pieces = make_pieces rng in
+        let rate0 = snd pieces.(0) in
+        let probe r =
+          (not (Link.down link ~now))
+          && link.Link.demand +. r <= link.Link.capacity +. 1e-9
+        in
+        match Controller.decide controller ~now ~demanded:rate0 ~fits:probe with
+        | Controller.Blocked -> incr blocked
+        | Controller.Admit { granted; downgraded; _ } ->
+            if downgraded then incr downgrades;
+            let id = !next_call_id in
+            incr next_call_id;
+            link.Link.n_calls <- link.Link.n_calls + 1;
+            Controller.on_admit controller ~now ~call:id ~rate:granted;
+            let t = Session.make ~id ~route:[| 0 |] ~transit:false in
+            active := t :: !active;
+            Session.play driver t pieces 0 engine));
     if not !stop then
       Events.schedule_after engine
         ~delay:(Rng.exponential rng c.arrival_rate)
@@ -286,6 +353,8 @@ let run_with_pieces (c : config) ~make_pieces ~controller =
     signalling_retransmits = retransmits;
     signalling_abandoned = abandoned;
     invariant_failures;
+    downgrades = !downgrades;
+    upgrades = !upgrades;
     admission = Controller.stats controller;
   }
 

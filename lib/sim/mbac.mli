@@ -25,38 +25,6 @@
     when the failure estimate is confidently below [target], or at
     [max_windows]. *)
 
-type faults = Rcbr_net.Session.faults = {
-  rm_drop : float;  (** loss probability per signalling (rate-change) cell *)
-  retx_timeout : float;  (** seconds before a lost cell is re-sent *)
-  max_retransmits : int;
-      (** per rate change; after that the change is accounted anyway
-          (settle semantics, as for a denied increase) *)
-  crashes : (int * float * float) list;
-      (** [(link, at, recover)] blackouts; the MBAC link is id 0.
-          Increases attempted while the link is down count as denied. *)
-  fault_seed : int;
-      (** separate stream: [rm_drop = 0.] reproduces the fault-free run
-          bit for bit *)
-  check_invariants : bool;
-      (** periodically audit demand = sum of active calls' rates *)
-}
-(** Deprecated alias of the shared {!Rcbr_net.Session.faults} record
-    (the historical local record named the timeout [rm_timeout] and the
-    cap [rm_max_retransmits]); use {!lossy} to construct it with the
-    historical argument names. *)
-
-val lossy :
-  ?crashes:(int * float * float) list ->
-  ?check_invariants:bool ->
-  rm_drop:float ->
-  rm_timeout:float ->
-  rm_max_retransmits:int ->
-  fault_seed:int ->
-  unit ->
-  faults
-(** Compatibility constructor carrying the historical field names onto
-    the shared record (no crashes, no auditing by default). *)
-
 type config = {
   schedule : Rcbr_core.Schedule.t;  (** reference call schedule *)
   capacity : float;  (** link capacity, b/s *)
@@ -67,7 +35,7 @@ type config = {
   min_windows : int;
   max_windows : int;
   relative_precision : float;
-  faults : faults option;
+  faults : Rcbr_net.Session.faults option;
       (** [None] (the default): reliable signalling, historical
           behaviour.  [Some]: each renegotiation cell is dropped with
           [rm_drop] and retransmitted after [retx_timeout]; a newer rate
@@ -76,6 +44,13 @@ type config = {
           the link actually believes — bandwidth stays conserved under
           any loss pattern.  Call setup cells are not subjected to loss
           (admission already happened). *)
+  service : Rcbr_policy.Service_model.t;
+      (** what happens when a demanded rate does not fit (DESIGN.md
+          §15).  [Renegotiate] (the default) is the seed's settle
+          semantics, bit-identical to the pre-refactor code; [Downgrade]
+          grants the highest fitting ladder tier and upgrades
+          opportunistically on departures; [Mts_profile] polices each
+          change against a per-call token-bucket ladder. *)
 }
 
 val default_config :
@@ -85,7 +60,8 @@ val default_config :
   target:float ->
   seed:int ->
   config
-(** warmup 1, min 10, max 200 windows, precision 0.2. *)
+(** warmup 1, min 10, max 200 windows, precision 0.2, reliable
+    signalling, [Renegotiate] service. *)
 
 val offered_load : config -> float
 (** Normalized offered load: [arrival_rate * duration * mean_rate
@@ -106,6 +82,12 @@ type metrics = {
   invariant_failures : int;
       (** conservation-audit violations; 0 unless [check_invariants]
           found a bookkeeping bug *)
+  downgrades : int;
+      (** changes (and admissions) granted below the demanded rate; 0
+          under [Renegotiate] *)
+  upgrades : int;
+      (** downgraded calls restored toward their demanded rate on
+          spare-capacity events ([Downgrade] model only) *)
   admission : Rcbr_admission.Controller.stats;
       (** the controller's decision and solver counters at the end of
           the run — in particular [decision_hash], an order-sensitive

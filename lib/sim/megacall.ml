@@ -31,6 +31,8 @@ module Topology = Rcbr_net.Topology
 module Link = Rcbr_net.Link
 module Store = Rcbr_net.Store
 module Controller = Rcbr_admission.Controller
+module Service_model = Rcbr_policy.Service_model
+module Mts = Rcbr_policy.Mts
 
 type config = {
   shards : int;  (** independent sub-meshes, one Pool task each *)
@@ -50,6 +52,7 @@ type config = {
   ramp_ticks : int;  (** ticks over which the ramp quota is spread *)
   horizon : float;  (** churn seconds simulated after the ramp *)
   seed : int;
+  service : Service_model.t;  (** DESIGN.md §15; [Renegotiate] = seed *)
 }
 
 let default ~concurrent () =
@@ -70,6 +73,7 @@ let default ~concurrent () =
     ramp_ticks = 8;
     horizon = 8.;
     seed = 42;
+    service = Service_model.Renegotiate;
   }
 
 type shard_metrics = {
@@ -80,6 +84,8 @@ type shard_metrics = {
   reneg_denied : int;
   departures : int;
   events_fired : int;
+  downgrades : int;
+  upgrades : int;
   peak_concurrent : int;
   final_concurrent : int;
   decision_hash : int;
@@ -98,6 +104,8 @@ type metrics = {
   total_reneg_denied : int;
   total_departures : int;
   total_events : int;
+  total_downgrades : int;
+  total_upgrades : int;
   concurrent_calls : int;  (** sum of final per-shard populations *)
   peak_concurrent : int;  (** sum of per-shard peaks *)
   total_batch_hits : int;
@@ -142,6 +150,7 @@ let run_shard cfg rng =
       ~target:cfg.target
   in
   Controller.set_batched ctrl true;
+  Controller.set_service ctrl cfg.service;
   let wheel : Store.handle Wheel.t = Wheel.create () in
   let arrivals = ref 0
   and admitted = ref 0
@@ -150,32 +159,129 @@ let run_shard cfg rng =
   and reneg_denied = ref 0
   and departures = ref 0
   and events_fired = ref 0
+  and downgrades = ref 0
+  and upgrades = ref 0
   and peak = ref 0
   and next_id = ref 0
   and replacements = ref 0 in
   let n_levels = Array.length cfg.levels in
   let routes = (topo : Topology.t).routes in
+  (* Per-call MTS policing state, handle-indexed driver-side (the SoA
+     store keeps only the [demanded] scalar column). *)
+  let mts_buckets = ref [||] and mts_at = ref [||] in
+  let ensure_mts h =
+    let n = Array.length !mts_buckets in
+    if h >= n then begin
+      let nn = max 16 (max (2 * n) (h + 1)) in
+      let nb = Array.make nn [||] in
+      Array.blit !mts_buckets 0 nb 0 n;
+      mts_buckets := nb;
+      let na = Array.make nn 0. in
+      Array.blit !mts_at 0 na 0 n;
+      mts_at := na
+    end
+  in
+  (* Downgraded calls waiting for spare capacity, oldest first.  Handles
+     recycle, so entries carry the call id; stale or already-restored
+     entries are dropped at drain time. *)
+  let upq : (Store.handle * int) Queue.t = Queue.create () in
+  let rec drain_upgrades now =
+    match cfg.service with
+    | Service_model.Downgrade { tiers } -> (
+        match Queue.peek_opt upq with
+        | None -> ()
+        | Some (h, id0) ->
+            if
+              (not (Store.is_live store h))
+              || Store.id store h <> id0
+              || Store.demanded store h <= Store.applied store h
+            then begin
+              ignore (Queue.pop upq);
+              drain_upgrades now
+            end
+            else begin
+              match Store.try_upgrade ~links store h ~tiers ~now with
+              | None -> () (* head-of-line blocking keeps the order fair *)
+              | Some r ->
+                  incr upgrades;
+                  Store.settle ~links store h ~rate:r;
+                  Controller.on_renegotiate ctrl ~now ~call:id0 ~rate:r;
+                  if Store.demanded store h <= r then begin
+                    ignore (Queue.pop upq);
+                    drain_upgrades now
+                  end
+                  (* else: partially restored — stays at the head, and
+                     the next spare-capacity event climbs further *)
+            end)
+    | _ -> ()
+  in
   let try_arrival now =
     incr arrivals;
-    if Controller.admit ctrl ~now then begin
-      incr admitted;
-      let id = !next_id in
-      incr next_id;
-      let route = routes.(Rng.int rng n_routes) in
-      let h = Store.acquire store ~id ~route ~transit:(Array.length route > 1) in
-      let lvl = Rng.int rng n_levels in
-      let rate = cfg.levels.(lvl) in
-      Store.set_level store h lvl;
-      Store.set_cursor store h 0;
-      Store.settle ~links store h ~rate;
-      Controller.on_admit ctrl ~now ~call:id ~rate;
-      if Store.live_count store > !peak then peak := Store.live_count store;
-      ignore
-        (Wheel.push wheel
-           ~time:(now +. Rng.exponential rng (1. /. cfg.mean_hold))
-           h)
-    end
-    else incr admission_denied
+    match cfg.service with
+    | Service_model.Renegotiate ->
+        (* Seed path, verbatim (bit-identity anchor, DESIGN.md §15). *)
+        if Controller.admit ctrl ~now then begin
+          incr admitted;
+          let id = !next_id in
+          incr next_id;
+          let route = routes.(Rng.int rng n_routes) in
+          let h =
+            Store.acquire store ~id ~route ~transit:(Array.length route > 1)
+          in
+          let lvl = Rng.int rng n_levels in
+          let rate = cfg.levels.(lvl) in
+          Store.set_level store h lvl;
+          Store.set_cursor store h 0;
+          Store.settle ~links store h ~rate;
+          Controller.on_admit ctrl ~now ~call:id ~rate;
+          if Store.live_count store > !peak then peak := Store.live_count store;
+          ignore
+            (Wheel.push wheel
+               ~time:(now +. Rng.exponential rng (1. /. cfg.mean_hold))
+               h)
+        end
+        else incr admission_denied
+    | _ -> (
+        (* The demanded level is drawn before the decision here (the
+           models need the rate to decide); the draw order differs from
+           the seed path on denied arrivals, which is fine — only the
+           Renegotiate path owes bit-identity. *)
+        let route = routes.(Rng.int rng n_routes) in
+        let lvl = Rng.int rng n_levels in
+        let demanded = cfg.levels.(lvl) in
+        let id = !next_id in
+        let h =
+          Store.acquire store ~id ~route ~transit:(Array.length route > 1)
+        in
+        let fits r = Store.fits ~links store h ~rate:r ~now in
+        match Controller.decide ctrl ~now ~demanded ~fits with
+        | Controller.Blocked ->
+            Store.release store h;
+            incr admission_denied
+        | Controller.Admit { granted; downgraded; _ } ->
+            incr admitted;
+            incr next_id;
+            Store.set_level store h lvl;
+            Store.set_cursor store h 0;
+            Store.set_demanded store h demanded;
+            Store.settle ~links store h ~rate:granted;
+            Controller.on_admit ctrl ~now ~call:id ~rate:granted;
+            (match cfg.service with
+            | Service_model.Mts_profile p ->
+                ensure_mts h;
+                !mts_buckets.(h) <- Mts.attach p;
+                !mts_at.(h) <- now
+            | _ -> ());
+            if downgraded then begin
+              incr downgrades;
+              Queue.push (h, id) upq
+            end;
+            if Store.live_count store > !peak then
+              peak := Store.live_count store;
+            ignore
+              (Wheel.push wheel
+                 ~time:(now +. Rng.exponential rng (1. /. cfg.mean_hold))
+                 h))
   in
   let fire h now =
     incr events_fired;
@@ -188,25 +294,78 @@ let run_shard cfg rng =
       Store.settle ~links store h ~rate:0.;
       Store.release store h;
       incr departures;
-      incr replacements
+      incr replacements;
+      (* Spare capacity just appeared: restore downgraded calls. *)
+      drain_upgrades now
     end
     else begin
-      let lvl = Rng.int rng n_levels in
-      let rate = cfg.levels.(lvl) in
-      let applied = Store.applied store h in
-      if rate > applied then begin
-        incr reneg_attempts;
-        if not (Store.fits ~links store h ~rate ~now) then incr reneg_denied
-      end;
-      (* Settle semantics, as everywhere in this repo: the demand moves
-         whether or not it fits; overload shows up in the accounting. *)
-      Store.set_level store h lvl;
-      Store.settle ~links store h ~rate;
-      Controller.on_renegotiate ctrl ~now ~call:(Store.id store h) ~rate;
-      ignore
-        (Wheel.push wheel
-           ~time:(now +. Rng.exponential rng (1. /. cfg.mean_hold))
-           h)
+      match cfg.service with
+      | Service_model.Renegotiate ->
+          (* Seed path, verbatim. *)
+          let lvl = Rng.int rng n_levels in
+          let rate = cfg.levels.(lvl) in
+          let applied = Store.applied store h in
+          if rate > applied then begin
+            incr reneg_attempts;
+            if not (Store.fits ~links store h ~rate ~now) then
+              incr reneg_denied
+          end;
+          (* Settle semantics, as everywhere in this repo: the demand
+             moves whether or not it fits; overload shows up in the
+             accounting. *)
+          Store.set_level store h lvl;
+          Store.settle ~links store h ~rate;
+          Controller.on_renegotiate ctrl ~now ~call:(Store.id store h) ~rate;
+          ignore
+            (Wheel.push wheel
+               ~time:(now +. Rng.exponential rng (1. /. cfg.mean_hold))
+               h)
+      | _ ->
+          let lvl = Rng.int rng n_levels in
+          let demanded = cfg.levels.(lvl) in
+          let applied = Store.applied store h in
+          if demanded > applied then incr reneg_attempts;
+          let granted =
+            match cfg.service with
+            | Service_model.Downgrade { tiers } ->
+                let d =
+                  Store.decide_downgrade ~links store h ~tiers ~demanded ~now
+                in
+                if Service_model.downgraded d then begin
+                  incr downgrades;
+                  (match d with
+                  | Service_model.Settle_floor _ -> incr reneg_denied
+                  | _ -> ());
+                  Queue.push (h, Store.id store h) upq
+                end;
+                Service_model.granted_rate d ~demanded
+            | Service_model.Mts_profile p ->
+                ensure_mts h;
+                if Array.length !mts_buckets.(h) = 0 then begin
+                  !mts_buckets.(h) <- Mts.attach p;
+                  !mts_at.(h) <- now
+                end;
+                let elapsed = Float.max 0. (now -. !mts_at.(h)) in
+                !mts_at.(h) <- now;
+                Store.set_demanded store h demanded;
+                let granted =
+                  Mts.police p !mts_buckets.(h) ~elapsed ~applied ~demanded
+                in
+                if granted < demanded then begin
+                  incr downgrades;
+                  if demanded > applied then incr reneg_denied
+                end;
+                granted
+            | Service_model.Renegotiate -> assert false
+          in
+          Store.set_level store h lvl;
+          Store.settle ~links store h ~rate:granted;
+          Controller.on_renegotiate ctrl ~now ~call:(Store.id store h)
+            ~rate:granted;
+          ignore
+            (Wheel.push wheel
+               ~time:(now +. Rng.exponential rng (1. /. cfg.mean_hold))
+               h)
     end
   in
   let fire_until bound =
@@ -244,7 +403,10 @@ let run_shard cfg rng =
     Array.fold_left (fun h l -> fnv_float h l.Link.demand) 0 links
   in
   let shard_hash =
-    List.fold_left fnv demand_hash
+    (* The seed fold list is extended with the downgrade/upgrade
+       counters only under the new models, so the Renegotiate hash
+       stays bit-identical to the pre-refactor one. *)
+    let folded =
       [
         stats.Controller.decision_hash;
         !arrivals;
@@ -254,6 +416,12 @@ let run_shard cfg rng =
         !events_fired;
         Store.live_count store;
       ]
+      @
+      match cfg.service with
+      | Service_model.Renegotiate -> []
+      | _ -> [ !downgrades; !upgrades ]
+    in
+    List.fold_left fnv demand_hash folded
   in
   {
     arrivals = !arrivals;
@@ -263,6 +431,8 @@ let run_shard cfg rng =
     reneg_denied = !reneg_denied;
     departures = !departures;
     events_fired = !events_fired;
+    downgrades = !downgrades;
+    upgrades = !upgrades;
     peak_concurrent = !peak;
     final_concurrent = Store.live_count store;
     decision_hash = stats.Controller.decision_hash;
@@ -276,6 +446,7 @@ let run ?pool cfg =
   assert (cfg.shards > 0 && cfg.calls_per_shard > 0);
   assert (cfg.pieces_per_call >= 1 && cfg.ramp_ticks >= 1);
   assert (Array.length cfg.levels > 0);
+  Service_model.validate cfg.service;
   (* Pre-split one RNG per shard *before* submission, so the streams —
      and with them every shard result — do not depend on scheduling. *)
   let root = Rng.create cfg.seed in
@@ -291,6 +462,8 @@ let run ?pool cfg =
     total_reneg_denied = sum (fun s -> s.reneg_denied);
     total_departures = sum (fun s -> s.departures);
     total_events = sum (fun s -> s.events_fired);
+    total_downgrades = sum (fun s -> s.downgrades);
+    total_upgrades = sum (fun s -> s.upgrades);
     concurrent_calls = sum (fun s -> s.final_concurrent);
     peak_concurrent = sum (fun s -> s.peak_concurrent);
     total_batch_hits = sum (fun s -> s.batch_hits);

@@ -30,6 +30,13 @@ type config = {
   ramp_ticks : int;  (** ticks over which the ramp quota is spread *)
   horizon : float;  (** churn seconds simulated after the ramp *)
   seed : int;
+  service : Rcbr_policy.Service_model.t;
+      (** what a non-fitting rate gets (DESIGN.md §15).  [Renegotiate]
+          (the default) keeps every path — and the outcome hash —
+          bit-identical to the pre-refactor engine; [Downgrade] grants
+          ladder tiers and restores downgraded calls on departures in
+          FIFO order; [Mts_profile] polices each change against a
+          per-call token-bucket ladder. *)
 }
 
 val default : concurrent:int -> unit -> config
@@ -45,6 +52,8 @@ type shard_metrics = {
   reneg_denied : int;  (** of which did not fit link capacity *)
   departures : int;
   events_fired : int;  (** wheel events (renegotiations + departures) *)
+  downgrades : int;  (** rates granted below demanded; 0 under [Renegotiate] *)
+  upgrades : int;  (** downgraded calls restored on spare capacity *)
   peak_concurrent : int;
   final_concurrent : int;
   decision_hash : int;  (** the controller's admit/deny sequence hash *)
@@ -63,6 +72,8 @@ type metrics = {
   total_reneg_denied : int;
   total_departures : int;
   total_events : int;
+  total_downgrades : int;
+  total_upgrades : int;
   concurrent_calls : int;  (** sum of final per-shard populations *)
   peak_concurrent : int;  (** sum of per-shard peaks *)
   total_batch_hits : int;

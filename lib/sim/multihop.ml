@@ -4,6 +4,7 @@ module Rng = Rcbr_util.Rng
 module Topology = Rcbr_net.Topology
 module Link = Rcbr_net.Link
 module Session = Rcbr_net.Session
+module Service_model = Rcbr_policy.Service_model
 
 type config = {
   schedule : Rcbr_core.Schedule.t;
@@ -29,27 +30,15 @@ type net_config = {
   horizon : float;
   seed : int;
   balance : bool;
+  service : Service_model.t;
 }
-
-(* Deprecated alias: the shared network-layer fault record replaced the
-   local near-duplicate.  [crashes] here are (hop, at, recover) across
-   every route; [run_net] takes them as plain link ids. *)
-type faults = Rcbr_net.Session.faults = {
-  rm_drop : float;
-  retx_timeout : float;
-  max_retransmits : int;
-  crashes : (int * float * float) list;
-  fault_seed : int;
-  check_invariants : bool;
-}
-
-let no_faults = Session.no_faults
 
 type metrics = {
   transit_attempts : int;
   transit_denials : int;
   local_attempts : int;
   local_denials : int;
+  downgrades : int;
   mean_hop_utilization : float;
 }
 
@@ -72,13 +61,14 @@ let run_net (nc : net_config) fc =
   assert (nc.horizon > 0.);
   assert (nc.transit_calls >= 1 && nc.local_calls_per_link >= 0);
   Session.validate fc;
+  Service_model.validate nc.service;
   let rng = Rng.create nc.seed in
   (* Fault randomness is a separate stream inside the plane, so a null
      fault spec reproduces the fault-free run bit for bit. *)
   let plane = Session.plane ~drop:Session.Per_link fc in
   let counters = plane.Session.counters in
   let engine = Events.create () in
-  let links = Link.of_topology ~crashes:fc.crashes topo in
+  let links = Link.of_topology ~crashes:fc.Session.crashes topo in
   let sessions = ref [] in
   let util_integral = ref 0. and last = ref 0. in
   let advance now =
@@ -95,6 +85,7 @@ let run_net (nc : net_config) fc =
   in
   let transit_attempts = ref 0 and transit_denials = ref 0 in
   let local_attempts = ref 0 and local_denials = ref 0 in
+  let downgrades = ref 0 in
   let applies = ref 0 in
   let n_slots = Schedule.n_slots nc.schedule in
   let check_invariant () =
@@ -106,16 +97,42 @@ let run_net (nc : net_config) fc =
      is counted and the demand still rises — the overload shows up in
      the utilization cap. *)
   let apply_change t rate ~now ~count =
-    if count && rate > t.Session.applied then begin
-      if t.Session.transit then incr transit_attempts else incr local_attempts;
-      if not (Session.fits ~links t ~rate ~now) then begin
-        if t.Session.transit then incr transit_denials else incr local_denials;
-        if Session.blocked ~links t ~now then
-          counters.Session.crash_denials <- counters.Session.crash_denials + 1
-      end
-    end;
-    Session.settle ~links t ~rate;
-    if fc.check_invariants then begin
+    (match nc.service with
+    | Service_model.Renegotiate ->
+        (* The seed's expressions, verbatim (bit-identity anchor for
+           the service-model refactor, DESIGN.md §15). *)
+        if count && rate > t.Session.applied then begin
+          if t.Session.transit then incr transit_attempts
+          else incr local_attempts;
+          if not (Session.fits ~links t ~rate ~now) then begin
+            if t.Session.transit then incr transit_denials
+            else incr local_denials;
+            if Session.blocked ~links t ~now then
+              counters.Session.crash_denials <-
+                counters.Session.crash_denials + 1
+          end
+        end;
+        Session.settle ~links t ~rate
+    | _ ->
+        let decision = Session.decide nc.service ~links t ~now ~demanded:rate in
+        let granted = Service_model.granted_rate decision ~demanded:rate in
+        if count && rate > t.Session.applied then begin
+          if t.Session.transit then incr transit_attempts
+          else incr local_attempts;
+          if Service_model.downgraded decision then begin
+            incr downgrades;
+            match decision with
+            | Service_model.Settle_floor _ ->
+                if t.Session.transit then incr transit_denials
+                else incr local_denials;
+                if Session.blocked ~links t ~now then
+                  counters.Session.crash_denials <-
+                    counters.Session.crash_denials + 1
+            | _ -> ()
+          end
+        end;
+        Session.settle ~links t ~rate:granted);
+    if fc.Session.check_invariants then begin
       incr applies;
       if !applies mod 64 = 0 then check_invariant ()
     end
@@ -185,12 +202,13 @@ let run_net (nc : net_config) fc =
      integral below closes its own window with [advance]. *)
   Events.advance_to engine ~at:nc.horizon;
   advance nc.horizon;
-  if fc.check_invariants then check_invariant ();
+  if fc.Session.check_invariants then check_invariant ();
   ( {
       transit_attempts = !transit_attempts;
       transit_denials = !transit_denials;
       local_attempts = !local_attempts;
       local_denials = !local_denials;
+      downgrades = !downgrades;
       mean_hop_utilization = !util_integral /. nc.horizon;
     },
     {
@@ -220,7 +238,7 @@ let run_faulty bc fc =
         if h >= 0 && h < c.hops then
           List.init bc.routes (fun rt -> ((rt * c.hops) + h, a, r))
         else [])
-      fc.crashes
+      fc.Session.crashes
   in
   run_net
     {
@@ -231,10 +249,11 @@ let run_faulty bc fc =
       horizon = c.horizon;
       seed = c.seed;
       balance = bc.balance;
+      service = Service_model.Renegotiate;
     }
     { fc with crashes }
 
-let run_balanced bc = fst (run_faulty bc no_faults)
+let run_balanced bc = fst (run_faulty bc Session.no_faults)
 let run c = run_balanced { base = c; routes = 1; balance = false }
 
 (* Hop-sweep batch: each config is an independent seeded simulation. *)

@@ -41,40 +41,22 @@ type net_config = {
   horizon : float;
   seed : int;
   balance : bool;
+  service : Rcbr_policy.Service_model.t;
+      (** what a non-fitting rate change gets (DESIGN.md §15);
+          [Renegotiate] is the seed's settle semantics, bit-identical to
+          the pre-refactor code.  The historical entry points
+          ({!run}/{!run_balanced}/{!run_faulty}) always run
+          [Renegotiate]. *)
 }
-
-type faults = Rcbr_net.Session.faults = {
-  rm_drop : float;  (** per-hop loss probability of a signalling cell *)
-  retx_timeout : float;  (** seconds before a lost request is re-sent *)
-  max_retransmits : int;
-      (** per rate change; after that the change is applied anyway
-          (settle semantics — the overload shows up in the capped
-          utilization, as for a denied increase) *)
-  crashes : (int * float * float) list;
-      (** for the historical entry points ({!run_faulty}):
-          [(hop, at, recover)] — during the window the hop (on every
-          route) is a signalling blackout and every increase crossing it
-          is denied.  {!run_net} reads the first component as a plain
-          link id instead. *)
-  fault_seed : int;
-      (** faults draw from their own stream, so any run with
-          [rm_drop = 0] and no crashes is bit-identical to {!run_balanced} *)
-  check_invariants : bool;
-      (** periodically audit that every link's demand equals the sum of
-          the rates of the calls crossing it *)
-}
-(** Deprecated alias of the shared {!Rcbr_net.Session.faults} record
-    (same fields; kept so existing callers compile unchanged). *)
-
-val no_faults : faults
-(** No loss, no crashes, no auditing: [run_faulty bc no_faults] gives
-    exactly [run_balanced bc]'s metrics. *)
 
 type metrics = {
   transit_attempts : int;  (** rate-increase requests by transit calls *)
   transit_denials : int;
   local_attempts : int;
   local_denials : int;
+  downgrades : int;
+      (** increases granted below the demanded rate; 0 under
+          [Renegotiate] *)
   mean_hop_utilization : float;  (** demand / capacity, time-averaged, capped at 1 *)
 }
 
@@ -109,16 +91,17 @@ val run_balanced : balanced_config -> metrics
     Tests the paper's conjecture that alternate routes plus call-level
     load balancing compensate for the per-hop failure growth. *)
 
-val run_faulty : balanced_config -> faults -> metrics * fault_metrics
+val run_faulty :
+  balanced_config -> Rcbr_net.Session.faults -> metrics * fault_metrics
 (** {!run_balanced} over an unreliable signalling plane: each rate-change
     cell is lost with probability [rm_drop] per hop and retransmitted
     after [retx_timeout] (a newer change for the same call supersedes the
     pending retransmission); crashed hops deny every increase crossing
     them while down.  Fault randomness comes from a separate
-    [fault_seed]ed stream, so [run_faulty bc no_faults =
+    [fault_seed]ed stream, so [run_faulty bc Session.no_faults =
     (run_balanced bc, zeros)] bit for bit. *)
 
-val run_net : net_config -> faults -> metrics * fault_metrics
+val run_net : net_config -> Rcbr_net.Session.faults -> metrics * fault_metrics
 (** The topology-general experiment the historical entry points are
     built on: transit calls pick among [topology]'s routes (which may
     have different lengths and share links) and every link carries its

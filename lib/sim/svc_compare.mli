@@ -1,0 +1,72 @@
+(** Service-model shoot-out: the three {!Rcbr_policy.Service_model}s
+    run over one pre-generated workload on one shared mesh, so the only
+    difference between the columns is what each model grants
+    (DESIGN.md §15).
+
+    A seeded workload — arrival times, route picks and per-call
+    (duration, rate) pieces — is drawn once and replayed verbatim under
+    [Renegotiate], [Downgrade] (ladder between the lowest and highest
+    workload level) and [Mts_profile] (token-bucket ladder between the
+    workload's mean and peak rates).  Each run reports the paper's
+    statistical-multiplexing gain alongside the service-quality prices
+    the models pay for it: blocking probability, downgrade probability,
+    and Jain's fairness index over per-flow granted/demanded bit
+    ratios.  Everything is deterministic per [config.seed]; the
+    [bench] harness hashes {!model_metrics.decision_hash} and
+    {!model_metrics.outcome_hash} into its drift gate. *)
+
+type config = {
+  rows : int;
+  cols : int;  (** shared {!Rcbr_net.Topology.grid} mesh *)
+  capacity : float;  (** per-link capacity, b/s *)
+  calls : int;  (** workload size (arrivals generated) *)
+  levels : float array;  (** demanded-rate levels calls draw from, b/s *)
+  mean_hold : float;  (** mean piece duration, s *)
+  pieces_per_call : int;  (** rate changes before departure *)
+  arrival_window : float;  (** arrivals land uniformly in [0, window] s *)
+  admit_margin : float;
+      (** controller capacity as a multiple of [calls x mean level] *)
+  target : float;  (** admission overflow target *)
+  tiers : int;  (** downgrade ladder size *)
+  mts_scales : int;  (** MTS token-bucket ladder depth *)
+  mts_quantum : float;  (** MTS base accounting window, s *)
+  seed : int;
+}
+
+val default : unit -> config
+(** A 4x4 mesh under enough load that the models actually diverge:
+    nonzero blocking under [Renegotiate], downgrades and upgrades under
+    [Downgrade], policing under [Mts_profile]. *)
+
+type model_metrics = {
+  model : string;  (** {!Rcbr_policy.Service_model.name} *)
+  arrivals : int;
+  admitted : int;
+  blocked : int;
+  reneg_attempts : int;  (** rate-increase requests by admitted calls *)
+  reneg_denied : int;  (** increases settled at the ladder floor *)
+  downgrades : int;  (** grants below the demanded rate *)
+  upgrades : int;  (** downgraded calls restored on departures *)
+  departures : int;
+  blocking_probability : float;  (** blocked / arrivals *)
+  downgrade_probability : float;
+      (** downgrades / (admissions + change attempts) *)
+  mean_utilization : float;
+      (** link demand / capacity, time- and link-averaged, capped at 1 *)
+  smg : float;  (** statistical multiplexing gain:
+                    [mean_utilization x peak / mean] of the level set *)
+  jain_fairness : float;
+      (** Jain's index over per-flow granted/demanded bit ratios;
+          blocked calls count as 0 *)
+  decision_hash : int;  (** the controller's admit/deny sequence hash *)
+  outcome_hash : int;  (** FNV over the counters and final link demands *)
+  audit_violations : int;  (** conservation check over every session *)
+}
+
+type metrics = { models : model_metrics array }
+(** In model order: renegotiate, downgrade, mts. *)
+
+val run : ?pool:Rcbr_util.Pool.t -> config -> metrics
+(** Generate the workload once, then run the three models over it (in
+    parallel when [pool] has jobs).  Deterministic per [config];
+    independent of pool size. *)

@@ -7,6 +7,7 @@ type deny_reason =
   | Duplicate_call
   | Bad_route
   | Draining
+  | Downgraded
 
 type t =
   | Delta of { vci : int; delta : float }
@@ -65,6 +66,7 @@ let reason_to_string = function
   | Duplicate_call -> "duplicate-call"
   | Bad_route -> "bad-route"
   | Draining -> "draining"
+  | Downgraded -> "downgraded"
 
 let pp ppf = function
   | Delta { vci; delta } -> Format.fprintf ppf "delta vci=%d %+g" vci delta
@@ -188,6 +190,7 @@ let reason_code = function
   | Duplicate_call -> 3
   | Bad_route -> 4
   | Draining -> 5
+  | Downgraded -> 6
 
 let reason_of_code = function
   | 0 -> Some Capacity
@@ -196,6 +199,7 @@ let reason_of_code = function
   | 3 -> Some Duplicate_call
   | 4 -> Some Bad_route
   | 5 -> Some Draining
+  | 6 -> Some Downgraded
   | _ -> None
 
 let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))

@@ -24,6 +24,10 @@ type deny_reason =
   | Duplicate_call  (** setup for a call id that is already live *)
   | Bad_route  (** a route link id is outside the switch's topology *)
   | Draining  (** the switch is shutting down and takes no new work *)
+  | Downgraded
+      (** the demanded rate was granted only at a lower service tier
+          (Downgrade model, DESIGN.md section 15); the change was not
+          applied as demanded *)
 
 type t =
   | Delta of { vci : int; delta : float }

@@ -96,7 +96,8 @@ let pp_outcome ppf = function
         | Codec.Unknown_call -> "unknown-call"
         | Codec.Duplicate_call -> "duplicate-call"
         | Codec.Bad_route -> "bad-route"
-        | Codec.Draining -> "draining")
+        | Codec.Draining -> "draining"
+        | Codec.Downgraded -> "downgraded")
   | Gave_up -> Format.pp_print_string ppf "gave-up"
   | Sent -> Format.pp_print_string ppf "sent"
 
@@ -121,7 +122,8 @@ let outcome_hash outcomes =
             | Codec.Unknown_call -> 12
             | Codec.Duplicate_call -> 13
             | Codec.Bad_route -> 14
-            | Codec.Draining -> 15)
+            | Codec.Draining -> 15
+            | Codec.Downgraded -> 16)
       | Gave_up -> mix h 3
       | Sent -> mix h 4)
     0x2545F4914F6CDD1D sorted

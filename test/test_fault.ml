@@ -20,6 +20,7 @@ module Trace = Rcbr_traffic.Trace
 module Multihop = Rcbr_sim.Multihop
 module Mbac = Rcbr_sim.Mbac
 module Controller = Rcbr_admission.Controller
+module Session = Rcbr_net.Session
 
 let check_close eps = Alcotest.(check (float eps))
 let trace = Rcbr_traffic.Synthetic.star_wars ~frames:6_000 ~seed:42 ()
@@ -365,7 +366,7 @@ let multihop_config hops =
 let test_multihop_null_faults_identical () =
   let bc = { Multihop.base = multihop_config 3; routes = 2; balance = true } in
   let a = Multihop.run_balanced bc in
-  let m, f = Multihop.run_faulty bc Multihop.no_faults in
+  let m, f = Multihop.run_faulty bc Session.no_faults in
   Alcotest.(check int) "attempts" a.Multihop.transit_attempts
     m.Multihop.transit_attempts;
   Alcotest.(check int) "denials" a.Multihop.transit_denials
@@ -381,8 +382,8 @@ let test_multihop_lossy_signalling () =
   let bc = { Multihop.base = multihop_config 3; routes = 1; balance = false } in
   let fc =
     {
-      Multihop.no_faults with
-      Multihop.rm_drop = 0.2;
+      Session.no_faults with
+      Session.rm_drop = 0.2;
       fault_seed = 9;
       check_invariants = true;
     }
@@ -397,7 +398,7 @@ let test_multihop_lossy_signalling () =
 let test_multihop_crash_denies () =
   let bc = { Multihop.base = multihop_config 3; routes = 1; balance = false } in
   let fc =
-    { Multihop.no_faults with Multihop.crashes = [ (1, 50., 300.) ] }
+    { Session.no_faults with Session.crashes = [ (1, 50., 300.) ] }
   in
   let m, f = Multihop.run_faulty bc fc in
   Alcotest.(check bool) "blackout denies increases" true
@@ -436,9 +437,7 @@ let test_mbac_null_faults_identical () =
   let a = run None in
   let b =
     run
-      (Some
-         (Mbac.lossy ~rm_drop:0. ~rm_timeout:0.25 ~rm_max_retransmits:4
-            ~fault_seed:1 ()))
+      (Some { Session.no_faults with Session.fault_seed = 1 })
   in
   check_close 1e-12 "failure probability" a.Mbac.failure_probability
     b.Mbac.failure_probability;
@@ -456,8 +455,13 @@ let test_mbac_lossy_signalling () =
         cfg with
         Mbac.faults =
           Some
-            (Mbac.lossy ~rm_drop:0.3 ~rm_timeout:0.1 ~rm_max_retransmits:3
-               ~fault_seed:13 ());
+            {
+              Session.no_faults with
+              Session.rm_drop = 0.3;
+              retx_timeout = 0.1;
+              max_retransmits = 3;
+              fault_seed = 13;
+            };
       }
       ~controller:(Controller.always_admit ())
   in

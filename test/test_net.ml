@@ -498,8 +498,9 @@ let test_run_net_linear_equivalence () =
         horizon = c.Multihop.horizon;
         seed = c.Multihop.seed;
         balance = false;
+        service = Rcbr_policy.Service_model.Renegotiate;
       }
-      Multihop.no_faults
+      Session.no_faults
   in
   check_metrics "linear" reference m;
   Alcotest.(check int) "no faults recorded" 0
@@ -524,8 +525,9 @@ let test_run_net_parallel_equivalence () =
         horizon = bc.Multihop.base.Multihop.horizon;
         seed = bc.Multihop.base.Multihop.seed;
         balance = true;
+        service = Rcbr_policy.Service_model.Renegotiate;
       }
-      Multihop.no_faults
+      Session.no_faults
   in
   check_metrics "parallel" reference m
 
@@ -551,12 +553,13 @@ let test_run_net_mesh_faulty () =
       horizon = 2. *. Schedule.duration schedule;
       seed = 11;
       balance = true;
+      service = Rcbr_policy.Service_model.Renegotiate;
     }
   in
   let faults =
     {
-      Multihop.no_faults with
-      Multihop.rm_drop = 0.2;
+      Session.no_faults with
+      Session.rm_drop = 0.2;
       retx_timeout = 0.05;
       crashes = [ (2, 50., 200.) ];
       fault_seed = 99;
@@ -573,10 +576,10 @@ let test_run_net_mesh_faulty () =
   Alcotest.(check int) "conservation invariants clean" 0
     f.Multihop.invariant_failures;
   (* Null faults on the same mesh reproduce the fault-free run. *)
-  let clean, zeros = Multihop.run_net nc Multihop.no_faults in
+  let clean, zeros = Multihop.run_net nc Session.no_faults in
   let audited, _ =
     Multihop.run_net nc
-      { Multihop.no_faults with Multihop.check_invariants = true }
+      { Session.no_faults with Session.check_invariants = true }
   in
   check_metrics "audit is bit-neutral" clean audited;
   Alcotest.(check int) "null faults, zero counters" 0

@@ -33,6 +33,7 @@ let gen_msg : Codec.t QCheck.Gen.t =
         Codec.Duplicate_call;
         Codec.Bad_route;
         Codec.Draining;
+        Codec.Downgraded;
       ]
   in
   oneof
